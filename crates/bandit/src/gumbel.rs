@@ -1,0 +1,136 @@
+//! Gumbel-softmax action sampling — WebExplor's `CHOOSE_ACTION` (Table I).
+//!
+//! Sampling `argmax_i (v_i / τ + g_i)` with i.i.d. standard Gumbel noise
+//! `g_i` draws exactly from the softmax distribution with temperature `τ`
+//! (the Gumbel-max trick of Jang et al., ICLR 2017). WebExplor uses this to
+//! select among the current state's Q-values, trading exploitation against
+//! exploration through the temperature.
+
+use rand::Rng;
+
+/// Draws a standard Gumbel(0, 1) variate.
+fn gumbel<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Inverse CDF: -ln(-ln(U)). Clamp U away from {0, 1} for stability.
+    let u: f64 = rng.gen::<f64>().clamp(1e-300, 1.0 - 1e-16);
+    -(-u.ln()).ln()
+}
+
+/// Samples an index from `softmax(values / temperature)` via the Gumbel-max
+/// trick.
+///
+/// # Examples
+///
+/// ```
+/// use mak_bandit::gumbel::gumbel_softmax_sample;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let q_values = [0.1, 0.9, 0.2];
+/// let picks: Vec<usize> =
+///     (0..100).map(|_| gumbel_softmax_sample(&mut rng, &q_values, 0.1)).collect();
+/// let best = picks.iter().filter(|&&i| i == 1).count();
+/// assert!(best > 80, "low temperature concentrates on the max");
+/// ```
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `temperature` is not positive.
+pub fn gumbel_softmax_sample<R: Rng + ?Sized>(
+    rng: &mut R,
+    values: &[f64],
+    temperature: f64,
+) -> usize {
+    assert!(!values.is_empty(), "cannot sample from an empty value set");
+    assert!(temperature > 0.0, "temperature must be positive");
+    values
+        .iter()
+        .map(|v| v / temperature + gumbel(rng))
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("perturbed values are comparable"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+/// The explicit softmax probabilities the sampler draws from, for tests and
+/// inspection.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `temperature` is not positive.
+pub fn softmax_probs(values: &[f64], temperature: f64) -> Vec<f64> {
+    assert!(!values.is_empty(), "softmax of an empty value set");
+    assert!(temperature > 0.0, "temperature must be positive");
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = values.iter().map(|v| ((v - max) / temperature).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn softmax_probs_sum_to_one() {
+        let p = softmax_probs(&[1.0, 2.0, 3.0], 0.5);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn low_temperature_approaches_argmax() {
+        let p = softmax_probs(&[0.0, 1.0], 0.01);
+        assert!(p[1] > 0.999);
+    }
+
+    #[test]
+    fn high_temperature_approaches_uniform() {
+        let p = softmax_probs(&[0.0, 1.0], 1_000.0);
+        assert!((p[0] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn sampler_matches_softmax_frequencies() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let values = [0.0, 1.0, 2.0];
+        let tau = 1.0;
+        let expected = softmax_probs(&values, tau);
+        let n = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[gumbel_softmax_sample(&mut rng, &values, tau)] += 1;
+        }
+        for i in 0..3 {
+            let freq = counts[i] as f64 / n as f64;
+            assert!(
+                (freq - expected[i]).abs() < 0.02,
+                "arm {i}: freq {freq:.3} vs softmax {:.3}",
+                expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_huge_values() {
+        let p = softmax_probs(&[1e8, 1e8 + 1.0], 1.0);
+        assert!(p.iter().all(|x| x.is_finite()));
+        assert!(p[1] > p[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn sample_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        gumbel_softmax_sample(&mut rng, &[], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature")]
+    fn sample_rejects_nonpositive_temperature() {
+        let mut rng = StdRng::seed_from_u64(1);
+        gumbel_softmax_sample(&mut rng, &[1.0], 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # mak-bandit — policy-learning algorithms for the MAK reproduction
+//!
+//! This crate implements, from scratch, every learning algorithm the paper
+//! and its baselines rely on:
+//!
+//! - [`exp31`] — the **Exp3.1** algorithm of Auer et al. (Algorithm 1 of the
+//!   paper), the adversarial multi-armed-bandit solver driving MAK;
+//! - [`exp3`] — plain Exp3 with a fixed exploration rate, used in ablations;
+//! - [`qlearning`] — tabular Q-learning with the standard Bellman update
+//!   (WebExplor) and the "more-actions bonus" variant (QExplore);
+//! - [`gumbel`] — Gumbel-softmax action sampling (WebExplor's
+//!   `CHOOSE_ACTION`);
+//! - [`epsilon`] / [`ucb`] / [`thompson`] — ε-greedy, UCB1 and Thompson
+//!   sampling, the stochastic-bandit baselines for design-choice ablations;
+//! - [`normalize`] — Welford running mean/std, the standardized-increment
+//!   reward transform, and the logistic squash to `[0, 1]` (§IV-C/D).
+//!
+//! ## Quick start: Exp3.1 over three arms
+//!
+//! ```
+//! use mak_bandit::exp31::Exp31;
+//! use mak_bandit::policy::BanditPolicy;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut bandit = Exp31::new(3);
+//! for _ in 0..100 {
+//!     let arm = bandit.choose(&mut rng);
+//!     let reward = if arm == 1 { 1.0 } else { 0.0 }; // arm 1 is best
+//!     bandit.update(arm, reward);
+//! }
+//! let probs = bandit.probabilities();
+//! assert!(probs[1] > probs[0] && probs[1] > probs[2]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod epsilon;
+pub mod exp3;
+pub mod exp31;
+pub mod gumbel;
+pub mod normalize;
+pub mod policy;
+pub mod qlearning;
+pub mod thompson;
+pub mod ucb;

@@ -1,0 +1,137 @@
+//! Property-based tests for the bandit algorithms' invariants.
+
+use mak_bandit::epsilon::EpsilonGreedy;
+use mak_bandit::exp3::Exp3;
+use mak_bandit::exp31::Exp31;
+use mak_bandit::gumbel::softmax_probs;
+use mak_bandit::normalize::RunningStats;
+use mak_bandit::policy::BanditPolicy;
+use mak_bandit::qlearning::QTable;
+use mak_bandit::ucb::Ucb1;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn distribution_invariant<P: BanditPolicy>(mut policy: P, plays: Vec<(usize, f64)>) {
+    let k = policy.arms();
+    let mut rng = StdRng::seed_from_u64(99);
+    for (arm, reward) in plays {
+        let _ = policy.choose(&mut rng);
+        policy.update(arm % k, reward);
+        let probs = policy.probabilities();
+        assert_eq!(probs.len(), k);
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)), "{probs:?}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn exp31_probabilities_stay_a_distribution(
+        plays in proptest::collection::vec((0usize..5, 0.0f64..1.0), 0..200),
+    ) {
+        distribution_invariant(Exp31::new(5), plays);
+    }
+
+    #[test]
+    fn exp3_probabilities_stay_a_distribution(
+        plays in proptest::collection::vec((0usize..4, 0.0f64..1.0), 0..200),
+        gamma in 0.01f64..1.0,
+    ) {
+        distribution_invariant(Exp3::new(4, gamma), plays);
+    }
+
+    #[test]
+    fn epsilon_greedy_probabilities_stay_a_distribution(
+        plays in proptest::collection::vec((0usize..4, 0.0f64..1.0), 0..200),
+        epsilon in 0.0f64..=1.0,
+    ) {
+        distribution_invariant(EpsilonGreedy::new(4, epsilon), plays);
+    }
+
+    #[test]
+    fn ucb1_probabilities_stay_a_distribution(
+        plays in proptest::collection::vec((0usize..4, 0.0f64..1.0), 0..200),
+    ) {
+        distribution_invariant(Ucb1::new(4), plays);
+    }
+
+    /// Exp3.1 epochs only ever advance, and γ never increases.
+    #[test]
+    fn exp31_epochs_are_monotone(
+        rewards in proptest::collection::vec(0.0f64..1.0, 1..400),
+    ) {
+        let mut b = Exp31::new(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut last_epoch = 0;
+        let mut last_gamma = f64::INFINITY;
+        for r in rewards {
+            let arm = b.choose(&mut rng);
+            b.update(arm, r);
+            assert!(b.epoch() >= last_epoch);
+            let gamma = b.gamma();
+            if b.epoch() > last_epoch {
+                assert!(gamma <= last_gamma, "gamma shrinks across epochs");
+            }
+            last_epoch = b.epoch();
+            last_gamma = gamma;
+        }
+    }
+
+    /// Softmax is a distribution and order-preserving for any finite input.
+    #[test]
+    fn softmax_is_distribution_and_monotone(
+        values in proptest::collection::vec(-1e4f64..1e4, 1..16),
+        tau in 0.01f64..100.0,
+    ) {
+        let probs = softmax_probs(&values, tau);
+        let sum: f64 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] > values[j] {
+                    prop_assert!(probs[i] >= probs[j] - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Welford statistics match the two-pass formulas.
+    #[test]
+    fn running_stats_match_naive(
+        xs in proptest::collection::vec(-1e6f64..1e6, 2..100),
+    ) {
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        let scale = var.abs().max(1.0);
+        prop_assert!((s.mean() - mean).abs() / mean.abs().max(1.0) < 1e-9);
+        prop_assert!((s.variance() - var).abs() / scale < 1e-6);
+    }
+
+    /// Q-values stay finite and bounded by the reward/bonus geometry under
+    /// arbitrary (clamped) reward sequences.
+    #[test]
+    fn qtable_values_stay_finite(
+        updates in proptest::collection::vec(
+            (0u64..5, 0u64..5, 0.0f64..1.0, 0u64..5),
+            0..300,
+        ),
+    ) {
+        let mut q = QTable::new(0.5, 0.5, 1.0);
+        for (s, a, r, s2) in updates {
+            let next: Vec<u64> = (0..3).collect();
+            q.bellman_update(s, a, r, s2, &next);
+            let v = q.value(s, a);
+            prop_assert!(v.is_finite());
+            // With r <= 1 and γ = 0.5, values are bounded by r/(1-γ) = 2
+            // (plus the optimistic start).
+            prop_assert!(v <= 2.0 + 1e-9, "value {v} out of bound");
+            prop_assert!(v >= 0.0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! §V-C ablation benchmark: one static-strategy cell (the unit the full
+//! `ablation` binary fans out over four crawlers × eleven apps × seeds) and
+//! the regret aggregation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mak::framework::engine::{run_crawl, EngineConfig};
+use mak::spec::build_crawler;
+use mak_metrics::regret::{cumulative_regret, AppOutcome};
+use mak_websim::apps;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn bench_static_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cell_vanilla_5min");
+    group.sample_size(15);
+    for crawler in ["mak", "bfs", "dfs", "random"] {
+        group.bench_with_input(BenchmarkId::from_parameter(crawler), &crawler, |b, &name| {
+            let cfg = EngineConfig::with_budget_minutes(5.0);
+            b.iter(|| {
+                let mut cr = build_crawler(name, 5).expect("known crawler");
+                let r = run_crawl(&mut *cr, apps::build("vanilla").unwrap(), &cfg, 5);
+                black_box(r.final_lines_covered)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_regret_aggregation(c: &mut Criterion) {
+    let outcomes: Vec<AppOutcome> = (0..11)
+        .map(|i| {
+            let mut runs = BTreeMap::new();
+            for (j, name) in ["mak", "bfs", "dfs", "random"].iter().enumerate() {
+                runs.insert(
+                    (*name).to_owned(),
+                    (0..10).map(|s| 1_000.0 + (i * 37 + j * 113 + s * 7) as f64).collect(),
+                );
+            }
+            AppOutcome::from_runs(format!("app{i}"), &runs, 50_000.0)
+        })
+        .collect();
+    c.bench_function("cumulative_regret_11_apps", |b| {
+        b.iter(|| black_box(cumulative_regret(&outcomes)));
+    });
+}
+
+criterion_group!(benches, bench_static_cells, bench_regret_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Microbenchmarks for the policy-learning primitives: Exp3.1 choose/update
+//! cycles (MAK's per-decision cost is O(K) — the "stateless" speed claim),
+//! Gumbel-softmax sampling, and the standardized-reward transform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mak_bandit::exp31::Exp31;
+use mak_bandit::gumbel::gumbel_softmax_sample;
+use mak_bandit::normalize::StandardizedReward;
+use mak_bandit::policy::BanditPolicy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_exp31(c: &mut Criterion) {
+    c.bench_function("exp31_choose_update", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bandit = Exp31::new(3);
+        b.iter(|| {
+            let arm = bandit.choose(&mut rng);
+            bandit.update(arm, black_box(0.6));
+            black_box(arm)
+        });
+    });
+}
+
+fn bench_gumbel(c: &mut Criterion) {
+    c.bench_function("gumbel_softmax_sample_16", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let values: Vec<f64> = (0..16).map(|i| i as f64 / 16.0).collect();
+        b.iter(|| black_box(gumbel_softmax_sample(&mut rng, &values, 0.2)));
+    });
+}
+
+fn bench_reward(c: &mut Criterion) {
+    c.bench_function("standardized_reward_transform", |b| {
+        let mut sr = StandardizedReward::new();
+        let mut x = 0.0;
+        b.iter(|| {
+            x += 1.0;
+            black_box(sr.transform(x % 17.0))
+        });
+    });
+}
+
+criterion_group!(benches, bench_exp31, bench_gumbel, bench_reward);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fig. 1 benchmark: the cost of the baselines' state abstractions as the
+//! state table grows — the mechanism behind the §V-D interaction-count gap.
+//! WebExplor's similarity scan is benchmarked against stores pre-seeded with
+//! alias-generated states; QExplore's hash lookup stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mak::framework::qcrawler::StateAbstraction;
+use mak::qexplore::QExploreState;
+use mak::webexplor::WebExplorState;
+use mak_browser::page::Page;
+use mak_websim::dom::{Document, Element, Tag};
+use mak_websim::http::Status;
+use std::hint::black_box;
+
+fn page(url: &str, divs: usize) -> Page {
+    let mut body = Element::new(Tag::Body);
+    for i in 0..divs {
+        body = body
+            .child(Element::new(Tag::Div).child(Element::new(Tag::A).attr("href", format!("/l{i}"))));
+    }
+    Page::from_document(Status::Ok, Document::new(url.parse().unwrap(), "t", body))
+}
+
+fn bench_webexplor_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("webexplor_state_lookup");
+    for &n_states in &[10usize, 100, 500] {
+        // Pre-seed with alias states (distinct URLs of the same page shape).
+        let mut store = WebExplorState::new();
+        for i in 0..n_states {
+            store.state_of(&page(&format!("http://h/p?r={i}"), 20));
+        }
+        let probe = page("http://h/p?r=0", 20);
+        group.bench_with_input(BenchmarkId::from_parameter(n_states), &n_states, |b, _| {
+            b.iter(|| black_box(store.state_of(&probe)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_qexplore_lookup(c: &mut Criterion) {
+    c.bench_function("qexplore_state_lookup_500", |b| {
+        let mut store = QExploreState::new();
+        for i in 0..500 {
+            store.state_of(&page(&format!("http://h/p{i}"), (i % 7) + 1));
+        }
+        let probe = page("http://h/p0", 1);
+        b.iter(|| black_box(store.state_of(&probe)));
+    });
+}
+
+criterion_group!(benches, bench_webexplor_lookup, bench_qexplore_lookup);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 2 benchmark: wall-clock cost of regenerating one coverage-over-time
+//! cell (one crawler, one PHP application, one seeded run with live
+//! sampling) — the unit the full `fig2` binary fans out 240×.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mak::framework::engine::{run_crawl, EngineConfig};
+use mak::spec::build_crawler;
+use mak_websim::apps;
+use std::hint::black_box;
+
+fn bench_fig2_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_cell_phpbb2_5min");
+    group.sample_size(20);
+    for crawler in ["mak", "webexplor", "qexplore"] {
+        group.bench_with_input(BenchmarkId::from_parameter(crawler), &crawler, |b, &name| {
+            let cfg = EngineConfig::with_budget_minutes(5.0);
+            b.iter(|| {
+                let mut cr = build_crawler(name, 7).expect("known crawler");
+                let report = run_crawl(&mut *cr, apps::build("phpbb2").unwrap(), &cfg, 7);
+                assert!(!report.coverage_series.is_empty());
+                black_box(report.final_lines_covered)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_cell);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! §V-D benchmark: raw per-step cost of each crawler against a live
+//! application — the engine-level difference that produces the paper's
+//! interaction-count spread (MAK 883 vs WebExplor 854 vs QExplore 827).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mak::spec::build_crawler;
+use mak_browser::client::Browser;
+use mak_browser::clock::VirtualClock;
+use mak_websim::apps;
+use mak_websim::server::AppHost;
+use std::hint::black_box;
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crawler_step_drupal");
+    group.sample_size(10);
+    for crawler in ["mak", "webexplor", "qexplore", "bfs"] {
+        group.bench_with_input(BenchmarkId::from_parameter(crawler), &crawler, |b, &name| {
+            b.iter(|| {
+                let host = AppHost::new(apps::build("drupal").unwrap());
+                let mut browser =
+                    Browser::new(host, VirtualClock::with_budget_minutes(30.0), 13);
+                let mut cr = build_crawler(name, 13).expect("known crawler");
+                // 200 decision+interaction steps.
+                for _ in 0..200 {
+                    if cr.step(&mut browser).is_err() {
+                        break;
+                    }
+                }
+                black_box(browser.interaction_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Scanner benchmarks: surface absorption per page and a full
+//! crawl-then-probe scan cell (the §VII integration extension).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mak_browser::client::Browser;
+use mak_browser::clock::VirtualClock;
+use mak_scanner::scan::{run_scan, ScanConfig};
+use mak_scanner::surface::AttackSurface;
+use mak_websim::apps;
+use mak_websim::server::AppHost;
+use std::hint::black_box;
+
+fn bench_surface_absorption(c: &mut Criterion) {
+    // A representative content page with links and a form.
+    let host = AppHost::new(apps::build("wordpress").unwrap());
+    let mut browser = Browser::new(host, VirtualClock::with_budget_minutes(30.0), 1);
+    let page = browser.open_seed().expect("seed renders");
+    let origin = browser.origin().clone();
+
+    c.bench_function("surface_absorb_page", |b| {
+        let mut surface = AttackSurface::new();
+        b.iter(|| {
+            surface.absorb_page(&page, &origin);
+            black_box(surface.endpoint_count())
+        });
+    });
+}
+
+fn bench_scan_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_cell_vanilla");
+    group.sample_size(10);
+    group.bench_function("mak_2min_crawl_1min_probe", |b| {
+        let cfg = ScanConfig::with_minutes(2.0, 1.0);
+        b.iter(|| {
+            let report = run_scan("mak", "vanilla", &cfg, 3).expect("known names");
+            black_box((report.surface.endpoint_count(), report.findings.len()))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_surface_absorption, bench_scan_cell);
+criterion_main!(benches);

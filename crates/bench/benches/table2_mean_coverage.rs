@@ -1,0 +1,47 @@
+//! Table II benchmark: cost of one estimated-mean-coverage computation —
+//! running a crawler cell and folding its covered lines into the union
+//! ground truth of §V-B.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mak::framework::engine::{run_crawl, EngineConfig};
+use mak::spec::build_crawler;
+use mak_metrics::ground_truth::UnionCoverage;
+use mak_websim::apps;
+use std::hint::black_box;
+
+fn bench_union_fold(c: &mut Criterion) {
+    // Precompute a batch of reports once; benchmark the union estimation.
+    let cfg = EngineConfig::with_budget_minutes(5.0);
+    let reports: Vec<_> = ["mak", "webexplor", "qexplore"]
+        .iter()
+        .map(|name| {
+            let mut cr = build_crawler(name, 3).expect("known crawler");
+            run_crawl(&mut *cr, apps::build("vanilla").unwrap(), &cfg, 3)
+        })
+        .collect();
+
+    c.bench_function("table2_union_ground_truth_vanilla", |b| {
+        b.iter(|| {
+            let union = UnionCoverage::from_reports(reports.iter());
+            let cov = union.coverage_of(&reports[0]);
+            black_box((union.len(), cov))
+        });
+    });
+}
+
+fn bench_table2_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_cell");
+    group.sample_size(15);
+    group.bench_function("mak_on_oscommerce2_5min", |b| {
+        let cfg = EngineConfig::with_budget_minutes(5.0);
+        b.iter(|| {
+            let mut cr = build_crawler("mak", 11).expect("known crawler");
+            let r = run_crawl(&mut *cr, apps::build("oscommerce2").unwrap(), &cfg, 11);
+            black_box(r.final_lines_covered)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_union_fold, bench_table2_cell);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Regenerates **Fig. 1**: the state-abstraction failures of WebExplor and
+//! QExplore, demonstrated on the HotCRP and Drupal models.
+//!
+//! Top half (WebExplor on HotCRP): the same review page is linked under
+//! several URLs differing only in redundant query parameters; exact URL
+//! matching manufactures one state per alias.
+//!
+//! Bottom half (QExplore on Drupal): every submission of the shortcut form
+//! appends a broken link, so the attribute-value hash allocates a fresh
+//! state per submission, unboundedly.
+
+use mak::framework::qcrawler::StateAbstraction;
+use mak::qexplore::QExploreState;
+use mak::webexplor::WebExplorState;
+use mak_browser::client::Browser;
+use mak_browser::clock::VirtualClock;
+use mak_browser::page::Page;
+use mak_websim::apps;
+use mak_websim::dom::Interactable;
+use mak_websim::server::AppHost;
+use std::fmt::Write as _;
+
+fn main() {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fig. 1 — state-abstraction limitation demos\n");
+
+    // ---- Top: WebExplor's exact-URL matching on HotCRP aliases. ----
+    let host = AppHost::new(apps::build("hotcrp").expect("hotcrp model"));
+    let mut browser = Browser::new(host, VirtualClock::with_budget_minutes(30.0), 1);
+    let hub = browser.navigate(&"http://hotcrp.local/paper/p0".parse().unwrap()).unwrap();
+
+    // Collect groups of links sharing a path but differing in raw URL.
+    let origin = browser.origin().clone();
+    let mut by_path: std::collections::BTreeMap<String, Vec<String>> = Default::default();
+    for el in hub.valid_interactables(&origin) {
+        if let Interactable::Link { href, .. } = el {
+            if href.path().starts_with("/paper/") {
+                let urls = by_path.entry(href.path().to_owned()).or_default();
+                let s = href.to_string();
+                if !urls.contains(&s) {
+                    urls.push(s);
+                }
+            }
+        }
+    }
+    let (alias_path, alias_urls) = by_path
+        .iter()
+        .find(|(_, urls)| urls.len() >= 2)
+        .map(|(p, u)| (p.clone(), u.clone()))
+        .expect("an aliased paper page exists");
+
+    let mut webexplor_states = WebExplorState::new();
+    let mut rows = Vec::new();
+    let mut titles = std::collections::BTreeSet::new();
+    for url in &alias_urls {
+        let page = browser.navigate(&url.parse().unwrap()).unwrap();
+        titles.insert(page.title().to_owned());
+        let state = webexplor_states.state_of(&page);
+        rows.push(format!("  {url}  ->  WebExplor state #{state}"));
+    }
+    let _ = writeln!(out, "## WebExplor on HotCRP ({alias_path})\n");
+    let _ = writeln!(
+        out,
+        "{} alias URLs all serve the same page ({} distinct title(s)):\n",
+        alias_urls.len(),
+        titles.len()
+    );
+    for r in &rows {
+        let _ = writeln!(out, "{r}");
+    }
+    let _ = writeln!(
+        out,
+        "\n=> exact URL matching created {} states for 1 page.\n",
+        webexplor_states.state_count()
+    );
+    assert_eq!(titles.len(), 1, "aliases must serve one page");
+    assert_eq!(webexplor_states.state_count(), alias_urls.len());
+
+    // ---- Bottom: QExplore's attribute-value hash on Drupal shortcuts. ----
+    let host = AppHost::new(apps::build("drupal").expect("drupal model"));
+    let mut browser = Browser::new(host, VirtualClock::with_budget_minutes(30.0), 1);
+    let trap_url: mak_websim::url::Url = "http://drupal.local/shortcuts".parse().unwrap();
+    let page0 = browser.navigate(&trap_url).unwrap();
+    let form = page0
+        .valid_interactables(browser.origin())
+        .find(|i| matches!(i, Interactable::Form(_)))
+        .cloned()
+        .expect("shortcut form");
+
+    let mut qexplore_states = QExploreState::new();
+    let mut page: Page = page0;
+    let _ = writeln!(out, "## QExplore on Drupal (/shortcuts)\n");
+    for submission in 0..6 {
+        let state = qexplore_states.state_of(&page);
+        let _ = writeln!(
+            out,
+            "  after {submission} submissions: {} elements -> QExplore state #{state}",
+            page.interactables().len()
+        );
+        page = browser.execute(&form).unwrap();
+    }
+    let _ = writeln!(
+        out,
+        "\n=> every form submission manufactured a new state ({} total); the added\n   links are broken (navigation errors), so none of these states helps\n   crawling.",
+        qexplore_states.state_count()
+    );
+    assert_eq!(qexplore_states.state_count(), 6);
+
+    // The broken links indeed 404.
+    let broken =
+        browser.navigate(&"http://drupal.local/shortcuts/go/s0".parse().unwrap()).unwrap();
+    assert!(broken.is_error(), "shortcut links trigger navigation errors");
+
+    println!("{out}");
+    mak_bench::write_result("fig1.md", &out);
+}

@@ -1,0 +1,179 @@
+//! Assembles `results/index.html`: a single self-contained page embedding
+//! every generated table (markdown → HTML) and figure (inline SVG), so the
+//! whole reproduction can be reviewed in one browser tab.
+//!
+//! Run the other bench binaries first; this one only collects their
+//! outputs (it warns about anything missing rather than recomputing).
+
+use mak_bench::{results_dir, write_result};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The report sections, in reading order: (title, markdown file, svg files).
+const SECTIONS: &[(&str, &str, &[&str])] = &[
+    ("Table I — crawler components", "table1.md", &[]),
+    ("Fig. 1 — state-abstraction failures", "fig1.md", &[]),
+    (
+        "Fig. 2 — coverage over 30 minutes",
+        "fig2_summary.md",
+        &[
+            "fig2_addressbook.svg",
+            "fig2_drupal.svg",
+            "fig2_hotcrp.svg",
+            "fig2_matomo.svg",
+            "fig2_oscommerce2.svg",
+            "fig2_phpbb2.svg",
+            "fig2_vanilla.svg",
+            "fig2_wordpress.svg",
+        ],
+    ),
+    ("Table II — estimated mean coverage", "table2.md", &["table2.svg"]),
+    ("§V-C — cumulative regret ablation", "ablation.md", &["ablation.svg"]),
+    ("§V-D — interactions per run", "perf.md", &[]),
+    ("Extension — design-choice ablations", "ablation2.md", &[]),
+    ("Extension — budget sensitivity", "sweep.md", &["sweep.svg"]),
+];
+
+fn main() {
+    let dir = results_dir();
+    let mut html = String::from(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>MAK reproduction — results</title>\n<style>\n\
+         body { font-family: system-ui, sans-serif; max-width: 880px; margin: 2rem auto;\n\
+                color: #0b0b0b; background: #fcfcfb; padding: 0 1rem; }\n\
+         h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2.5rem; }\n\
+         table { border-collapse: collapse; margin: 1rem 0; font-size: 0.9rem; }\n\
+         th, td { border: 1px solid #ecebe9; padding: 4px 10px; text-align: left; }\n\
+         th { background: #f4f3f1; }\n\
+         td { font-variant-numeric: tabular-nums; }\n\
+         pre { background: #f4f3f1; padding: 0.75rem; overflow-x: auto; font-size: 0.85rem; }\n\
+         svg { max-width: 100%; height: auto; margin: 0.5rem 0; }\n\
+         .missing { color: #a33; }\n\
+         </style></head><body>\n\
+         <h1>MAK — Multi-Armed Krawler reproduction: results</h1>\n\
+         <p>Generated from <code>results/</code>. Regenerate with the\n\
+         <code>mak-bench</code> binaries; see EXPERIMENTS.md for the\n\
+         paper-vs-measured discussion.</p>\n",
+    );
+
+    for (title, md_file, svgs) in SECTIONS {
+        let _ = writeln!(html, "<h2>{title}</h2>");
+        match std::fs::read_to_string(dir.join(md_file)) {
+            Ok(md) => html.push_str(&markdown_to_html(&md)),
+            Err(_) => {
+                let _ = writeln!(
+                    html,
+                    "<p class=\"missing\">missing {md_file} — run the corresponding bench binary</p>"
+                );
+            }
+        }
+        for svg in *svgs {
+            match std::fs::read_to_string(dir.join(svg)) {
+                Ok(content) => html.push_str(&content),
+                Err(_) => {
+                    let _ = writeln!(html, "<p class=\"missing\">missing {svg}</p>");
+                }
+            }
+        }
+    }
+    html.push_str("</body></html>\n");
+    write_result("index.html", &html);
+    summarize(&dir);
+}
+
+fn summarize(dir: &Path) {
+    let entries = std::fs::read_dir(dir).map(|rd| rd.count()).unwrap_or(0);
+    println!("report assembled from {entries} files in {}", dir.display());
+}
+
+/// A tiny markdown renderer covering exactly what the harness emits:
+/// pipe tables, paragraphs, `code` spans, and **bold**.
+fn markdown_to_html(md: &str) -> String {
+    let mut out = String::new();
+    let mut in_table = false;
+    let mut para: Vec<&str> = Vec::new();
+
+    let flush_para = |para: &mut Vec<&str>, out: &mut String| {
+        if !para.is_empty() {
+            let _ = writeln!(out, "<p>{}</p>", inline(&para.join(" ")));
+            para.clear();
+        }
+    };
+
+    for line in md.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('|') {
+            flush_para(&mut para, &mut out);
+            let cells: Vec<&str> =
+                trimmed.trim_matches('|').split('|').map(str::trim).collect();
+            if cells.iter().all(|c| c.chars().all(|ch| ch == '-' || ch == ':')) {
+                continue; // separator row
+            }
+            if !in_table {
+                out.push_str("<table><tr>");
+                for c in &cells {
+                    let _ = write!(out, "<th>{}</th>", inline(c));
+                }
+                out.push_str("</tr>\n");
+                in_table = true;
+            } else {
+                out.push_str("<tr>");
+                for c in &cells {
+                    let _ = write!(out, "<td>{}</td>", inline(c));
+                }
+                out.push_str("</tr>\n");
+            }
+            continue;
+        }
+        if in_table {
+            out.push_str("</table>\n");
+            in_table = false;
+        }
+        if trimmed.is_empty() {
+            flush_para(&mut para, &mut out);
+        } else if let Some(h) = trimmed.strip_prefix("## ") {
+            flush_para(&mut para, &mut out);
+            let _ = writeln!(out, "<h3>{}</h3>", inline(h));
+        } else if let Some(h) = trimmed.strip_prefix("# ") {
+            flush_para(&mut para, &mut out);
+            let _ = writeln!(out, "<h3>{}</h3>", inline(h));
+        } else {
+            para.push(trimmed);
+        }
+    }
+    if in_table {
+        out.push_str("</table>\n");
+    }
+    flush_para(&mut para, &mut out);
+    out
+}
+
+/// Escapes HTML and renders `**bold**` and `` `code` `` spans.
+fn inline(s: &str) -> String {
+    let escaped = s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;");
+    let mut out = String::new();
+    let mut bold = false;
+    let mut code = false;
+    let mut chars = escaped.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '*' if chars.peek() == Some(&'*') => {
+                chars.next();
+                out.push_str(if bold { "</strong>" } else { "<strong>" });
+                bold = !bold;
+            }
+            '`' => {
+                out.push_str(if code { "</code>" } else { "<code>" });
+                code = !code;
+            }
+            other => out.push(other),
+        }
+    }
+    if bold {
+        out.push_str("</strong>");
+    }
+    if code {
+        out.push_str("</code>");
+    }
+    out
+}

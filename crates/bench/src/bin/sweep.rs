@@ -1,0 +1,84 @@
+//! Budget-sensitivity sweep (extension): coverage as a function of the
+//! crawl budget, 5–60 virtual minutes.
+//!
+//! The paper fixes 30 minutes (§V-A.4, following WebExplor/QExplore); this
+//! sweep asks how sensitive the comparison is to that choice — do the
+//! Q-learning baselines catch up given more time, or is the MAK gap a
+//! plateau difference rather than a speed difference?
+
+use mak::framework::engine::EngineConfig;
+use mak::spec::RL_CRAWLERS;
+use mak_bench::{seeds, threads, write_result};
+use mak_metrics::experiment::{run_matrix, RunMatrix};
+use mak_metrics::plot::{LineChart, Series};
+use mak_metrics::report::{csv, markdown_table};
+use mak_metrics::stats::{mean, sample_std};
+use std::fmt::Write as _;
+
+const BUDGETS_MIN: &[f64] = &[5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0];
+const APP: &str = "drupal";
+
+fn main() {
+    eprintln!(
+        "sweep: {} budgets x {} crawlers x {} seeds on {APP}, {} threads",
+        BUDGETS_MIN.len(),
+        RL_CRAWLERS.len(),
+        seeds(),
+        threads()
+    );
+
+    let mut rows = Vec::new();
+    let mut chart_series: Vec<(String, Vec<(f64, f64)>, Vec<(f64, f64, f64)>)> = RL_CRAWLERS
+        .iter()
+        .map(|c| ((*c).to_owned(), Vec::new(), Vec::new()))
+        .collect();
+
+    for &budget in BUDGETS_MIN {
+        let matrix = RunMatrix::new([APP], RL_CRAWLERS.iter().copied(), seeds())
+            .with_config(EngineConfig::with_budget_minutes(budget));
+        let reports = run_matrix(&matrix, threads());
+        let mut row = vec![format!("{budget:.0}")];
+        for (i, crawler) in RL_CRAWLERS.iter().enumerate() {
+            let lines: Vec<f64> = reports
+                .iter()
+                .filter(|r| &r.crawler == crawler)
+                .map(|r| r.final_lines_covered as f64)
+                .collect();
+            let (m, s) = (mean(&lines), sample_std(&lines));
+            row.push(format!("{m:.0} ± {s:.0}"));
+            chart_series[i].1.push((budget, m));
+            chart_series[i].2.push((budget, m - s, m + s));
+        }
+        rows.push(row);
+    }
+
+    let mut headers = vec!["budget (min)"];
+    headers.extend(RL_CRAWLERS);
+    let table = markdown_table(&headers, &rows);
+
+    let mut chart = LineChart::new(
+        format!("{APP} — coverage vs crawl budget ({} seeds)", seeds()),
+        "budget (virtual minutes)",
+        "server-side lines covered",
+    );
+    for (name, points, band) in chart_series {
+        chart = chart.series(Series { name, points, band });
+    }
+    write_result("sweep.svg", &chart.to_svg());
+
+    let csv_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.split(" ±").next().unwrap_or(c).to_owned()).collect())
+        .collect();
+    write_result("sweep.csv", &csv(&headers, &csv_rows));
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Budget sensitivity on {APP} ({} seeds per cell):\n", seeds());
+    let _ = writeln!(out, "{table}");
+    let _ = writeln!(
+        out,
+        "Reading guide: if the baselines' curves approach MAK's at large budgets, the\n30-minute gap is a speed difference; parallel curves mean a plateau difference."
+    );
+    println!("{out}");
+    write_result("sweep.md", &out);
+}

@@ -1,0 +1,28 @@
+//! Regenerates **Table I**: the component summary of the reviewed RL-based
+//! crawlers and MAK.
+
+use mak::spec::table1;
+use mak_metrics::report::markdown_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = table1()
+        .into_iter()
+        .map(|s| {
+            vec![
+                s.tool.to_owned(),
+                s.state_abstraction.to_owned(),
+                s.action_definition.to_owned(),
+                s.reward.to_owned(),
+                s.policy_update.to_owned(),
+                s.action_selection.to_owned(),
+            ]
+        })
+        .collect();
+    let table = markdown_table(
+        &["Tool", "State Abstraction", "Action Definition", "Reward", "Policy Update", "Action Selection"],
+        &rows,
+    );
+    println!("Table I: Summary of the components of the reviewed RL-based crawlers and MAK.\n");
+    println!("{table}");
+    mak_bench::write_result("table1.md", &table);
+}

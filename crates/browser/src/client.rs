@@ -1,0 +1,381 @@
+//! The black-box browsing client.
+//!
+//! [`Browser`] is the `EXECUTE(p, a)` primitive of the paper's Algorithm 2:
+//! it navigates to URLs, clicks buttons, fills and submits forms, follows
+//! redirects, refuses external domains (§V-A assumption ii), carries the
+//! session cookie, and charges every operation to the virtual clock.
+
+use crate::clock::VirtualClock;
+use crate::cost::CostModel;
+use crate::page::Page;
+use mak_websim::dom::{FieldKind, FormSpec, Interactable};
+use mak_websim::http::{Body, Method, Request, SessionId, Status};
+use mak_websim::server::AppHost;
+use mak_websim::url::Url;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Maximum redirects followed per navigation, as in real browsers.
+const MAX_REDIRECTS: usize = 5;
+
+/// Errors surfaced to crawlers by the browser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrowseError {
+    /// The virtual time budget is exhausted; the run is over.
+    BudgetExhausted,
+    /// The target URL leaves the application's origin; the action is
+    /// invalid per §V-A assumption ii.
+    ExternalDomain(Url),
+}
+
+impl fmt::Display for BrowseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrowseError::BudgetExhausted => write!(f, "virtual time budget exhausted"),
+            BrowseError::ExternalDomain(url) => write!(f, "external domain: {url}"),
+        }
+    }
+}
+
+impl std::error::Error for BrowseError {}
+
+/// Callback invoked with every page the browser renders; see
+/// [`Browser::set_page_observer`].
+pub type PageObserver = Box<dyn FnMut(&Page)>;
+
+/// A black-box browsing client bound to one hosted application.
+pub struct Browser {
+    host: AppHost,
+    origin: Url,
+    cookie: Option<SessionId>,
+    clock: VirtualClock,
+    cost: CostModel,
+    rng: StdRng,
+    interactions: u64,
+    fill_counter: u64,
+    observer: Option<PageObserver>,
+}
+
+impl std::fmt::Debug for Browser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Browser")
+            .field("origin", &self.origin)
+            .field("interactions", &self.interactions)
+            .field("elapsed_ms", &self.clock.elapsed_ms())
+            .field("has_observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Browser {
+    /// Opens a browser against `host` with the default cost model.
+    pub fn new(host: AppHost, clock: VirtualClock, seed: u64) -> Self {
+        Self::with_cost_model(host, clock, seed, CostModel::default())
+    }
+
+    /// Opens a browser with an explicit cost model.
+    pub fn with_cost_model(host: AppHost, clock: VirtualClock, seed: u64, cost: CostModel) -> Self {
+        let origin = host.app().seed_url();
+        Browser {
+            host,
+            origin,
+            cookie: None,
+            clock,
+            cost,
+            rng: StdRng::seed_from_u64(seed),
+            interactions: 0,
+            fill_counter: 0,
+            observer: None,
+        }
+    }
+
+    /// Installs a callback invoked with every rendered page, in fetch
+    /// order — how a scanner shadowing the crawl collects the attack
+    /// surface without altering crawler behaviour.
+    pub fn set_page_observer(&mut self, observer: impl FnMut(&Page) + 'static) {
+        self.observer = Some(Box::new(observer));
+    }
+
+    /// The application's origin (seed URL).
+    pub fn origin(&self) -> &Url {
+        &self.origin
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The cost model in effect, so crawlers can price their own policy
+    /// overhead (see [`CostModel::state_policy_cost`]).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Number of element interactions executed so far — the §V-D metric.
+    pub fn interaction_count(&self) -> u64 {
+        self.interactions
+    }
+
+    /// The hosted application (measurement side).
+    pub fn host(&self) -> &AppHost {
+        &self.host
+    }
+
+    /// Seals the run and returns the host for final measurement.
+    pub fn finish(mut self) -> AppHost {
+        self.host.shutdown();
+        self.host
+    }
+
+    /// Charges policy-decision overhead to the clock (called by the crawl
+    /// engine once per decision; see [`CostModel`]).
+    pub fn charge_policy_overhead(&mut self, ms: f64) {
+        self.clock.advance(ms);
+    }
+
+    /// Loads the application's seed URL — the start of every crawl.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrowseError::BudgetExhausted`] if the budget is spent.
+    pub fn open_seed(&mut self) -> Result<Page, BrowseError> {
+        let seed = self.origin.clone();
+        self.navigate(&seed)
+    }
+
+    /// Navigates to `url` with `GET`, following redirects.
+    ///
+    /// # Errors
+    ///
+    /// - [`BrowseError::BudgetExhausted`] if the budget is spent;
+    /// - [`BrowseError::ExternalDomain`] if `url` leaves the origin.
+    pub fn navigate(&mut self, url: &Url) -> Result<Page, BrowseError> {
+        self.request(Request::get(url.clone()))
+    }
+
+    /// Sends a raw `POST` with an explicit body — the primitive scanners
+    /// use to replay a discovered form with chosen values rather than the
+    /// browser's standard fill.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`navigate`](Self::navigate).
+    pub fn post(&mut self, url: &Url, form: Vec<(String, String)>) -> Result<Page, BrowseError> {
+        self.request(Request::post(url.clone(), form))
+    }
+
+    /// Executes an interactable element: follows a link, clicks a button, or
+    /// fills and submits a form. Counts as one atomic interaction (§V-D).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`navigate`](Self::navigate).
+    pub fn execute(&mut self, action: &Interactable) -> Result<Page, BrowseError> {
+        let result = match action {
+            Interactable::Link { href, .. } => self.request(Request::get(href.clone())),
+            Interactable::Button { target, .. } => {
+                self.request(Request::post(target.clone(), Vec::new()))
+            }
+            Interactable::Form(form) => {
+                let data = self.fill_form(form);
+                match form.method {
+                    Method::Get => {
+                        let mut url = form.action.clone();
+                        for (k, v) in data {
+                            url = url.with_query(k, v);
+                        }
+                        self.request(Request::get(url))
+                    }
+                    Method::Post => self.request(Request::post(form.action.clone(), data)),
+                }
+            }
+        };
+        if result.is_ok() {
+            self.interactions += 1;
+        }
+        result
+    }
+
+    /// Fills a form the way the unified framework does for all crawlers
+    /// (§V-A assumption i): generated strings for text fields, echoed hidden
+    /// values, the first option for selects, a fixed password.
+    fn fill_form(&mut self, form: &FormSpec) -> Vec<(String, String)> {
+        use rand::Rng as _;
+        let mut data = Vec::with_capacity(form.fields.len());
+        for field in &form.fields {
+            self.fill_counter += 1;
+            let value = match &field.kind {
+                // Unique within the run (counter) and across runs (seeded
+                // salt): different runs submit different values, so
+                // input-dependent server branches vary per seed — the
+                // run-to-run diversity behind the §V-B union ground truth.
+                FieldKind::Text => {
+                    format!("input{}-{:04x}", self.fill_counter, self.rng.gen::<u16>())
+                }
+                FieldKind::Hidden(v) => v.clone(),
+                FieldKind::Select(options) => {
+                    options.first().cloned().unwrap_or_default()
+                }
+                FieldKind::Password => "password123".to_owned(),
+            };
+            data.push((field.name.clone(), value));
+        }
+        data
+    }
+
+    fn request(&mut self, mut req: Request) -> Result<Page, BrowseError> {
+        if self.clock.expired() {
+            return Err(BrowseError::BudgetExhausted);
+        }
+        if !req.url.same_origin(&self.origin) {
+            return Err(BrowseError::ExternalDomain(req.url));
+        }
+        let mut hops = 0;
+        loop {
+            req.session = self.cookie;
+            let resp = self.host.fetch(&req);
+            if resp.session.is_some() {
+                self.cookie = resp.session;
+            }
+            let latency = self.host.app().base_latency_ms();
+            match resp.body {
+                Body::Redirect(location) => {
+                    // Redirect hop: charge a headers-only round trip.
+                    self.clock.advance(latency * 0.5);
+                    hops += 1;
+                    if hops > MAX_REDIRECTS || !location.same_origin(&self.origin) {
+                        return Ok(Page::empty(Status::ServerError, location));
+                    }
+                    req = Request::get(location);
+                }
+                Body::Html(doc) => {
+                    let page = Page::from_document(resp.status, doc);
+                    let cost =
+                        self.cost.fetch_cost(&mut self.rng, latency, page.interactables().len());
+                    self.clock.advance(cost);
+                    if let Some(observer) = &mut self.observer {
+                        observer(&page);
+                    }
+                    return Ok(page);
+                }
+                Body::Empty => {
+                    let cost = self.cost.fetch_cost(&mut self.rng, latency, 0);
+                    self.clock.advance(cost);
+                    let page = Page::empty(resp.status, req.url);
+                    if let Some(observer) = &mut self.observer {
+                        observer(&page);
+                    }
+                    return Ok(page);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mak_websim::apps;
+
+    fn browser(app: &str, budget_min: f64) -> Browser {
+        let host = AppHost::new(apps::build(app).expect("known app"));
+        Browser::new(host, VirtualClock::with_budget_minutes(budget_min), 7)
+    }
+
+    #[test]
+    fn open_seed_charges_time_and_returns_elements() {
+        let mut b = browser("addressbook", 30.0);
+        let page = b.open_seed().unwrap();
+        assert!(!page.interactables().is_empty());
+        assert!(b.clock().elapsed_ms() > 0.0);
+        assert_eq!(b.interaction_count(), 0, "bare navigation is not an interaction");
+    }
+
+    #[test]
+    fn execute_link_counts_interaction() {
+        let mut b = browser("addressbook", 30.0);
+        let page = b.open_seed().unwrap();
+        let origin = b.origin().clone();
+        let link = page
+            .valid_interactables(&origin)
+            .find(|i| matches!(i, Interactable::Link { .. }))
+            .cloned()
+            .unwrap();
+        let next = b.execute(&link).unwrap();
+        assert_eq!(b.interaction_count(), 1);
+        assert_eq!(next.status(), Status::Ok);
+    }
+
+    #[test]
+    fn external_navigation_is_rejected() {
+        let mut b = browser("addressbook", 30.0);
+        let err = b.navigate(&"http://evil.example/".parse().unwrap()).unwrap_err();
+        assert!(matches!(err, BrowseError::ExternalDomain(_)));
+        assert_eq!(b.interaction_count(), 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_navigation() {
+        let host = AppHost::new(apps::build("addressbook").unwrap());
+        let mut b = Browser::new(host, VirtualClock::new(1.0), 7);
+        // First fetch may still run (budget not yet spent)...
+        let _ = b.open_seed().unwrap();
+        // ...but afterwards the clock has advanced past 1ms.
+        let err = b.open_seed().unwrap_err();
+        assert_eq!(err, BrowseError::BudgetExhausted);
+    }
+
+    #[test]
+    fn session_cookie_persists_across_requests() {
+        let mut b = browser("oscommerce2", 30.0);
+        b.open_seed().unwrap();
+        b.navigate(&"http://oscommerce.local/cart".parse().unwrap()).unwrap();
+        b.navigate(&"http://oscommerce.local/cart".parse().unwrap()).unwrap();
+        assert_eq!(b.host().session_count(), 1, "one session reused");
+    }
+
+    #[test]
+    fn form_submission_reaches_server_state() {
+        let mut b = browser("drupal", 30.0);
+        let trap = b.navigate(&"http://drupal.local/shortcuts".parse().unwrap()).unwrap();
+        let origin = b.origin().clone();
+        let form = trap
+            .valid_interactables(&origin)
+            .find(|i| matches!(i, Interactable::Form(_)))
+            .cloned()
+            .expect("trap page has a form");
+        let before = trap.interactables().len();
+        let after_page = b.execute(&form).unwrap();
+        assert_eq!(
+            after_page.interactables().len(),
+            before + 1,
+            "trap form adds a broken link"
+        );
+    }
+
+    #[test]
+    fn filled_text_fields_are_unique_per_submission() {
+        let mut b = browser("wordpress", 30.0);
+        let page = b.navigate(&"http://wordpress.local/search".parse().unwrap()).unwrap();
+        let origin = b.origin().clone();
+        let form = page
+            .valid_interactables(&origin)
+            .find(|i| matches!(i, Interactable::Form(_)))
+            .cloned()
+            .unwrap();
+        let r1 = b.execute(&form).unwrap();
+        let r2 = b.execute(&form).unwrap();
+        assert_ne!(r1.url(), r2.url(), "distinct generated queries yield distinct URLs");
+    }
+
+    #[test]
+    fn finish_seals_coverage() {
+        let mut b = browser("actual", 30.0);
+        b.open_seed().unwrap();
+        let host = b.finish();
+        assert!(host.tracker().is_sealed());
+        assert!(host.tracker().observe_lines_covered().unwrap() > 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # mak-browser — the black-box client driving simulated applications
+//!
+//! The paper's crawlers sit behind a browser: they see rendered pages,
+//! extract interactable elements, and execute interactions, with every
+//! operation costing wall-clock time against the 30-minute budget (§V-A.4).
+//! This crate provides that client for [`mak_websim`] applications:
+//!
+//! - [`clock`] — a virtual clock measuring the experiment budget in
+//!   simulated milliseconds, making runs deterministic and fast;
+//! - [`cost`] — the latency model charging page loads, client-side think
+//!   time, and per-crawler policy overhead;
+//! - [`page`] — the crawler-visible snapshot of a fetched page;
+//! - [`client`] — the [`Browser`](client::Browser): navigation, link
+//!   following, button clicks, form filling, redirect handling, and
+//!   external-domain filtering (§V-A assumption ii).
+//!
+//! ## Example
+//!
+//! ```
+//! use mak_browser::client::Browser;
+//! use mak_browser::clock::VirtualClock;
+//! use mak_websim::apps;
+//! use mak_websim::server::AppHost;
+//!
+//! let host = AppHost::new(apps::build("addressbook").expect("known app"));
+//! let clock = VirtualClock::with_budget_minutes(30.0);
+//! let mut browser = Browser::new(host, clock, 42);
+//! let page = browser.open_seed();
+//! assert!(page.is_ok());
+//! assert!(browser.clock().elapsed_ms() > 0.0, "fetching costs time");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod clock;
+pub mod cost;
+pub mod page;

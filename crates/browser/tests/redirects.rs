@@ -1,0 +1,127 @@
+//! Redirect handling against a purpose-built application: chains within
+//! the cap are followed transparently; loops and external redirects are
+//! cut off rather than followed forever.
+
+use mak_browser::client::Browser;
+use mak_browser::clock::VirtualClock;
+use mak_websim::coverage::{Block, CodeModel, CoverageMode};
+use mak_websim::dom::{Document, Element, Tag};
+use mak_websim::http::{Request, Response, Status};
+use mak_websim::server::{AppHost, RequestCtx, WebApp};
+use mak_websim::url::Url;
+
+/// Routes: `/` (page), `/chain/<n>` redirects to `/chain/<n-1>` down to
+/// `/chain/0` (page), `/loop` redirects to itself, `/out` redirects to an
+/// external domain.
+struct RedirectMaze {
+    model: CodeModel,
+    block: Block,
+}
+
+impl RedirectMaze {
+    fn new() -> Self {
+        let mut model = CodeModel::new();
+        let file = model.declare_file("maze.php", 10);
+        RedirectMaze { model, block: Block { file, start: 1, end: 10 } }
+    }
+}
+
+impl WebApp for RedirectMaze {
+    fn name(&self) -> &str {
+        "maze"
+    }
+
+    fn seed_url(&self) -> Url {
+        Url::new("maze.local", "/")
+    }
+
+    fn code_model(&self) -> &CodeModel {
+        &self.model
+    }
+
+    fn coverage_mode(&self) -> CoverageMode {
+        CoverageMode::Live
+    }
+
+    fn handle(&self, req: &Request, ctx: &mut RequestCtx<'_>) -> Response {
+        ctx.execute(self.block);
+        let path = req.url.path();
+        if let Some(n) = path.strip_prefix("/chain/").and_then(|n| n.parse::<u32>().ok()) {
+            return if n == 0 {
+                Response::html(Document::new(
+                    req.url.clone(),
+                    "end of chain",
+                    Element::new(Tag::Body).child(Element::new(Tag::A).attr("href", "/")),
+                ))
+            } else {
+                Response::redirect(Url::new("maze.local", format!("/chain/{}", n - 1)))
+            };
+        }
+        match path {
+            "/loop" => Response::redirect(Url::new("maze.local", "/loop")),
+            "/out" => Response::redirect("http://elsewhere.example/".parse().unwrap()),
+            _ => Response::html(Document::new(
+                req.url.clone(),
+                "home",
+                Element::new(Tag::Body)
+                    .child(Element::new(Tag::A).attr("href", "/chain/3"))
+                    .child(Element::new(Tag::A).attr("href", "/loop"))
+                    .child(Element::new(Tag::A).attr("href", "/out")),
+            )),
+        }
+    }
+}
+
+fn browser() -> Browser {
+    Browser::new(
+        AppHost::new(Box::new(RedirectMaze::new())),
+        VirtualClock::with_budget_minutes(30.0),
+        1,
+    )
+}
+
+#[test]
+fn short_chains_are_followed_to_the_end() {
+    let mut b = browser();
+    let page = b.navigate(&"http://maze.local/chain/3".parse().unwrap()).unwrap();
+    assert_eq!(page.status(), Status::Ok);
+    assert_eq!(page.url().path(), "/chain/0", "final URL is the chain end");
+    assert_eq!(page.title(), "end of chain");
+}
+
+#[test]
+fn redirect_loops_are_cut_off() {
+    let mut b = browser();
+    let before = b.clock().elapsed_ms();
+    let page = b.navigate(&"http://maze.local/loop".parse().unwrap()).unwrap();
+    assert_eq!(page.status(), Status::ServerError, "loop surfaces as an error page");
+    assert!(page.interactables().is_empty());
+    // Each followed hop was charged, so the loop consumed bounded time.
+    let spent = b.clock().elapsed_ms() - before;
+    assert!(spent < 10_000.0, "bounded hops: {spent}ms");
+}
+
+#[test]
+fn redirects_to_external_domains_are_not_followed() {
+    let mut b = browser();
+    let page = b.navigate(&"http://maze.local/out".parse().unwrap()).unwrap();
+    assert_eq!(page.status(), Status::ServerError);
+    assert!(!page.url().same_origin(&"http://maze.local/".parse().unwrap()));
+    // The external host was never contacted (the simulator would have
+    // answered 404 for a foreign host; the browser refused before that).
+    assert!(page.document().is_none());
+}
+
+#[test]
+fn redirect_hops_cost_less_than_full_loads() {
+    let mut b = browser();
+    b.navigate(&"http://maze.local/".parse().unwrap()).unwrap();
+    let t0 = b.clock().elapsed_ms();
+    b.navigate(&"http://maze.local/chain/1".parse().unwrap()).unwrap();
+    let one_hop = b.clock().elapsed_ms() - t0;
+    let t1 = b.clock().elapsed_ms();
+    b.navigate(&"http://maze.local/chain/0".parse().unwrap()).unwrap();
+    let direct = b.clock().elapsed_ms() - t1;
+    assert!(one_hop > direct, "a hop adds latency: {one_hop} vs {direct}");
+    assert!(one_hop < direct * 3.0, "but only a headers-only round trip");
+}

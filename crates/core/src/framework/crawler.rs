@@ -1,0 +1,70 @@
+//! The crawler interface.
+
+use mak_browser::client::Browser;
+use mak_browser::cost::CostModel;
+use std::fmt;
+
+/// Why a crawl step could not be performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrawlEnd {
+    /// The virtual time budget is exhausted; the run is over.
+    BudgetExhausted,
+    /// The crawler has no executable action left anywhere (degenerate
+    /// applications only — the engine stops the run).
+    Stuck,
+}
+
+impl fmt::Display for CrawlEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrawlEnd::BudgetExhausted => write!(f, "time budget exhausted"),
+            CrawlEnd::Stuck => write!(f, "no executable actions remain"),
+        }
+    }
+}
+
+/// What one successful step did, for tracing and tests.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Human-readable label of the chosen action (e.g. `"Head"`, an element
+    /// signature, …).
+    pub action: String,
+    /// The reward fed to the policy for this step, if the crawler learns.
+    pub reward: Option<f64>,
+}
+
+/// A web crawler runnable by the [engine](crate::framework::engine).
+///
+/// One [`step`](Crawler::step) performs one decision and (normally) one
+/// atomic element interaction via the [`Browser`]. Implementations manage
+/// their own restarts (re-opening the seed URL when their trajectory dead-
+/// ends), mirroring how the paper's tools run unattended for 30 minutes.
+pub trait Crawler {
+    /// Short identifier: `"mak"`, `"webexplor"`, `"qexplore"`, `"bfs"`, …
+    fn name(&self) -> &str;
+
+    /// Performs one decision + interaction.
+    ///
+    /// # Errors
+    ///
+    /// [`CrawlEnd::BudgetExhausted`] when the browser refuses further
+    /// navigation; [`CrawlEnd::Stuck`] when no executable action remains.
+    fn step(&mut self, browser: &mut Browser) -> Result<StepReport, CrawlEnd>;
+
+    /// The per-decision policy overhead this crawler pays (§V-D): state-
+    /// based crawlers' abstraction and similarity machinery scales with
+    /// their state table, stateless MAK pays a constant.
+    fn policy_overhead_ms(&self, cost: &CostModel) -> f64 {
+        cost.stateless_policy_cost()
+    }
+
+    /// Number of abstracted states created so far, for state-based
+    /// crawlers; `None` for stateless ones.
+    fn state_count(&self) -> Option<usize> {
+        None
+    }
+
+    /// Number of distinct same-origin URLs observed so far (link coverage,
+    /// §IV-C).
+    fn distinct_urls(&self) -> usize;
+}

@@ -1,0 +1,263 @@
+//! The crawl engine: runs a crawler against a hosted application under the
+//! virtual time budget and produces a measurable report.
+//!
+//! The engine is the outer loop of Algorithm 2 plus the measurement stack
+//! of §V-A: it deploys the application ([`AppHost`]), wraps it in a
+//! [`Browser`] with a [`VirtualClock`], charges per-decision policy
+//! overhead, and samples the live coverage time series that Fig. 2 plots.
+
+use crate::framework::crawler::{CrawlEnd, Crawler};
+use mak_browser::client::Browser;
+use mak_browser::clock::VirtualClock;
+use mak_browser::cost::CostModel;
+use mak_websim::coverage::CoverageMode;
+use mak_websim::server::{AppHost, WebApp};
+use serde::{Deserialize, Serialize};
+
+/// Engine parameters for one run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Virtual time budget in minutes (the paper uses 30, §V-A.4).
+    pub budget_minutes: f64,
+    /// Live-coverage sampling interval in seconds (Fig. 2 granularity).
+    pub sample_interval_secs: f64,
+    /// The browser-side cost model.
+    pub cost: CostModel,
+    /// When true, every step's action and reward is recorded in
+    /// [`CrawlReport::trace`] — useful for debugging crawler behaviour,
+    /// at some memory cost.
+    pub record_trace: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            budget_minutes: 30.0,
+            sample_interval_secs: 30.0,
+            cost: CostModel::default(),
+            record_trace: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with the given budget and default sampling/costs.
+    pub fn with_budget_minutes(minutes: f64) -> Self {
+        EngineConfig { budget_minutes: minutes, ..Default::default() }
+    }
+}
+
+/// One recorded step of a traced crawl (see [`EngineConfig::record_trace`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Virtual seconds at which the step completed.
+    pub secs: f64,
+    /// The crawler's action label (an arm name or element signature).
+    pub action: String,
+    /// The reward fed to the policy, if the crawler learns.
+    pub reward: Option<f64>,
+}
+
+/// One point of the live coverage time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverageSample {
+    /// Virtual seconds since the start of the run.
+    pub secs: f64,
+    /// Server-side lines covered at that instant.
+    pub lines: u64,
+}
+
+/// The measurable outcome of one crawl run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrawlReport {
+    /// Crawler identifier.
+    pub crawler: String,
+    /// Application identifier.
+    pub app: String,
+    /// Seed of the run.
+    pub seed: u64,
+    /// Atomic element interactions performed (§V-D metric).
+    pub interactions: u64,
+    /// Lines covered at the end of the run.
+    pub final_lines_covered: u64,
+    /// Total declared server-side lines (coverage-node style denominator).
+    pub total_declared_lines: u64,
+    /// Live coverage samples (empty for final-mode applications, mirroring
+    /// coverage-node's inability to observe mid-run coverage).
+    pub coverage_series: Vec<CoverageSample>,
+    /// Every covered `(file_index, line)` pair, for union ground-truth
+    /// estimation (§V-B).
+    pub covered_lines: Vec<(u32, u32)>,
+    /// Distinct same-origin URLs gathered (link coverage, §IV-C).
+    pub distinct_urls: usize,
+    /// Abstracted states created, for state-based crawlers.
+    pub state_count: Option<usize>,
+    /// Virtual seconds actually consumed.
+    pub elapsed_secs: f64,
+    /// Per-step trace, populated only under [`EngineConfig::record_trace`].
+    pub trace: Vec<TraceEntry>,
+}
+
+/// Runs `crawler` on `app` for the configured budget.
+///
+/// The run is deterministic in `(crawler state, app, seed, config)`.
+///
+/// # Examples
+///
+/// ```
+/// use mak::framework::engine::{run_crawl, EngineConfig};
+/// use mak::baselines::StaticCrawler;
+/// use mak_websim::apps;
+///
+/// let mut bfs = StaticCrawler::bfs(1);
+/// let report = run_crawl(&mut bfs, apps::build("addressbook").unwrap(),
+///                        &EngineConfig::with_budget_minutes(1.0), 1);
+/// assert!(report.interactions > 0);
+/// ```
+pub fn run_crawl(
+    crawler: &mut dyn Crawler,
+    app: Box<dyn WebApp>,
+    config: &EngineConfig,
+    seed: u64,
+) -> CrawlReport {
+    let app_name = app.name().to_owned();
+    let live = app.coverage_mode() == CoverageMode::Live;
+    let host = AppHost::new(app);
+    let clock = VirtualClock::with_budget_minutes(config.budget_minutes);
+    let mut browser = Browser::with_cost_model(host, clock, seed, config.cost.clone());
+
+    let mut series = Vec::new();
+    let mut next_sample = 0.0;
+    let mut trace = Vec::new();
+
+    loop {
+        if browser.clock().expired() {
+            break;
+        }
+        browser.charge_policy_overhead(crawler.policy_overhead_ms(browser.cost_model()));
+        match crawler.step(&mut browser) {
+            Ok(step) => {
+                if config.record_trace {
+                    trace.push(TraceEntry {
+                        secs: browser.clock().elapsed_secs(),
+                        action: step.action,
+                        reward: step.reward,
+                    });
+                }
+            }
+            Err(CrawlEnd::BudgetExhausted) | Err(CrawlEnd::Stuck) => break,
+        }
+        if live {
+            let now = browser.clock().elapsed_secs();
+            while next_sample <= now {
+                series.push(CoverageSample {
+                    secs: next_sample,
+                    lines: browser.host().harness_lines_covered(),
+                });
+                next_sample += config.sample_interval_secs;
+            }
+        }
+    }
+
+    let interactions = browser.interaction_count();
+    let elapsed_secs = browser.clock().elapsed_secs();
+    let host = browser.finish();
+    let tracker = host.tracker();
+    let covered_lines: Vec<(u32, u32)> =
+        tracker.covered_lines().map(|(f, l)| (f.index(), l)).collect();
+
+    CrawlReport {
+        crawler: crawler.name().to_owned(),
+        app: app_name,
+        seed,
+        interactions,
+        final_lines_covered: tracker.lines_covered_unchecked(),
+        total_declared_lines: host.app().code_model().total_lines(),
+        coverage_series: series,
+        covered_lines,
+        distinct_urls: crawler.distinct_urls(),
+        state_count: crawler.state_count(),
+        elapsed_secs,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::StaticCrawler;
+    use mak_websim::apps;
+
+    fn short() -> EngineConfig {
+        EngineConfig::with_budget_minutes(2.0)
+    }
+
+    #[test]
+    fn run_produces_consistent_report() {
+        let mut c = StaticCrawler::bfs(3);
+        let report = run_crawl(&mut c, apps::build("addressbook").unwrap(), &short(), 3);
+        assert_eq!(report.crawler, "bfs");
+        assert_eq!(report.app, "addressbook");
+        assert!(report.interactions > 10);
+        assert!(report.final_lines_covered > 0);
+        assert_eq!(report.covered_lines.len() as u64, report.final_lines_covered);
+        assert!(report.distinct_urls > 0);
+        assert!(report.elapsed_secs >= 120.0 * 0.9);
+    }
+
+    #[test]
+    fn live_apps_yield_time_series_final_apps_do_not() {
+        let mut c = StaticCrawler::bfs(3);
+        let live = run_crawl(&mut c, apps::build("addressbook").unwrap(), &short(), 3);
+        assert!(!live.coverage_series.is_empty());
+        let mut c2 = StaticCrawler::bfs(3);
+        let fin = run_crawl(&mut c2, apps::build("retroboard").unwrap(), &short(), 3);
+        assert!(fin.coverage_series.is_empty(), "coverage-node cannot sample mid-run");
+        assert!(fin.final_lines_covered > 0);
+    }
+
+    #[test]
+    fn coverage_series_is_monotone() {
+        let mut c = StaticCrawler::random(9);
+        let report = run_crawl(&mut c, apps::build("vanilla").unwrap(), &short(), 9);
+        for w in report.coverage_series.windows(2) {
+            assert!(w[1].lines >= w[0].lines);
+            assert!(w[1].secs > w[0].secs);
+        }
+    }
+
+    #[test]
+    fn trace_is_recorded_only_when_asked() {
+        let mut c = StaticCrawler::bfs(4);
+        let untraced = run_crawl(&mut c, apps::build("addressbook").unwrap(), &short(), 4);
+        assert!(untraced.trace.is_empty());
+
+        let mut cfg = short();
+        cfg.record_trace = true;
+        let mut c = StaticCrawler::bfs(4);
+        let traced = run_crawl(&mut c, apps::build("addressbook").unwrap(), &cfg, 4);
+        assert_eq!(traced.trace.len() as u64, traced.interactions);
+        for w in traced.trace.windows(2) {
+            assert!(w[1].secs >= w[0].secs, "trace times are monotone");
+        }
+        assert!(traced.trace.iter().all(|t| t.action == "Head"), "bfs always plays Head");
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let run = |seed| {
+            let mut c = StaticCrawler::random(seed);
+            run_crawl(&mut c, apps::build("phpbb2").unwrap(), &short(), seed)
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.final_lines_covered, b.final_lines_covered);
+        assert_eq!(a.interactions, b.interactions);
+        assert_eq!(a.distinct_urls, b.distinct_urls);
+        let c = run(6);
+        assert!(
+            c.final_lines_covered != a.final_lines_covered || c.interactions != a.interactions,
+            "different seeds should (almost surely) differ"
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! The generic RL web-crawling framework (Algorithm 2 of the paper).
+//!
+//! Algorithm 2 factors any RL crawler into building blocks — `GET_STATE`,
+//! `GET_ACTIONS`, `CHOOSE_ACTION`, `EXECUTE`, `GET_REWARD`,
+//! `UPDATE_POLICY` — driven by one loop under a time budget. Here:
+//!
+//! - [`crawler`] defines the [`Crawler`](crawler::Crawler) interface every
+//!   crawler implements (one `step` = one decision + one interaction);
+//! - [`linklog`] tracks the distinct URLs observed during a crawl, the
+//!   quantity behind MAK's link-coverage reward (§IV-C) and the
+//!   `distinct_urls` statistic of every report;
+//! - [`engine`] runs a crawler against a hosted application, charges policy
+//!   overhead, samples the live coverage time series (Fig. 2), and
+//!   assembles the [`CrawlReport`](engine::CrawlReport).
+
+pub mod crawler;
+pub mod engine;
+pub mod linklog;
+pub mod qcrawler;

@@ -1,0 +1,44 @@
+//! # mak — Multi-Armed Krawler and its baselines
+//!
+//! This crate is the reproduction of the paper's primary contribution:
+//! **MAK**, a *stateless* web crawler that learns how to interleave the
+//! three classical navigation strategies (BFS, DFS, Random) by treating
+//! crawling as an Adversarial Multi-Armed Bandit problem solved with
+//! Exp3.1, rewarded by standardized link-coverage increments (§IV).
+//!
+//! Like the paper's unified evaluation framework (§V-A.1), the crate also
+//! implements the competing crawlers from the same building blocks, so the
+//! comparison isolates the RL formulation rather than engineering details:
+//!
+//! - [`webexplor`] — Q-learning over URL + HTML-tag-sequence states with a
+//!   curiosity reward and Gumbel-softmax selection;
+//! - [`qexplore`] — Q-learning over interactable-attribute-value states
+//!   with a modified update and deterministic arg-max selection;
+//! - [`baselines`] — non-learning BFS / DFS / Random crawlers, realised by
+//!   pinning MAK's arm (§V-C);
+//! - [`framework`] — the generic RL crawling loop of Algorithm 2 and the
+//!   crawl engine that runs any crawler under the virtual time budget;
+//! - [`spec`] — the Table I component summary, as data.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mak::framework::engine::{run_crawl, EngineConfig};
+//! use mak::mak::MakCrawler;
+//! use mak_websim::apps;
+//!
+//! let mut crawler = MakCrawler::new(42);
+//! let app = apps::build("addressbook").expect("known app");
+//! let report = run_crawl(&mut crawler, app, &EngineConfig::with_budget_minutes(2.0), 42);
+//! assert!(report.final_lines_covered > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod framework;
+pub mod mak;
+pub mod qexplore;
+pub mod spec;
+pub mod webexplor;

@@ -1,0 +1,19 @@
+//! Multi-Armed Krawler (MAK) — the paper's contribution (§IV).
+//!
+//! MAK is *stateless*: it never abstracts pages into states. Its three
+//! actions — [`Arm::Head`], [`Arm::Tail`], [`Arm::Random`] — operate on a
+//! global [leveled deque](deque::LeveledDeque) of interactable elements and
+//! emulate BFS, DFS, and random navigation respectively (§IV-B). An
+//! [Exp3.1](mak_bandit::exp31::Exp31) policy learns how to interleave them,
+//! rewarded by the standardized increment in link coverage squashed to
+//! `[0, 1]` (§IV-C/D).
+
+pub mod crawler;
+pub mod deque;
+pub mod ensemble;
+pub mod policy;
+
+pub use crawler::MakCrawler;
+pub use ensemble::EnsembleCrawler;
+pub use deque::{Arm, LeveledDeque};
+pub use policy::{ArmPolicy, RewardKind};

@@ -1,0 +1,140 @@
+//! Behavioral integration tests across all crawler implementations:
+//! restart handling, error-page survival, trap resistance, and the
+//! level-discipline of the shared pool.
+
+use mak::framework::crawler::Crawler;
+use mak::framework::engine::{run_crawl, EngineConfig};
+use mak::mak::MakCrawler;
+use mak::spec::{build_crawler, CRAWLER_NAMES};
+use mak_browser::client::Browser;
+use mak_browser::clock::VirtualClock;
+use mak_websim::apps;
+use mak_websim::server::AppHost;
+
+fn browser(app: &str, minutes: f64, seed: u64) -> Browser {
+    let host = AppHost::new(apps::build(app).unwrap());
+    Browser::new(host, VirtualClock::with_budget_minutes(minutes), seed)
+}
+
+/// Every crawler keeps making progress on an app that serves transient 500
+/// errors (Drupal's `flaky_every` deployment) — nobody wedges on an error
+/// page.
+#[test]
+fn crawlers_survive_transient_server_errors() {
+    for name in CRAWLER_NAMES {
+        let mut c = build_crawler(name, 2).unwrap();
+        let report = run_crawl(
+            &mut *c,
+            apps::build("drupal").unwrap(),
+            &EngineConfig::with_budget_minutes(3.0),
+            2,
+        );
+        assert!(report.interactions > 30, "{name} kept crawling through 500s");
+        assert!(report.final_lines_covered > 1_000, "{name} covered code");
+    }
+}
+
+/// The Drupal mutating trap never captures a crawler: the trap page can be
+/// interacted with at most `max_links + 1` times profitably, and everyone
+/// keeps exploring past it.
+#[test]
+fn mutating_trap_does_not_capture_crawlers() {
+    for name in ["mak", "webexplor", "qexplore", "dfs"] {
+        let mut c = build_crawler(name, 3).unwrap();
+        let report = run_crawl(
+            &mut *c,
+            apps::build("drupal").unwrap(),
+            &EngineConfig::with_budget_minutes(5.0),
+            3,
+        );
+        // A captured crawler would sit on /shortcuts and discover almost
+        // nothing; a healthy one gathers hundreds of URLs in 5 minutes.
+        assert!(report.distinct_urls > 100, "{name}: {} URLs", report.distinct_urls);
+    }
+}
+
+/// Login-gated areas (HotCRP's PC area) are reached by every crawler: the
+/// standard form fill carries the demo credentials.
+#[test]
+fn auth_areas_are_eventually_entered() {
+    let reference = apps::build("hotcrp").unwrap();
+    let model = reference.code_model();
+    let pc_file = model.find_file("modules/pc.php").expect("pc module exists");
+    let declared = model.file_lines(pc_file).unwrap();
+    let mut c = MakCrawler::new(4);
+    let report = run_crawl(
+        &mut c,
+        apps::build("hotcrp").unwrap(),
+        &EngineConfig::with_budget_minutes(30.0),
+        4,
+    );
+    let pc_lines =
+        report.covered_lines.iter().filter(|(f, _)| *f == pc_file.index()).count() as u32;
+    assert!(
+        pc_lines > declared / 3,
+        "login should open most of the gated area: {pc_lines}/{declared}"
+    );
+}
+
+/// MAK's pool discipline: the lowest level is always drained before any
+/// higher level is touched (the §IV-B curiosity-in-action-space invariant),
+/// observable as monotone level growth on a small app.
+#[test]
+fn level_zero_drains_before_reinteraction() {
+    let mut b = browser("addressbook", 30.0, 5);
+    let mut c = MakCrawler::new(5);
+    let mut saw_level1_popped = false;
+    for _ in 0..400 {
+        let level0_before = c.deque().level_len(0);
+        if c.step(&mut b).is_err() {
+            break;
+        }
+        if level0_before == 0 && c.deque().level_count() >= 2 {
+            saw_level1_popped = true;
+        } else if saw_level1_popped {
+            // Once level 0 drained, new discoveries may refill it — but a
+            // non-empty level 0 must again be consumed first. The deque's
+            // pop-from-lowest property guarantees this by construction;
+            // here we just confirm the crawl exercises both phases.
+        }
+    }
+    assert!(saw_level1_popped, "the crawl should exhaust level 0 and recycle");
+}
+
+/// Node.js-style apps (final coverage) still produce full reports from all
+/// crawlers, just without the live series.
+#[test]
+fn final_mode_apps_work_for_every_crawler() {
+    for name in CRAWLER_NAMES {
+        let mut c = build_crawler(name, 6).unwrap();
+        let report = run_crawl(
+            &mut *c,
+            apps::build("actual").unwrap(),
+            &EngineConfig::with_budget_minutes(2.0),
+            6,
+        );
+        assert!(report.coverage_series.is_empty(), "{name}");
+        assert!(report.final_lines_covered > 0, "{name}");
+        assert_eq!(report.covered_lines.len() as u64, report.final_lines_covered, "{name}");
+    }
+}
+
+/// The ensemble and all registered variants run end-to-end on a mid-size
+/// app without panicking and with sane outputs.
+#[test]
+fn variants_and_ensembles_run_end_to_end() {
+    let mut names: Vec<String> =
+        mak::spec::MAK_VARIANTS.iter().map(|s| (*s).to_owned()).collect();
+    names.push("mak-ensemble3".to_owned());
+    for name in names {
+        let mut c = build_crawler(&name, 7).unwrap_or_else(|| panic!("build {name}"));
+        let report = run_crawl(
+            &mut *c,
+            apps::build("vanilla").unwrap(),
+            &EngineConfig::with_budget_minutes(2.0),
+            7,
+        );
+        assert!(report.final_lines_covered > 500, "{name}: {}", report.final_lines_covered);
+        assert!(report.interactions > 10, "{name}");
+    }
+}

@@ -1,0 +1,151 @@
+//! The run-matrix executor: apps × crawlers × seeds.
+//!
+//! §V-A.4: "Each experiment consists of running the crawler on a web
+//! application for 30 minutes […]. We repeat the experiments for each pair
+//! of crawlers and web applications for 10 times." A [`RunMatrix`] captures
+//! that grid; [`run_matrix`] executes it across worker threads. Every run is
+//! deterministic in its `(app, crawler, seed)` triple, so repetitions are
+//! just seeds `0..n`.
+
+use mak::framework::engine::{run_crawl, CrawlReport, EngineConfig};
+use mak::spec::build_crawler;
+use mak_websim::apps;
+use std::sync::Mutex;
+
+/// The experiment grid.
+#[derive(Debug, Clone)]
+pub struct RunMatrix {
+    /// Application names (see [`mak_websim::apps::build`]).
+    pub apps: Vec<String>,
+    /// Crawler names (see [`mak::spec::build_crawler`]).
+    pub crawlers: Vec<String>,
+    /// Number of repetitions; runs use seeds `0..seeds`.
+    pub seeds: u64,
+    /// Engine configuration shared by all runs.
+    pub config: EngineConfig,
+}
+
+impl RunMatrix {
+    /// Builds a matrix with the default 30-minute engine configuration.
+    pub fn new<A, C>(apps: A, crawlers: C, seeds: u64) -> Self
+    where
+        A: IntoIterator,
+        A::Item: Into<String>,
+        C: IntoIterator,
+        C::Item: Into<String>,
+    {
+        RunMatrix {
+            apps: apps.into_iter().map(Into::into).collect(),
+            crawlers: crawlers.into_iter().map(Into::into).collect(),
+            seeds,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Overrides the engine configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Total number of runs in the grid.
+    pub fn run_count(&self) -> usize {
+        self.apps.len() * self.crawlers.len() * self.seeds as usize
+    }
+}
+
+/// Executes one cell of the matrix.
+///
+/// # Panics
+///
+/// Panics on unknown app or crawler names — a configuration error worth
+/// failing loudly on.
+pub fn run_one(app: &str, crawler: &str, seed: u64, config: &EngineConfig) -> CrawlReport {
+    let app_model = apps::build(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let mut c =
+        build_crawler(crawler, seed).unwrap_or_else(|| panic!("unknown crawler {crawler}"));
+    run_crawl(&mut *c, app_model, config, seed)
+}
+
+/// Runs the whole matrix on `threads` worker threads and returns all
+/// reports (ordering follows the grid: apps outermost, then crawlers, then
+/// seeds).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or any name in the matrix is unknown.
+pub fn run_matrix(matrix: &RunMatrix, threads: usize) -> Vec<CrawlReport> {
+    assert!(threads > 0, "need at least one worker thread");
+    let mut jobs = Vec::with_capacity(matrix.run_count());
+    for app in &matrix.apps {
+        for crawler in &matrix.crawlers {
+            for seed in 0..matrix.seeds {
+                jobs.push((jobs.len(), app.clone(), crawler.clone(), seed));
+            }
+        }
+    }
+    let queue = Mutex::new(jobs.into_iter());
+    let results: Mutex<Vec<(usize, CrawlReport)>> =
+        Mutex::new(Vec::with_capacity(matrix.run_count()));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(matrix.run_count().max(1)) {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").next();
+                let Some((idx, app, crawler, seed)) = job else { break };
+                let report = run_one(&app, &crawler, seed, &matrix.config);
+                results.lock().expect("results lock").push((idx, report));
+            });
+        }
+    });
+
+    let mut results = results.into_inner().expect("results lock");
+    results.sort_by_key(|(idx, _)| *idx);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_matrix() -> RunMatrix {
+        RunMatrix::new(["addressbook"], ["bfs", "random"], 2)
+            .with_config(EngineConfig::with_budget_minutes(1.0))
+    }
+
+    #[test]
+    fn grid_size_is_product() {
+        assert_eq!(tiny_matrix().run_count(), 4);
+    }
+
+    #[test]
+    fn matrix_runs_in_grid_order() {
+        let reports = run_matrix(&tiny_matrix(), 3);
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports[0].crawler, "bfs");
+        assert_eq!(reports[0].seed, 0);
+        assert_eq!(reports[1].seed, 1);
+        assert_eq!(reports[2].crawler, "random");
+        for r in &reports {
+            assert_eq!(r.app, "addressbook");
+            assert!(r.final_lines_covered > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let a = run_matrix(&tiny_matrix(), 1);
+        let b = run_matrix(&tiny_matrix(), 4);
+        let key = |rs: &[CrawlReport]| -> Vec<(String, u64, u64)> {
+            rs.iter().map(|r| (r.crawler.clone(), r.seed, r.final_lines_covered)).collect()
+        };
+        assert_eq!(key(&a), key(&b), "thread count must not change results");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown app")]
+    fn unknown_app_panics() {
+        run_one("geocities", "bfs", 0, &EngineConfig::with_budget_minutes(1.0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Union ground-truth estimation (§V-B).
+//!
+//! "Calculating the total lines of server-side code for each application is
+//! challenging and error-prone […]. To address this, we estimate the total
+//! number of lines of server-side code for PHP-based web applications by
+//! taking the union of the unique lines of code covered by all crawlers,
+//! across all runs, for each application." Node.js applications instead use
+//! the tool-reported total (coverage-node provides it; so does the
+//! simulator's [`CodeModel`](mak_websim::coverage::CodeModel)).
+
+use mak::framework::engine::CrawlReport;
+use std::collections::HashSet;
+
+/// The union of covered `(file, line)` pairs across a set of runs.
+#[derive(Debug, Default, Clone)]
+pub struct UnionCoverage {
+    lines: HashSet<(u32, u32)>,
+}
+
+impl UnionCoverage {
+    /// An empty union.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the union from an iterator of crawl reports.
+    pub fn from_reports<'a>(reports: impl IntoIterator<Item = &'a CrawlReport>) -> Self {
+        let mut u = Self::new();
+        for r in reports {
+            u.absorb(r);
+        }
+        u
+    }
+
+    /// Absorbs one run's covered lines.
+    pub fn absorb(&mut self, report: &CrawlReport) {
+        self.lines.extend(report.covered_lines.iter().copied());
+    }
+
+    /// The estimated total: number of distinct covered lines.
+    pub fn len(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    /// Whether no lines have been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The §V-B estimated coverage of one run against this ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the union is empty (no ground truth to compare against).
+    pub fn coverage_of(&self, report: &CrawlReport) -> f64 {
+        assert!(!self.is_empty(), "ground truth union is empty");
+        report.final_lines_covered as f64 / self.len() as f64
+    }
+}
+
+/// The denominator used for an application in Table II: the union estimate
+/// for live-coverage (PHP) apps, the tool-reported total for final-coverage
+/// (Node.js) apps.
+pub fn table2_denominator(union: &UnionCoverage, report: &CrawlReport, live: bool) -> f64 {
+    if live {
+        union.len() as f64
+    } else {
+        report.total_declared_lines as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(lines: &[(u32, u32)]) -> CrawlReport {
+        CrawlReport {
+            crawler: "x".into(),
+            app: "a".into(),
+            seed: 0,
+            interactions: 1,
+            final_lines_covered: lines.len() as u64,
+            total_declared_lines: 100,
+            coverage_series: vec![],
+            covered_lines: lines.to_vec(),
+            distinct_urls: 1,
+            state_count: None,
+            elapsed_secs: 1.0,
+            trace: vec![],
+        }
+    }
+
+    #[test]
+    fn union_deduplicates_across_runs() {
+        let a = report(&[(0, 1), (0, 2)]);
+        let b = report(&[(0, 2), (1, 1)]);
+        let u = UnionCoverage::from_reports([&a, &b]);
+        assert_eq!(u.len(), 3);
+        assert!(!u.is_empty());
+    }
+
+    #[test]
+    fn coverage_of_is_fraction_of_union() {
+        let a = report(&[(0, 1), (0, 2), (0, 3)]);
+        let b = report(&[(0, 1)]);
+        let u = UnionCoverage::from_reports([&a, &b]);
+        assert!((u.coverage_of(&b) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((u.coverage_of(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_apps_use_reported_totals() {
+        let a = report(&[(0, 1), (0, 2)]);
+        let u = UnionCoverage::from_reports([&a]);
+        assert_eq!(table2_denominator(&u, &a, true), 2.0);
+        assert_eq!(table2_denominator(&u, &a, false), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_union_panics_on_coverage() {
+        let u = UnionCoverage::new();
+        u.coverage_of(&report(&[]));
+    }
+}

@@ -1,0 +1,132 @@
+//! Rendering and persistence of experiment results.
+
+use mak::framework::engine::CrawlReport;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Renders a GitHub-style markdown table.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(out, "|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Renders comma-separated values with a header line.
+pub fn csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", headers.join(","));
+    for row in rows {
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+/// A compact, JSON-serializable view of a [`CrawlReport`] without the bulky
+/// per-line coverage set — what the bench harness persists for
+/// EXPERIMENTS.md regeneration.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct RunSummary {
+    /// Crawler name.
+    pub crawler: String,
+    /// Application name.
+    pub app: String,
+    /// Seed of the run.
+    pub seed: u64,
+    /// Atomic interactions performed.
+    pub interactions: u64,
+    /// Lines covered at the end of the run.
+    pub final_lines_covered: u64,
+    /// Total declared server-side lines.
+    pub total_declared_lines: u64,
+    /// Distinct same-origin URLs gathered.
+    pub distinct_urls: usize,
+    /// States created (state-based crawlers only).
+    pub state_count: Option<usize>,
+}
+
+impl From<&CrawlReport> for RunSummary {
+    fn from(r: &CrawlReport) -> Self {
+        RunSummary {
+            crawler: r.crawler.clone(),
+            app: r.app.clone(),
+            seed: r.seed,
+            interactions: r.interactions,
+            final_lines_covered: r.final_lines_covered,
+            total_declared_lines: r.total_declared_lines,
+            distinct_urls: r.distinct_urls,
+            state_count: r.state_count,
+        }
+    }
+}
+
+/// Serializes summaries to pretty JSON.
+///
+/// # Errors
+///
+/// Returns a [`serde_json::Error`] if serialization fails (practically
+/// impossible for this data shape).
+pub fn to_json(summaries: &[RunSummary]) -> serde_json::Result<String> {
+    serde_json::to_string_pretty(summaries)
+}
+
+/// Deserializes summaries from JSON.
+///
+/// # Errors
+///
+/// Returns a [`serde_json::Error`] on malformed input.
+pub fn from_json(json: &str) -> serde_json::Result<Vec<RunSummary>> {
+    serde_json::from_str(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("---"));
+        assert!(lines[2].starts_with("| 1 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn markdown_rejects_ragged_rows() {
+        markdown_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn csv_roundtrips_shape() {
+        let t = csv(&["x", "y"], &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]]);
+        assert_eq!(t, "x,y\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = RunSummary {
+            crawler: "mak".into(),
+            app: "drupal".into(),
+            seed: 3,
+            interactions: 880,
+            final_lines_covered: 50_445,
+            total_declared_lines: 100_000,
+            distinct_urls: 900,
+            state_count: None,
+        };
+        let json = to_json(std::slice::from_ref(&s)).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back, vec![s]);
+        assert!(from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Small aggregation helpers for experiment results.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n − 1); 0 with fewer than two values. This is
+/// the deviation shown as the shaded band of Fig. 2.
+pub fn sample_std(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Index of the maximum value; `None` for an empty slice. Ties resolve to
+/// the first index.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if best.map_or(true, |(_, b)| x > b) {
+            best = Some((i, x));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        let s = sample_std(&xs);
+        assert!((s - 2.138).abs() < 1e-3, "got {s}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(sample_std(&[]), 0.0);
+        assert_eq!(sample_std(&[3.0]), 0.0);
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmax_first_tie_wins() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+    }
+}

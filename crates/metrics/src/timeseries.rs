@@ -1,0 +1,111 @@
+//! Resampling and aggregation of coverage-over-time curves (Fig. 2).
+
+use mak::framework::engine::CoverageSample;
+use crate::stats::{mean, sample_std};
+
+/// Resamples an (increasing-time) coverage series onto a regular grid of
+/// `points` samples spanning `[0, horizon_secs]`, holding the last observed
+/// value (coverage is a step function of time).
+///
+/// # Panics
+///
+/// Panics if `points` is zero or `horizon_secs` is not positive.
+pub fn resample(series: &[CoverageSample], horizon_secs: f64, points: usize) -> Vec<u64> {
+    assert!(points > 0, "need at least one grid point");
+    assert!(horizon_secs > 0.0, "horizon must be positive");
+    let mut out = Vec::with_capacity(points);
+    let mut idx = 0;
+    let mut last = 0;
+    for p in 0..points {
+        let t = horizon_secs * (p + 1) as f64 / points as f64;
+        while idx < series.len() && series[idx].secs <= t {
+            last = series[idx].lines;
+            idx += 1;
+        }
+        out.push(last);
+    }
+    out
+}
+
+/// One aggregated grid point: mean ± sample standard deviation over runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Mean lines covered at this time.
+    pub mean: f64,
+    /// Sample standard deviation across runs.
+    pub std: f64,
+}
+
+/// Aggregates several resampled runs (all of equal length) point-wise —
+/// the "mean and standard deviation of the code coverage" curves of Fig. 2.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty or the runs have unequal lengths.
+pub fn aggregate(runs: &[Vec<u64>]) -> Vec<MeanStd> {
+    assert!(!runs.is_empty(), "need at least one run");
+    let len = runs[0].len();
+    assert!(runs.iter().all(|r| r.len() == len), "runs must share the grid");
+    (0..len)
+        .map(|i| {
+            let xs: Vec<f64> = runs.iter().map(|r| r[i] as f64).collect();
+            MeanStd { mean: mean(&xs), std: sample_std(&xs) }
+        })
+        .collect()
+}
+
+/// The earliest grid index at which the series reaches `fraction` of its
+/// final value — the convergence-speed measure behind the paper's "MAK
+/// reaches the highest coverage on PhpBB2 in under six minutes" (§V-B).
+/// Returns `None` if the series never reaches it (only possible for
+/// `fraction > 1`).
+pub fn convergence_index(series: &[MeanStd], fraction: f64) -> Option<usize> {
+    let last = series.last()?.mean;
+    let target = last * fraction;
+    series.iter().position(|p| p.mean >= target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(points: &[(f64, u64)]) -> Vec<CoverageSample> {
+        points.iter().map(|&(secs, lines)| CoverageSample { secs, lines }).collect()
+    }
+
+    #[test]
+    fn resample_holds_last_value() {
+        let series = s(&[(0.0, 10), (45.0, 20), (100.0, 30)]);
+        let grid = resample(&series, 120.0, 4); // t = 30, 60, 90, 120
+        assert_eq!(grid, vec![10, 20, 20, 30]);
+    }
+
+    #[test]
+    fn resample_empty_series_is_zero() {
+        assert_eq!(resample(&[], 60.0, 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn aggregate_computes_mean_and_std() {
+        let runs = vec![vec![10, 20], vec![20, 40]];
+        let agg = aggregate(&runs);
+        assert_eq!(agg[0].mean, 15.0);
+        assert_eq!(agg[1].mean, 30.0);
+        assert!(agg[1].std > agg[0].std);
+    }
+
+    #[test]
+    fn convergence_index_finds_first_crossing() {
+        let series: Vec<MeanStd> =
+            [10.0, 50.0, 90.0, 95.0, 100.0].iter().map(|&m| MeanStd { mean: m, std: 0.0 }).collect();
+        assert_eq!(convergence_index(&series, 0.9), Some(2));
+        assert_eq!(convergence_index(&series, 1.0), Some(4));
+        assert_eq!(convergence_index(&[], 0.9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the grid")]
+    fn aggregate_rejects_ragged_runs() {
+        aggregate(&[vec![1], vec![1, 2]]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Analysis of recorded crawl traces.
+//!
+//! With [`EngineConfig::record_trace`](mak::framework::engine::EngineConfig)
+//! enabled, a [`CrawlReport`] carries every step's action and reward. This
+//! module turns that log into the quantities that explain *how* a policy
+//! behaved: arm usage per time slice (does Exp3.1 drift towards the
+//! locally-best strategy?), and reward statistics per action.
+
+use mak::framework::engine::{CrawlReport, TraceEntry};
+use std::collections::BTreeMap;
+
+/// Arm/action usage within one time slice of a crawl.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceUsage {
+    /// Slice start, in virtual seconds.
+    pub start_secs: f64,
+    /// Steps taken per action label within the slice.
+    pub counts: BTreeMap<String, usize>,
+}
+
+impl SliceUsage {
+    /// The fraction of the slice's steps spent on `action` (0 if none).
+    pub fn share(&self, action: &str) -> f64 {
+        let total: usize = self.counts.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *self.counts.get(action).unwrap_or(&0) as f64 / total as f64
+    }
+}
+
+/// Splits a trace into `slices` equal time windows and counts action usage
+/// in each — the data behind "the policy shifted from Tail to Head after
+/// the archives dried up" style analyses.
+///
+/// # Panics
+///
+/// Panics if `slices` is zero or `horizon_secs` is not positive.
+pub fn usage_over_time(trace: &[TraceEntry], horizon_secs: f64, slices: usize) -> Vec<SliceUsage> {
+    assert!(slices > 0, "need at least one slice");
+    assert!(horizon_secs > 0.0, "horizon must be positive");
+    let width = horizon_secs / slices as f64;
+    let mut out: Vec<SliceUsage> = (0..slices)
+        .map(|i| SliceUsage { start_secs: i as f64 * width, counts: BTreeMap::new() })
+        .collect();
+    for entry in trace {
+        let idx = ((entry.secs / width) as usize).min(slices - 1);
+        *out[idx].counts.entry(entry.action.clone()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Mean reward per action label over a whole trace, for learning-signal
+/// inspection. Actions without rewards (non-learning steps) are skipped.
+pub fn mean_reward_per_action(trace: &[TraceEntry]) -> BTreeMap<String, f64> {
+    let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    for entry in trace {
+        if let Some(r) = entry.reward {
+            let e = sums.entry(entry.action.clone()).or_insert((0.0, 0));
+            e.0 += r;
+            e.1 += 1;
+        }
+    }
+    sums.into_iter().map(|(k, (sum, n))| (k, sum / n as f64)).collect()
+}
+
+/// Runs a traced crawl and returns both the report and its slice usage —
+/// convenience for examples and notebooks.
+pub fn traced_run(
+    crawler_name: &str,
+    app: &str,
+    minutes: f64,
+    seed: u64,
+    slices: usize,
+) -> Option<(CrawlReport, Vec<SliceUsage>)> {
+    let mut config = mak::framework::engine::EngineConfig::with_budget_minutes(minutes);
+    config.record_trace = true;
+    let mut crawler = mak::spec::build_crawler(crawler_name, seed)?;
+    let app_model = mak_websim::apps::build(app)?;
+    let report = mak::framework::engine::run_crawl(&mut *crawler, app_model, &config, seed);
+    let usage = usage_over_time(&report.trace, minutes * 60.0, slices);
+    Some((report, usage))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(secs: f64, action: &str, reward: Option<f64>) -> TraceEntry {
+        TraceEntry { secs, action: action.to_owned(), reward }
+    }
+
+    #[test]
+    fn usage_buckets_by_time() {
+        let trace = vec![
+            entry(1.0, "Head", Some(0.5)),
+            entry(2.0, "Tail", Some(0.4)),
+            entry(51.0, "Head", Some(0.6)),
+            entry(99.0, "Head", Some(0.6)),
+        ];
+        let usage = usage_over_time(&trace, 100.0, 2);
+        assert_eq!(usage.len(), 2);
+        assert_eq!(usage[0].counts["Head"], 1);
+        assert_eq!(usage[0].counts["Tail"], 1);
+        assert_eq!(usage[1].counts["Head"], 2);
+        assert!((usage[0].share("Head") - 0.5).abs() < 1e-12);
+        assert_eq!(usage[1].share("Tail"), 0.0);
+    }
+
+    #[test]
+    fn out_of_horizon_entries_land_in_last_slice() {
+        let trace = vec![entry(250.0, "Head", None)];
+        let usage = usage_over_time(&trace, 100.0, 4);
+        assert_eq!(usage[3].counts["Head"], 1);
+    }
+
+    #[test]
+    fn mean_rewards_skip_unrewarded_steps() {
+        let trace = vec![
+            entry(1.0, "Head", Some(0.2)),
+            entry(2.0, "Head", Some(0.6)),
+            entry(3.0, "Tail", None),
+        ];
+        let means = mean_reward_per_action(&trace);
+        assert!((means["Head"] - 0.4).abs() < 1e-12);
+        assert!(!means.contains_key("Tail"));
+    }
+
+    #[test]
+    fn traced_run_produces_usage() {
+        let (report, usage) = traced_run("mak", "addressbook", 2.0, 1, 4).expect("known names");
+        assert_eq!(report.trace.len() as u64, report.interactions);
+        let total: usize = usage.iter().flat_map(|s| s.counts.values()).sum();
+        assert_eq!(total as u64, report.interactions);
+        // MAK's three arms all appear somewhere in a 2-minute crawl.
+        let all: std::collections::BTreeSet<&str> = usage
+            .iter()
+            .flat_map(|s| s.counts.keys())
+            .map(String::as_str)
+            .collect();
+        assert!(all.contains("Head") && all.contains("Tail") && all.contains("Random"));
+    }
+
+    #[test]
+    fn unknown_names_yield_none() {
+        assert!(traced_run("mak", "geocities", 1.0, 0, 2).is_none());
+        assert!(traced_run("wget", "vanilla", 1.0, 0, 2).is_none());
+    }
+}

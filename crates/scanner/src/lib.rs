@@ -1,0 +1,38 @@
+//! # mak-scanner — crawler-driven black-box scanning
+//!
+//! The paper closes with: *"Future work will focus on […] integrating MAK
+//! within web scanners to enhance web application testing and security
+//! assessments"* (§VII). This crate is that integration, built on the
+//! reproduction's substrate:
+//!
+//! - [`surface`] — the [`AttackSurface`](surface::AttackSurface): every
+//!   endpoint, query parameter, and form a crawl exposes, collected by
+//!   shadowing the browser ([`Browser::set_page_observer`]);
+//! - [`probe`] — reflected-input probing: canary values injected into each
+//!   discovered parameter and form field, with findings reported when the
+//!   application echoes them back;
+//! - [`scan`] — the two-phase orchestration: crawl (with any registered
+//!   crawler) then probe, under one virtual-time budget.
+//!
+//! Because probing starts from whatever the crawl discovered, scanner yield
+//! is directly proportional to crawl coverage — the paper's motivation for
+//! better crawling ("inadequate coverage can leave issues undetected", §I).
+//!
+//! ## Example
+//!
+//! ```
+//! use mak_scanner::scan::{run_scan, ScanConfig};
+//!
+//! let report = run_scan("mak", "vanilla", &ScanConfig::with_minutes(2.0, 1.0), 7)
+//!     .expect("known crawler and app");
+//! assert!(report.surface.endpoint_count() > 0);
+//! ```
+//!
+//! [`Browser::set_page_observer`]: mak_browser::client::Browser::set_page_observer
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod probe;
+pub mod scan;
+pub mod surface;

@@ -1,0 +1,154 @@
+//! The attack surface exposed by a crawl.
+
+use mak_browser::page::Page;
+use mak_websim::dom::{FormSpec, Interactable};
+use mak_websim::url::Url;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything a crawl exposed that a scanner can probe: endpoints (paths),
+/// query parameters per path, and submittable forms.
+#[derive(Debug, Default, Clone)]
+pub struct AttackSurface {
+    endpoints: BTreeSet<String>,
+    params: BTreeMap<String, BTreeSet<String>>,
+    forms: BTreeMap<String, FormSpec>,
+}
+
+impl AttackSurface {
+    /// An empty surface.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one rendered page: its own URL, every same-origin link
+    /// target's path and query keys, and every form.
+    pub fn absorb_page(&mut self, page: &Page, origin: &Url) {
+        if page.url().same_origin(origin) {
+            self.absorb_url(page.url());
+        }
+        for el in page.valid_interactables(origin) {
+            match el {
+                Interactable::Link { href, .. } => self.absorb_url(href),
+                Interactable::Button { target, .. } => self.absorb_url(target),
+                Interactable::Form(form) => {
+                    self.absorb_url(&form.action);
+                    self.forms.insert(el.signature(), form.clone());
+                }
+            }
+        }
+    }
+
+    fn absorb_url(&mut self, url: &Url) {
+        self.endpoints.insert(url.path().to_owned());
+        for (key, _) in url.query() {
+            self.params.entry(url.path().to_owned()).or_default().insert(key.clone());
+        }
+    }
+
+    /// Number of distinct endpoint paths discovered.
+    pub fn endpoint_count(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Number of distinct `(path, query parameter)` pairs discovered.
+    pub fn param_count(&self) -> usize {
+        self.params.values().map(BTreeSet::len).sum()
+    }
+
+    /// Number of distinct forms discovered.
+    pub fn form_count(&self) -> usize {
+        self.forms.len()
+    }
+
+    /// Iterates over `(path, parameter)` probe targets.
+    pub fn param_targets(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.params
+            .iter()
+            .flat_map(|(path, keys)| keys.iter().map(move |k| (path.as_str(), k.as_str())))
+    }
+
+    /// Iterates over the discovered forms.
+    pub fn forms(&self) -> impl Iterator<Item = &FormSpec> {
+        self.forms.values()
+    }
+
+    /// Merges another surface into this one (union).
+    pub fn merge(&mut self, other: &AttackSurface) {
+        self.endpoints.extend(other.endpoints.iter().cloned());
+        for (path, keys) in &other.params {
+            self.params.entry(path.clone()).or_default().extend(keys.iter().cloned());
+        }
+        for (sig, form) in &other.forms {
+            self.forms.entry(sig.clone()).or_insert_with(|| form.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mak_websim::dom::{Document, Element, Tag};
+    use mak_websim::http::Status;
+
+    fn page(url: &str, hrefs: &[&str], with_form: bool) -> Page {
+        let mut body = Element::new(Tag::Body);
+        for h in hrefs {
+            body = body.child(Element::new(Tag::A).attr("href", (*h).to_owned()));
+        }
+        if with_form {
+            body = body.child(
+                Element::new(Tag::Form)
+                    .attr("action", "/submit")
+                    .attr("method", "post")
+                    .attr("name", "f")
+                    .child(Element::new(Tag::Input).attr("type", "text").attr("name", "q")),
+            );
+        }
+        Page::from_document(Status::Ok, Document::new(url.parse().unwrap(), "t", body))
+    }
+
+    #[test]
+    fn collects_endpoints_params_and_forms() {
+        let origin: Url = "http://h/".parse().unwrap();
+        let mut s = AttackSurface::new();
+        s.absorb_page(&page("http://h/a?x=1", &["/b?y=2&z=3", "/c"], true), &origin);
+        assert_eq!(s.endpoint_count(), 4); // /a /b /c /submit
+        assert_eq!(s.param_count(), 3); // (a,x) (b,y) (b,z)
+        assert_eq!(s.form_count(), 1);
+        let targets: Vec<_> = s.param_targets().collect();
+        assert!(targets.contains(&("/b", "y")));
+    }
+
+    #[test]
+    fn external_links_are_ignored() {
+        let origin: Url = "http://h/".parse().unwrap();
+        let mut s = AttackSurface::new();
+        s.absorb_page(&page("http://h/a", &["http://evil.example/x?p=1"], false), &origin);
+        assert_eq!(s.endpoint_count(), 1);
+        assert_eq!(s.param_count(), 0);
+    }
+
+    #[test]
+    fn absorption_is_idempotent() {
+        let origin: Url = "http://h/".parse().unwrap();
+        let mut s = AttackSurface::new();
+        let p = page("http://h/a?x=1", &["/b?y=2"], true);
+        s.absorb_page(&p, &origin);
+        let (e, q, f) = (s.endpoint_count(), s.param_count(), s.form_count());
+        s.absorb_page(&p, &origin);
+        assert_eq!((e, q, f), (s.endpoint_count(), s.param_count(), s.form_count()));
+    }
+
+    #[test]
+    fn merge_unions_surfaces() {
+        let origin: Url = "http://h/".parse().unwrap();
+        let mut a = AttackSurface::new();
+        a.absorb_page(&page("http://h/a?x=1", &[], false), &origin);
+        let mut b = AttackSurface::new();
+        b.absorb_page(&page("http://h/b?y=1", &[], true), &origin);
+        a.merge(&b);
+        assert_eq!(a.endpoint_count(), 3);
+        assert_eq!(a.param_count(), 2);
+        assert_eq!(a.form_count(), 1);
+    }
+}

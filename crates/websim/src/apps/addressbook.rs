@@ -1,0 +1,49 @@
+//! AddressBook (v8.2.5) — a small PHP contact-management CRUD application.
+//!
+//! The smallest app of the testbed: a flat set of list/detail/edit pages
+//! plus a contact-creation form. All crawlers achieve near-complete
+//! coverage on it in the paper (Table II: 99.3 / 98.5 / 96.4 %), so the
+//! model is small enough to be exhausted well within one 30-minute budget.
+
+use super::blueprint::{Blueprint, BlueprintApp, ModuleKind, ModuleSpec};
+use crate::coverage::CoverageMode;
+
+/// Builds the AddressBook model.
+pub fn addressbook() -> BlueprintApp {
+    Blueprint::new("addressbook", "addressbook.local")
+        .coverage_mode(CoverageMode::Live)
+        .latency_ms(600.0)
+        .bootstrap_lines(80)
+        // Contact list: a hub over per-contact detail pages.
+        .module(ModuleSpec::new("contacts", ModuleKind::Hub, 14, 55))
+        // Group views: a small tree.
+        .module(ModuleSpec::new("groups", ModuleKind::Tree { branching: 3 }, 7, 50))
+        // Contact creation: each submission adds a viewable entry.
+        .module(ModuleSpec::new("newcontact", ModuleKind::ContentCreation { max_items: 6 }, 1, 40))
+        // Simple search over contacts; results are static.
+        .module(ModuleSpec::new("search", ModuleKind::NoopSearch, 1, 30))
+        // Input validation on the edit form: a handful of branches.
+        .module(ModuleSpec::new("validate", ModuleKind::FormBranches { branches: 4 }, 1, 10))
+        .cross_links(4)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[allow(unused_imports)]
+    use crate::server::WebApp;
+
+    #[test]
+    fn is_the_smallest_php_app() {
+        let app = addressbook();
+        let lines = app.code_model().total_lines();
+        assert!((900..3_000).contains(&lines), "got {lines}");
+    }
+
+    #[test]
+    fn has_around_two_dozen_pages() {
+        let app = addressbook();
+        assert!((20..30).contains(&app.page_count()), "got {}", app.page_count());
+    }
+}

@@ -1,0 +1,53 @@
+//! Docmost (v0.8.4) — a Node.js collaborative documentation platform.
+//!
+//! Selected from awesome-selfhosted (§V-A.3) for the documentation domain.
+//! Like the other Node.js apps it reports coverage only at process exit
+//! ([`CoverageMode::Final`]) and ships substantial unreachable code
+//! (real-time collaboration backend), bounding every crawler near 64 %
+//! (Table II: 64.7 / 64.0 / 64.0).
+
+use super::blueprint::{Blueprint, BlueprintApp, ModuleKind, ModuleSpec};
+use crate::coverage::CoverageMode;
+
+/// Builds the Docmost model.
+pub fn docmost() -> BlueprintApp {
+    Blueprint::new("docmost", "docmost.local")
+        .coverage_mode(CoverageMode::Final)
+        .latency_ms(620.0)
+        .bootstrap_lines(350)
+        .shared_ratio(1.6)
+        // Workspaces: hub.
+        .module(ModuleSpec::new("spaces", ModuleKind::Hub, 32, 42))
+        // Page hierarchies: trees (wiki structure).
+        .module(ModuleSpec::new("docs", ModuleKind::Tree { branching: 3 }, 50, 42))
+        // Version history: chains.
+        .module(ModuleSpec::new("history", ModuleKind::Chain, 18, 40))
+        // Page creation.
+        .module(ModuleSpec::new("newpage", ModuleKind::ContentCreation { max_items: 10 }, 1, 50))
+        // Full-text search.
+        .module(ModuleSpec::new("search", ModuleKind::NoopSearch, 1, 40))
+        // Markdown-import validation branches.
+        .module(ModuleSpec::new("mdimport", ModuleKind::FormBranches { branches: 6 }, 1, 40))
+        // Dead weight: websocket collaboration server, unused locales.
+        .dead_lines(4_300)
+        .cross_links(8)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[allow(unused_imports)]
+    use crate::server::WebApp;
+
+    #[test]
+    fn uses_final_coverage_mode() {
+        assert_eq!(docmost().coverage_mode(), CoverageMode::Final);
+    }
+
+    #[test]
+    fn size_matches_mid_tier_node_app() {
+        let lines = docmost().code_model().total_lines();
+        assert!((12_000..20_000).contains(&lines), "got {lines}");
+    }
+}

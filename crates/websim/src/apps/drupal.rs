@@ -1,0 +1,75 @@
+//! Drupal (v8.6.15) — a large PHP content-management system.
+//!
+//! The largest PHP application of the testbed (the paper reports MAK
+//! covering 50,445 lines, 76.8 % of the union ground truth). Two traits of
+//! the real system matter to the paper's analysis:
+//!
+//! - the **shortcut module** (Fig. 1 bottom): a private page whose form
+//!   appends a new, *broken* link on every submission. QExplore's
+//!   attribute-value state abstraction creates a fresh state per submission,
+//!   an unbounded state-explosion trap ([`ModuleKind::MutatingTrap`]);
+//! - heavy modularity: content sections, taxonomy, administration wizards —
+//!   sub-applications with different BFS/DFS-friendly shapes (§IV-D).
+
+use super::blueprint::{Blueprint, BlueprintApp, ModuleKind, ModuleSpec};
+use crate::coverage::CoverageMode;
+
+/// Builds the Drupal model.
+pub fn drupal() -> BlueprintApp {
+    Blueprint::new("drupal", "drupal.local")
+        .coverage_mode(CoverageMode::Live)
+        .latency_ms(750.0)
+        .bootstrap_lines(900)
+        // Drupal's render pipeline shares a lot of code per module.
+        .shared_ratio(1.4)
+        // Node (content) pages: a broad tree, the bulk of the site.
+        .module(ModuleSpec::new("node", ModuleKind::Tree { branching: 4 }, 550, 40))
+        // Article listings: hub-shaped, BFS-friendly.
+        .module(ModuleSpec::new("articles", ModuleKind::Hub, 320, 40))
+        // Taxonomy/term pages: a tree whose inbound links carry redundant
+        // query parameters (listing filters), i.e. URL aliases.
+        .module(ModuleSpec::new("taxonomy", ModuleKind::Aliased { aliases: 2 }, 260, 35))
+        // Administration wizards: deep chains where later steps carry more
+        // handler code (DFS-friendly).
+        .module(ModuleSpec::new("admin", ModuleKind::Chain, 70, 55))
+        .module(ModuleSpec::new("config", ModuleKind::Chain, 50, 50))
+        // User profiles: flat hub.
+        .module(ModuleSpec::new("users", ModuleKind::Hub, 130, 35))
+        // Site search: read-only, identical results for any query (§III-B).
+        .module(ModuleSpec::new("search", ModuleKind::NoopSearch, 1, 45))
+        // Comment posting on nodes.
+        .module(ModuleSpec::new("comments", ModuleKind::ContentCreation { max_items: 15 }, 1, 50))
+        // Form API validation branches: each submission takes one path.
+        .module(ModuleSpec::new("formapi", ModuleKind::FormBranches { branches: 12 }, 1, 60))
+        // The shortcut trap page (Fig. 1 bottom) and revision-history
+        // pagination sit last so they dominate the tail of the element
+        // pool — the depth-first bait.
+        .module(ModuleSpec::new("shortcuts", ModuleKind::MutatingTrap { max_links: 40 }, 1, 30))
+        .module(ModuleSpec::new("revisions", ModuleKind::Pagination, 260, 3))
+        .cross_links(60)
+        .external_links(3)
+        // The deployment occasionally 500s under crawl load; crawlers must
+        // survive transient failures.
+        .flaky_every(211)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[allow(unused_imports)]
+    use crate::server::WebApp;
+
+    #[test]
+    fn is_the_largest_php_model() {
+        let app = drupal();
+        let lines = app.code_model().total_lines();
+        assert!((95_000..140_000).contains(&lines), "got {lines}");
+    }
+
+    #[test]
+    fn has_high_page_count() {
+        let app = drupal();
+        assert!(app.page_count() > 800, "got {}", app.page_count());
+    }
+}

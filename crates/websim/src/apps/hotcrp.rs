@@ -1,0 +1,73 @@
+//! HotCRP (v2.102) — a PHP conference-review system.
+//!
+//! The paper's Fig. 1 (top) uses HotCRP to illustrate WebExplor's brittle
+//! exact-URL state matching: the review form of a paper is linked under two
+//! different URLs that differ only in redundant query parameters (`r=23-8`
+//! vs `m=re`), so WebExplor manufactures two states for one page. The model
+//! therefore leans on [`ModuleKind::Aliased`]: paper/review pages reachable
+//! under several redundantly-parameterised URLs. Review workflows are
+//! chain-shaped (form → confirm → done), rewarding depth.
+
+use super::blueprint::{Blueprint, BlueprintApp, ModuleKind, ModuleSpec};
+use crate::coverage::CoverageMode;
+
+/// Builds the HotCRP model.
+pub fn hotcrp() -> BlueprintApp {
+    Blueprint::new("hotcrp", "hotcrp.local")
+        .coverage_mode(CoverageMode::Live)
+        .latency_ms(650.0)
+        .bootstrap_lines(300)
+        // Paper pages with aliased inbound links (Fig. 1 top): each page is
+        // reachable under 3 distinct URLs.
+        .module(ModuleSpec::new("paper", ModuleKind::Aliased { aliases: 3 }, 320, 28))
+        // Review wizards: chains whose later steps carry more code.
+        .module(ModuleSpec::new("review", ModuleKind::Chain, 80, 45))
+        .module(ModuleSpec::new("assign", ModuleKind::Chain, 20, 40))
+        // PC / user listings.
+        .module(ModuleSpec::new("users", ModuleKind::Hub, 90, 30))
+        // Paper search (saved searches return fixed lists).
+        .module(ModuleSpec::new("search", ModuleKind::NoopSearch, 1, 40))
+        // Comment submission on papers.
+        .module(ModuleSpec::new("comments", ModuleKind::ContentCreation { max_items: 8 }, 1, 45))
+        // Review-score validation: one branch per submitted score shape.
+        .module(ModuleSpec::new("scoreform", ModuleKind::FormBranches { branches: 16 }, 1, 45))
+        // PC-members area behind the demo login (the paper crawls HotCRP
+        // with a reviewer logged in).
+        .module(ModuleSpec::new("pc", ModuleKind::AuthArea, 12, 40))
+        .cross_links(12)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[allow(unused_imports)]
+    use crate::server::WebApp;
+    use crate::dom::Interactable;
+    use crate::http::Request;
+    use crate::server::AppHost;
+
+    #[test]
+    fn size_matches_mid_tier() {
+        let lines = hotcrp().code_model().total_lines();
+        assert!((22_000..40_000).contains(&lines), "got {lines}");
+    }
+
+    #[test]
+    fn paper_pages_have_alias_links() {
+        let mut host = AppHost::new(Box::new(hotcrp()));
+        let resp = host.fetch(&Request::get("http://hotcrp.local/paper/p0".parse().unwrap()));
+        let doc = resp.document().unwrap();
+        // Count links per normalized-but-alias-stripped destination path.
+        let mut by_path = std::collections::HashMap::<String, usize>::new();
+        for i in doc.interactables() {
+            if let Interactable::Link { href, .. } = i {
+                *by_path.entry(href.path().to_owned()).or_default() += 1;
+            }
+        }
+        assert!(
+            by_path.values().any(|&c| c >= 3),
+            "some paper page should be linked under >=3 URLs: {by_path:?}"
+        );
+    }
+}

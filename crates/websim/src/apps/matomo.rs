@@ -1,0 +1,97 @@
+//! Matomo (v4.11.0) — a PHP web-analytics platform.
+//!
+//! §III-A of the paper singles out Matomo's `module=` query parameter:
+//! `index.php?module=CoreAdminHome` and `index.php?module=MultiSites` are
+//! *different* functionality behind one path, so state abstractions that
+//! drop the query string would conflate critical parts of the application.
+//! The model's backbone is a large [`ModuleKind::ParamDispatch`] module
+//! using the real Matomo plugin names as dispatch values.
+
+use super::blueprint::{Blueprint, BlueprintApp, ModuleKind, ModuleSpec};
+use crate::coverage::CoverageMode;
+
+/// A sample of real Matomo 4.x plugin names used as `module=` values.
+const PLUGINS: &[&str] = &[
+    "CoreHome",
+    "CoreAdminHome",
+    "MultiSites",
+    "VisitsSummary",
+    "Actions",
+    "Referrers",
+    "UserCountry",
+    "DevicesDetection",
+    "Goals",
+    "Ecommerce",
+    "SegmentEditor",
+    "Dashboard",
+    "Widgetize",
+    "Annotations",
+    "Live",
+    "PrivacyManager",
+    "SitesManager",
+    "UsersManager",
+    "Feedback",
+    "Marketplace",
+];
+
+/// Builds the Matomo model.
+pub fn matomo() -> BlueprintApp {
+    Blueprint::new("matomo", "matomo.local")
+        .coverage_mode(CoverageMode::Live)
+        .latency_ms(700.0)
+        .bootstrap_lines(500)
+        .shared_ratio(1.2)
+        // The module dispatcher: 220 dispatch values, the first 20 named
+        // after real plugins.
+        .module(
+            ModuleSpec::new("plugins", ModuleKind::ParamDispatch { param: "module".into() }, 360, 42)
+                .labels(PLUGINS.iter().copied()),
+        )
+        // Report dashboards, aliased by period/date parameters.
+        .module(ModuleSpec::new("reports", ModuleKind::Aliased { aliases: 2 }, 260, 40))
+        // Settings wizards: chains.
+        .module(ModuleSpec::new("settings", ModuleKind::Chain, 70, 50))
+        // Segment editor: stateful — building a segment unlocks preview code.
+        .module(ModuleSpec::new("segments", ModuleKind::StatefulFlow { stages: 8 }, 1, 60))
+        // Site search widget.
+        .module(ModuleSpec::new("search", ModuleKind::NoopSearch, 1, 40))
+        // Report-export form: format-dependent validation branches.
+        .module(ModuleSpec::new("export", ModuleKind::FormBranches { branches: 14 }, 1, 55))
+        // Visitor-log pagination: the depth trap, last in the pool.
+        .module(ModuleSpec::new("visitlog", ModuleKind::Pagination, 140, 3))
+        .cross_links(25)
+        // Campaign shortlinks.
+        .redirect_links(10)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[allow(unused_imports)]
+    use crate::server::WebApp;
+    use crate::http::Request;
+    use crate::server::AppHost;
+
+    #[test]
+    fn module_param_serves_distinct_plugins() {
+        let mut host = AppHost::new(Box::new(matomo()));
+        let admin = host.fetch(&Request::get(
+            "http://matomo.local/index.php?module=CoreAdminHome".parse().unwrap(),
+        ));
+        let multi = host.fetch(&Request::get(
+            "http://matomo.local/index.php?module=MultiSites".parse().unwrap(),
+        ));
+        assert_ne!(
+            admin.document().unwrap().title(),
+            multi.document().unwrap().title(),
+            "distinct module= values are distinct functionality"
+        );
+    }
+
+    #[test]
+    fn size_is_large_mid_tier() {
+        let lines = matomo().code_model().total_lines();
+        assert!((50_000..80_000).contains(&lines), "got {lines}");
+    }
+}

@@ -1,0 +1,151 @@
+//! The paper's testbed: eleven simulated web applications (§V-A.3).
+//!
+//! Eight PHP-style applications expose live (Xdebug-style) coverage and are
+//! used for both Fig. 2 and Table II; three Node.js-style applications
+//! expose final-only (coverage-node-style) coverage and appear in Table II
+//! only. Application versions in the paper: AddressBook v8.2.5, Drupal
+//! v8.6.15, HotCRP v2.102, Matomo v4.11.0, OsCommerce2 v2.3.4.1, PhpBB2
+//! v2.0.23, Vanilla v2.0.17.10, WordPress v5.1.0, Actual v25.2.1, Docmost
+//! v0.8.4, Retro-board v5.5.2.
+//!
+//! Each model reproduces the *structural* traits of its namesake that the
+//! paper's analysis relies on — see each module's docs — with code sizes
+//! proportional to the paper's reported line counts.
+
+pub mod blueprint;
+
+mod actual;
+mod addressbook;
+mod docmost;
+mod drupal;
+mod hotcrp;
+mod matomo;
+mod oscommerce;
+mod phpbb;
+mod retroboard;
+mod vanilla;
+mod wordpress;
+
+pub use actual::actual;
+pub use addressbook::addressbook;
+pub use docmost::docmost;
+pub use drupal::drupal;
+pub use hotcrp::hotcrp;
+pub use matomo::matomo;
+pub use oscommerce::oscommerce2;
+pub use phpbb::phpbb2;
+pub use retroboard::retroboard;
+pub use vanilla::vanilla;
+pub use wordpress::wordpress;
+
+use crate::server::WebApp;
+
+/// The eight PHP-style applications (live coverage; Fig. 2 + Table II).
+pub const PHP_APPS: &[&str] = &[
+    "addressbook",
+    "drupal",
+    "hotcrp",
+    "matomo",
+    "oscommerce2",
+    "phpbb2",
+    "vanilla",
+    "wordpress",
+];
+
+/// The three Node.js-style applications (final coverage; Table II only).
+pub const NODE_APPS: &[&str] = &["actual", "docmost", "retroboard"];
+
+/// All eleven application names, PHP first, as listed in the paper.
+pub fn all_names() -> Vec<&'static str> {
+    PHP_APPS.iter().chain(NODE_APPS.iter()).copied().collect()
+}
+
+/// Builds the application model registered under `name`, or `None` for an
+/// unknown name.
+///
+/// # Examples
+///
+/// ```
+/// let app = mak_websim::apps::build("drupal").expect("known app");
+/// assert_eq!(app.name(), "drupal");
+/// assert!(mak_websim::apps::build("geocities").is_none());
+/// ```
+pub fn build(name: &str) -> Option<Box<dyn WebApp>> {
+    let app: Box<dyn WebApp> = match name {
+        "addressbook" => Box::new(addressbook()),
+        "drupal" => Box::new(drupal()),
+        "hotcrp" => Box::new(hotcrp()),
+        "matomo" => Box::new(matomo()),
+        "oscommerce2" => Box::new(oscommerce2()),
+        "phpbb2" => Box::new(phpbb2()),
+        "vanilla" => Box::new(vanilla()),
+        "wordpress" => Box::new(wordpress()),
+        "actual" => Box::new(actual()),
+        "docmost" => Box::new(docmost()),
+        "retroboard" => Box::new(retroboard()),
+        _ => return None,
+    };
+    Some(app)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::CoverageMode;
+    use crate::http::Request;
+    use crate::server::AppHost;
+
+    #[test]
+    fn registry_builds_all_eleven() {
+        assert_eq!(all_names().len(), 11);
+        for name in all_names() {
+            let app = build(name).unwrap_or_else(|| panic!("missing app {name}"));
+            assert_eq!(app.name(), name);
+        }
+    }
+
+    #[test]
+    fn php_apps_use_live_coverage_node_apps_final() {
+        for name in PHP_APPS {
+            assert_eq!(build(name).unwrap().coverage_mode(), CoverageMode::Live, "{name}");
+        }
+        for name in NODE_APPS {
+            assert_eq!(build(name).unwrap().coverage_mode(), CoverageMode::Final, "{name}");
+        }
+    }
+
+    #[test]
+    fn every_seed_page_renders_with_interactables() {
+        for name in all_names() {
+            let mut host = AppHost::new(build(name).unwrap());
+            let resp = host.fetch(&Request::get(host.app().seed_url()));
+            let doc = resp.document().unwrap_or_else(|| panic!("{name}: seed must render"));
+            assert!(
+                !doc.interactables().is_empty(),
+                "{name}: seed page must expose interactable elements"
+            );
+            assert!(host.harness_lines_covered() > 0, "{name}: seed request covers code");
+        }
+    }
+
+    #[test]
+    fn app_sizes_are_ordered_like_the_paper() {
+        // Paper's coverage magnitudes imply Drupal and WordPress are the
+        // largest apps, AddressBook among the smallest.
+        let lines = |n: &str| build(n).unwrap().code_model().total_lines();
+        assert!(lines("drupal") > lines("oscommerce2"));
+        assert!(lines("wordpress") > lines("vanilla"));
+        assert!(lines("matomo") > lines("addressbook"));
+        assert!(lines("addressbook") < lines("phpbb2"));
+    }
+
+    #[test]
+    fn models_are_deterministic_across_builds() {
+        for name in all_names() {
+            let a = build(name).unwrap();
+            let b = build(name).unwrap();
+            assert_eq!(a.code_model().total_lines(), b.code_model().total_lines(), "{name}");
+            assert_eq!(a.seed_url(), b.seed_url(), "{name}");
+        }
+    }
+}

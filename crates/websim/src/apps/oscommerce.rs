@@ -1,0 +1,61 @@
+//! OsCommerce2 (v2.3.4.1) — a PHP e-commerce storefront.
+//!
+//! The shopping application of the testbed. Its defining trait is the
+//! paper's §IV-C motivating example: a purchase button that executes *new*
+//! server-side code only once the cart is non-empty, so an effective
+//! crawler must revisit the same element after changing application state —
+//! exactly what curiosity-driven rewards fail to incentivize. Modeled with
+//! [`ModuleKind::StatefulFlow`], plus catalog trees and a checkout chain.
+
+use super::blueprint::{Blueprint, BlueprintApp, ModuleKind, ModuleSpec};
+use crate::coverage::CoverageMode;
+
+/// Builds the OsCommerce2 model.
+pub fn oscommerce2() -> BlueprintApp {
+    Blueprint::new("oscommerce2", "oscommerce.local")
+        .coverage_mode(CoverageMode::Live)
+        .latency_ms(620.0)
+        .bootstrap_lines(180)
+        // Product catalog: category tree.
+        .module(ModuleSpec::new("catalog", ModuleKind::Tree { branching: 4 }, 60, 35))
+        // Product pages, aliased by tracking/sort parameters.
+        .module(ModuleSpec::new("products", ModuleKind::Aliased { aliases: 2 }, 40, 38))
+        // The cart + checkout flow (§IV-C): 10 unlockable stages.
+        .module(ModuleSpec::new("cart", ModuleKind::StatefulFlow { stages: 12 }, 1, 55))
+        // Checkout wizard pages: a chain.
+        .module(ModuleSpec::new("checkout", ModuleKind::Chain, 14, 45))
+        // Product search (read-only).
+        .module(ModuleSpec::new("search", ModuleKind::NoopSearch, 1, 35))
+        // Product reviews.
+        .module(ModuleSpec::new("reviews", ModuleKind::ContentCreation { max_items: 6 }, 1, 40))
+        // Address/payment validation: many input-dependent branches.
+        .module(ModuleSpec::new("payform", ModuleKind::FormBranches { branches: 14 }, 1, 45))
+        // Account, address-book and currency forms: more validation paths.
+        .module(ModuleSpec::new("acctform", ModuleKind::FormBranches { branches: 10 }, 1, 45))
+        .module(ModuleSpec::new("addrform", ModuleKind::FormBranches { branches: 12 }, 1, 45))
+        .module(ModuleSpec::new("curform", ModuleKind::FormBranches { branches: 8 }, 1, 40))
+        .cross_links(10)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[allow(unused_imports)]
+    use crate::server::WebApp;
+
+    #[test]
+    fn size_matches_small_tier() {
+        let lines = oscommerce2().code_model().total_lines();
+        assert!((8_000..14_000).contains(&lines), "got {lines}");
+    }
+
+    #[test]
+    fn cart_page_is_routable() {
+        use crate::http::Request;
+        use crate::server::AppHost;
+        let mut host = AppHost::new(Box::new(oscommerce2()));
+        let resp = host.fetch(&Request::get("http://oscommerce.local/cart".parse().unwrap()));
+        assert!(resp.document().is_some());
+    }
+}

@@ -1,0 +1,58 @@
+//! PhpBB2 (v2.0.23) — a small PHP forum.
+//!
+//! The paper highlights PhpBB2 for *convergence speed*: MAK reaches its
+//! highest coverage in under six minutes while the baselines do not get
+//! there in thirty (§V-B). The model is therefore small enough to be
+//! exhausted in a few hundred interactions, with an archive-pagination trap
+//! that slows depth-first exploration.
+
+use super::blueprint::{Blueprint, BlueprintApp, ModuleKind, ModuleSpec};
+use crate::coverage::CoverageMode;
+
+/// Builds the PhpBB2 model.
+pub fn phpbb2() -> BlueprintApp {
+    Blueprint::new("phpbb2", "phpbb.local")
+        .coverage_mode(CoverageMode::Live)
+        .latency_ms(600.0)
+        .bootstrap_lines(150)
+        // Forum index: hub over boards.
+        .module(ModuleSpec::new("boards", ModuleKind::Hub, 34, 40))
+        // Topic listings: viewtopic-style URLs are reachable under several
+        // redundant parameterisations (`t=`, `start=`, `view=`).
+        .module(ModuleSpec::new("topics", ModuleKind::Aliased { aliases: 2 }, 40, 38))
+        // Posting form: creates new topic pages.
+        .module(ModuleSpec::new("post", ModuleKind::ContentCreation { max_items: 10 }, 1, 45))
+        // Member list.
+        .module(ModuleSpec::new("members", ModuleKind::Hub, 14, 35))
+        // Forum search.
+        .module(ModuleSpec::new("search", ModuleKind::NoopSearch, 1, 35))
+        // BBCode/post validation branches.
+        .module(ModuleSpec::new("bbcode", ModuleKind::FormBranches { branches: 12 }, 1, 40))
+        // Attachment validation paths.
+        .module(ModuleSpec::new("attach", ModuleKind::FormBranches { branches: 10 }, 1, 35))
+        // Old-topic archive: a long pagination chain of near-empty pages —
+        // depth-first strategies sink many steps here for almost no code.
+        .module(ModuleSpec::new("archive", ModuleKind::Pagination, 110, 3))
+        .cross_links(8)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[allow(unused_imports)]
+    use crate::server::WebApp;
+
+    #[test]
+    fn size_matches_small_tier() {
+        let lines = phpbb2().code_model().total_lines();
+        assert!((4_000..8_000).contains(&lines), "got {lines}");
+    }
+
+    #[test]
+    fn archive_contributes_little_code_despite_many_pages() {
+        let app = phpbb2();
+        // ~90 archive pages exist but carry ~3 lines each.
+        assert!(app.page_count() > 160, "got {}", app.page_count());
+    }
+}

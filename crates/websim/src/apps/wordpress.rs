@@ -1,0 +1,73 @@
+//! WordPress (v5.1.0) — a large PHP blogging platform.
+//!
+//! Two traits of the real system shape the model:
+//!
+//! - §III-B's critique: WordPress ships a **search engine** whose queries
+//!   read server state but never change it, so repeating searches yields no
+//!   new coverage — yet curiosity-driven rewards keep paying for them
+//!   ([`ModuleKind::NoopSearch`]);
+//! - the site is far larger than a 30-minute crawl can exhaust (Table II:
+//!   best crawler reaches only 50.5 % of the union ground truth), so the
+//!   model has more pages than a budgeted run can visit, including long
+//!   date-archive pagination chains.
+
+use super::blueprint::{Blueprint, BlueprintApp, ModuleKind, ModuleSpec};
+use crate::coverage::CoverageMode;
+
+/// Builds the WordPress model.
+pub fn wordpress() -> BlueprintApp {
+    Blueprint::new("wordpress", "wordpress.local")
+        .coverage_mode(CoverageMode::Live)
+        .latency_ms(750.0)
+        .bootstrap_lines(700)
+        // Far more distinct pages than a 30-minute run can reach, with
+        // modest per-page controller code: the union across many runs keeps
+        // growing long after any single run plateaus (Table II: 50.5 %).
+        .shared_ratio(0.4)
+        // Posts: the bulk of the site, a broad tree.
+        .module(ModuleSpec::new("posts", ModuleKind::Tree { branching: 4 }, 1200, 15))
+        // Static pages: hub.
+        .module(ModuleSpec::new("pages", ModuleKind::Hub, 650, 15))
+        // Category and tag listings.
+        .module(ModuleSpec::new("categories", ModuleKind::Tree { branching: 3 }, 520, 14))
+        // Tag listings, aliased (`?tag=x` vs `/tag/x/`-style duplicates).
+        .module(ModuleSpec::new("tags", ModuleKind::Aliased { aliases: 2 }, 420, 12))
+        // Admin-ish settings chains (reachable but deep).
+        .module(ModuleSpec::new("settings", ModuleKind::Chain, 60, 40))
+        .module(ModuleSpec::new("customize", ModuleKind::Chain, 40, 38))
+        // The famous no-op search (§III-B).
+        .module(ModuleSpec::new("search", ModuleKind::NoopSearch, 1, 50))
+        // Comments.
+        .module(ModuleSpec::new("comments", ModuleKind::ContentCreation { max_items: 12 }, 1, 45))
+        // Comment/content validation branches.
+        .module(ModuleSpec::new("kses", ModuleKind::FormBranches { branches: 10 }, 1, 45))
+        // Date archives: long pagination chains with trivial code — the
+        // depth-first trap, last in the pool.
+        .module(ModuleSpec::new("archive2019", ModuleKind::Pagination, 300, 3))
+        .module(ModuleSpec::new("archive2018", ModuleKind::Pagination, 260, 3))
+        .cross_links(70)
+        .external_links(4)
+        // `?p=`-style shortlinks: 302 redirects into content.
+        .redirect_links(25)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[allow(unused_imports)]
+    use crate::server::WebApp;
+
+    #[test]
+    fn is_a_large_model() {
+        let lines = wordpress().code_model().total_lines();
+        assert!((40_000..70_000).contains(&lines), "got {lines}");
+    }
+
+    #[test]
+    fn has_more_pages_than_a_budgeted_run_can_visit() {
+        // ~900 interactions per 30-minute run (§V-D): the model must exceed
+        // that so per-run coverage stays around half the union ground truth.
+        assert!(wordpress().page_count() > 1_200, "got {}", wordpress().page_count());
+    }
+}

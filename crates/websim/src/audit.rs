@@ -1,0 +1,195 @@
+//! Static reachability audit of application models.
+//!
+//! The testbed's value depends on its models being *sound*: every declared
+//! page should be reachable by some sequence of black-box interactions, or
+//! deliberately gated (login areas) or dead (Node.js bundles). The auditor
+//! walks an application exhaustively — following links, submitting forms
+//! with representative values, logging in, clicking buttons repeatedly —
+//! and reports what a maximal crawler could ever reach. The test suite runs
+//! it over all eleven models, so a mis-wired module fails CI rather than
+//! silently skewing an experiment.
+
+use crate::dom::{FieldKind, Interactable};
+use crate::http::{Body, Method, Request, Response, SessionId};
+use crate::server::{AppHost, WebApp};
+use std::collections::{BTreeSet, VecDeque};
+
+/// What the exhaustive walk reached.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Distinct normalized same-origin URLs visited.
+    pub urls_visited: usize,
+    /// Server lines covered by the walk.
+    pub lines_covered: u64,
+    /// Total declared lines (including deliberately dead code).
+    pub total_declared: u64,
+    /// Requests issued.
+    pub requests: u64,
+}
+
+impl AuditReport {
+    /// Covered fraction of the declared total.
+    pub fn coverage(&self) -> f64 {
+        self.lines_covered as f64 / self.total_declared.max(1) as f64
+    }
+}
+
+/// Exhaustively walks `app`, bounded by `max_requests` (the walk is not
+/// time-budgeted — it is a model audit, not an experiment).
+///
+/// Forms are submitted `form_rounds` times each with distinct values, so
+/// input-dependent branches and stateful flows are exercised repeatedly;
+/// password fields get the demo password so login gates open.
+pub fn audit_reachability(
+    app: Box<dyn WebApp>,
+    max_requests: u64,
+    form_rounds: u32,
+) -> AuditReport {
+    let mut host = AppHost::new(app);
+    let origin = host.app().seed_url();
+    let total_declared = host.app().code_model().total_lines();
+
+    let mut visited: BTreeSet<String> = BTreeSet::new();
+    let mut submitted: BTreeSet<String> = BTreeSet::new();
+    let mut queue: VecDeque<Request> = VecDeque::new();
+    let mut cookie: Option<SessionId> = None;
+    let mut fill = 0u64;
+
+    queue.push_back(Request::get(origin.clone()));
+    visited.insert(origin.normalized());
+
+    while let Some(mut req) = queue.pop_front() {
+        if host.request_count() >= max_requests {
+            break;
+        }
+        req.session = cookie;
+        let resp: Response = host.fetch(&req);
+        if resp.session.is_some() {
+            cookie = resp.session;
+        }
+        let doc = match resp.body {
+            Body::Html(doc) => doc,
+            Body::Redirect(location) => {
+                if location.same_origin(&origin) && visited.insert(location.normalized()) {
+                    queue.push_back(Request::get(location));
+                }
+                continue;
+            }
+            Body::Empty => continue,
+        };
+
+        for el in doc.interactables() {
+            if !el.target_url().same_origin(&origin) {
+                continue;
+            }
+            match &el {
+                Interactable::Link { href, .. } => {
+                    if visited.insert(href.normalized()) {
+                        queue.push_back(Request::get(href.clone()));
+                    }
+                }
+                Interactable::Button { target, .. } => {
+                    // Buttons are stateful: press them several times.
+                    let key = el.signature();
+                    if submitted.insert(key) {
+                        for _ in 0..form_rounds {
+                            queue.push_back(Request::post(target.clone(), Vec::new()));
+                        }
+                    }
+                }
+                Interactable::Form(form) => {
+                    let key = el.signature();
+                    if submitted.insert(key) {
+                        for round in 0..form_rounds {
+                            fill += 1;
+                            let data: Vec<(String, String)> = form
+                                .fields
+                                .iter()
+                                .map(|f| {
+                                    let value = match &f.kind {
+                                        FieldKind::Text => format!("audit{fill}r{round}"),
+                                        FieldKind::Hidden(v) => v.clone(),
+                                        FieldKind::Select(opts) => opts
+                                            .get(round as usize % opts.len().max(1))
+                                            .cloned()
+                                            .unwrap_or_default(),
+                                        FieldKind::Password => "password123".to_owned(),
+                                    };
+                                    (f.name.clone(), value)
+                                })
+                                .collect();
+                            let req = match form.method {
+                                Method::Get => {
+                                    let mut url = form.action.clone();
+                                    for (k, v) in data {
+                                        url = url.with_query(k, v);
+                                    }
+                                    Request::get(url)
+                                }
+                                Method::Post => Request::post(form.action.clone(), data),
+                            };
+                            queue.push_back(req);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    AuditReport {
+        urls_visited: visited.len(),
+        lines_covered: host.tracker().lines_covered_unchecked(),
+        total_declared,
+        requests: host.request_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+    use crate::coverage::CoverageMode;
+
+    #[test]
+    fn small_apps_are_almost_fully_reachable() {
+        // AddressBook and Vanilla: nearly everything is reachable; the
+        // remainder is multi-round conditional content (deep stages,
+        // unexhausted validation branches).
+        for name in ["addressbook", "vanilla"] {
+            let report = audit_reachability(apps::build(name).unwrap(), 50_000, 24);
+            assert!(
+                report.coverage() > 0.93,
+                "{name}: audit reached only {:.1}% ({} of {})",
+                100.0 * report.coverage(),
+                report.lines_covered,
+                report.total_declared
+            );
+        }
+    }
+
+    #[test]
+    fn every_model_is_mostly_reachable_modulo_dead_code() {
+        for name in apps::all_names() {
+            let app = apps::build(name).unwrap();
+            let is_node = app.coverage_mode() == CoverageMode::Final;
+            let report = audit_reachability(app, 60_000, 16);
+            // Node models carry deliberately dead bundles (~30-45%); PHP
+            // models should be broadly reachable. Branch pools need many
+            // submissions to exhaust, so thresholds stay conservative.
+            let floor = if is_node { 0.50 } else { 0.80 };
+            assert!(
+                report.coverage() > floor,
+                "{name}: {:.1}% reachable (floor {floor})",
+                100.0 * report.coverage()
+            );
+            assert!(report.urls_visited > 10, "{name}: walk explored URLs");
+        }
+    }
+
+    #[test]
+    fn request_bound_is_respected() {
+        let report = audit_reachability(apps::build("drupal").unwrap(), 500, 4);
+        assert!(report.requests <= 500 + 1);
+        assert!(report.lines_covered > 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Application hosting: the boundary between crawlers and simulated apps.
+//!
+//! A [`WebApp`] is a deterministic server-side program: given a request and
+//! its session, it records executed code [blocks](crate::coverage::Block)
+//! and produces a response. An [`AppHost`] wires an app to a
+//! [`CoverageTracker`] and a [`SessionStore`], playing the role of the
+//! deployed application + instrumentation stack of the paper's testbed.
+
+use crate::coverage::{Block, CodeModel, CoverageMode, CoverageTracker};
+use crate::http::{Request, Response};
+use crate::session::{Session, SessionStore};
+use crate::url::Url;
+
+/// Per-request context handed to [`WebApp::handle`]: the requester's session
+/// and the coverage recorder.
+#[derive(Debug)]
+pub struct RequestCtx<'a> {
+    session: &'a mut Session,
+    coverage: &'a mut CoverageTracker,
+    request_index: u64,
+}
+
+impl<'a> RequestCtx<'a> {
+    /// The requester's server-side session.
+    pub fn session(&mut self) -> &mut Session {
+        self.session
+    }
+
+    /// The 1-based index of this request since deployment — lets apps model
+    /// deterministic transient failures (every n-th request erroring).
+    pub fn request_index(&self) -> u64 {
+        self.request_index
+    }
+
+    /// Records execution of a code block.
+    pub fn execute(&mut self, block: Block) {
+        self.coverage.hit(block);
+    }
+
+    /// Records execution of several blocks.
+    pub fn execute_all(&mut self, blocks: &[Block]) {
+        for b in blocks {
+            self.coverage.hit(*b);
+        }
+    }
+}
+
+/// A deterministic simulated web application.
+///
+/// Implementations must be pure functions of `(request, session)`: the
+/// simulator relies on this for reproducible experiments.
+pub trait WebApp {
+    /// Short identifier, e.g. `"drupal"`.
+    fn name(&self) -> &str;
+
+    /// The URL crawling starts from (§II-B: the seed URL).
+    fn seed_url(&self) -> Url;
+
+    /// The app's declared server-side code.
+    fn code_model(&self) -> &CodeModel;
+
+    /// Whether coverage is observable live (Xdebug/PHP) or only at the end
+    /// (coverage-node/Node.js).
+    fn coverage_mode(&self) -> CoverageMode;
+
+    /// Base page-load latency in virtual milliseconds, used by the
+    /// browser's cost model. Larger applications respond more slowly.
+    fn base_latency_ms(&self) -> f64 {
+        300.0
+    }
+
+    /// Handles one request.
+    fn handle(&self, req: &Request, ctx: &mut RequestCtx<'_>) -> Response;
+}
+
+/// A hosted application instance: app + coverage + sessions + counters.
+///
+/// One `AppHost` corresponds to one fresh deployment, i.e. one experimental
+/// run. The host is the *measurement* boundary: crawlers only see
+/// [`Response`]s, while the harness reads coverage through
+/// [`tracker`](AppHost::tracker).
+pub struct AppHost {
+    app: Box<dyn WebApp>,
+    tracker: CoverageTracker,
+    sessions: SessionStore,
+    requests: u64,
+}
+
+impl std::fmt::Debug for AppHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppHost")
+            .field("app", &self.app.name())
+            .field("requests", &self.requests)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AppHost {
+    /// Deploys `app` with a fresh coverage tracker and session store.
+    pub fn new(app: Box<dyn WebApp>) -> Self {
+        let tracker = CoverageTracker::new(app.code_model(), app.coverage_mode());
+        AppHost { app, tracker, sessions: SessionStore::new(), requests: 0 }
+    }
+
+    /// The hosted application.
+    pub fn app(&self) -> &dyn WebApp {
+        &*self.app
+    }
+
+    /// Serves one request: resolves the session, dispatches to the app, and
+    /// stamps the session cookie on the response.
+    ///
+    /// Requests for foreign hosts are answered with `404` — the simulator
+    /// hosts exactly one application, like the paper's per-app testbeds.
+    pub fn fetch(&mut self, req: &Request) -> Response {
+        self.requests += 1;
+        if !req.url.same_origin(&self.app.seed_url()) {
+            return Response::not_found();
+        }
+        let (sid, session) = self.sessions.get_or_create(req.session);
+        let mut ctx =
+            RequestCtx { session, coverage: &mut self.tracker, request_index: self.requests };
+        let mut resp = self.app.handle(req, &mut ctx);
+        resp.session = Some(sid);
+        resp
+    }
+
+    /// Number of requests served so far.
+    pub fn request_count(&self) -> u64 {
+        self.requests
+    }
+
+    /// Ends the run, sealing final-mode coverage.
+    pub fn shutdown(&mut self) {
+        self.tracker.seal();
+    }
+
+    /// The coverage tracker (measurement side).
+    pub fn tracker(&self) -> &CoverageTracker {
+        &self.tracker
+    }
+
+    /// Live covered-line count for harness-side time series. Not available
+    /// to crawlers; respects nothing — see
+    /// [`CoverageTracker::observe_lines_covered`] for the tool-faithful view.
+    pub fn harness_lines_covered(&self) -> u64 {
+        self.tracker.lines_covered_unchecked()
+    }
+
+    /// Allocated session id for `cookie`, if the store knows it.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+/// Convenience: a trivial single-page app used in tests and doctests.
+///
+/// # Examples
+///
+/// ```
+/// use mak_websim::server::{AppHost, StaticApp};
+/// use mak_websim::http::Request;
+///
+/// let mut host = AppHost::new(Box::new(StaticApp::default()));
+/// let resp = host.fetch(&Request::get(host.app().seed_url()));
+/// assert!(resp.document().is_some());
+/// assert!(host.harness_lines_covered() > 0);
+/// ```
+#[derive(Debug)]
+pub struct StaticApp {
+    model: CodeModel,
+    block: Block,
+}
+
+impl Default for StaticApp {
+    fn default() -> Self {
+        let mut model = CodeModel::new();
+        let file = model.declare_file("index.php", 10);
+        StaticApp { model, block: Block { file, start: 1, end: 10 } }
+    }
+}
+
+impl WebApp for StaticApp {
+    fn name(&self) -> &str {
+        "static"
+    }
+
+    fn seed_url(&self) -> Url {
+        Url::new("static.local", "/")
+    }
+
+    fn code_model(&self) -> &CodeModel {
+        &self.model
+    }
+
+    fn coverage_mode(&self) -> CoverageMode {
+        CoverageMode::Live
+    }
+
+    fn handle(&self, req: &Request, ctx: &mut RequestCtx<'_>) -> Response {
+        use crate::dom::{Element, Tag};
+        ctx.execute(self.block);
+        let body = Element::new(Tag::Body)
+            .child(Element::new(Tag::A).attr("href", "/").text("home"));
+        Response::html(crate::dom::Document::new(req.url.clone(), "static", body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_serves_and_tracks_coverage() {
+        let mut host = AppHost::new(Box::new(StaticApp::default()));
+        let req = Request::get(host.app().seed_url());
+        let resp = host.fetch(&req);
+        assert_eq!(resp.status, crate::http::Status::Ok);
+        assert!(resp.session.is_some());
+        assert_eq!(host.harness_lines_covered(), 10);
+        assert_eq!(host.request_count(), 1);
+    }
+
+    #[test]
+    fn foreign_host_is_not_found() {
+        let mut host = AppHost::new(Box::new(StaticApp::default()));
+        let resp = host.fetch(&Request::get("http://elsewhere.example/".parse().unwrap()));
+        assert_eq!(resp.status, crate::http::Status::NotFound);
+    }
+
+    #[test]
+    fn sessions_persist_across_requests() {
+        let mut host = AppHost::new(Box::new(StaticApp::default()));
+        let first = host.fetch(&Request::get(host.app().seed_url()));
+        let sid = first.session.unwrap();
+        let mut req = Request::get(host.app().seed_url());
+        req.session = Some(sid);
+        let second = host.fetch(&req);
+        assert_eq!(second.session, Some(sid));
+        assert_eq!(host.session_count(), 1);
+    }
+
+    #[test]
+    fn shutdown_seals_coverage() {
+        let mut host = AppHost::new(Box::new(StaticApp::default()));
+        host.fetch(&Request::get(host.app().seed_url()));
+        host.shutdown();
+        assert!(host.tracker().is_sealed());
+        assert_eq!(host.tracker().observe_lines_covered(), Ok(10));
+    }
+}

@@ -1,0 +1,69 @@
+//! Small deterministic hashing helpers.
+//!
+//! The simulator derives all "arbitrary" structure (page sizes, alias
+//! parameter names, garbage strings) from stable 64-bit mixes of names and
+//! indices, so an application model is byte-identical across runs and
+//! platforms — the deployed apps of the paper's testbed do not change
+//! between experiments, and neither do ours.
+
+/// SplitMix64 finalizer: a fast, well-distributed 64-bit mixer.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Stable 64-bit hash of a string (FNV-1a folded through [`mix64`]).
+pub fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// Deterministic value in `[lo, hi]` derived from `(seed, tag, index)`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn det_range(seed: u64, tag: &str, index: u64, lo: u32, hi: u32) -> u32 {
+    assert!(lo <= hi, "det_range: lo > hi");
+    let span = u64::from(hi - lo) + 1;
+    let h = mix64(seed ^ hash_str(tag) ^ mix64(index));
+    lo + (h % span) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_changes_input() {
+        assert_ne!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn hash_str_is_stable_and_distinguishes() {
+        assert_eq!(hash_str("drupal"), hash_str("drupal"));
+        assert_ne!(hash_str("drupal"), hash_str("matomo"));
+        assert_ne!(hash_str(""), 0);
+    }
+
+    #[test]
+    fn det_range_within_bounds_and_stable() {
+        for i in 0..100 {
+            let v = det_range(42, "page", i, 30, 90);
+            assert!((30..=90).contains(&v));
+            assert_eq!(v, det_range(42, "page", i, 30, 90));
+        }
+    }
+
+    #[test]
+    fn det_range_degenerate_interval() {
+        assert_eq!(det_range(1, "x", 0, 7, 7), 7);
+    }
+}

@@ -1,0 +1,132 @@
+//! Fuzz-style robustness tests: the simulator must never panic on
+//! adversarial inputs — malformed URLs, arbitrary requests against every
+//! application model, hostile form data.
+
+use mak_websim::apps;
+use mak_websim::http::{Method, Request};
+use mak_websim::server::AppHost;
+use mak_websim::url::Url;
+use proptest::prelude::*;
+
+proptest! {
+    /// Parsing never panics, whatever the input; it either yields a URL
+    /// that re-parses identically or a structured error.
+    #[test]
+    fn url_parsing_is_total(input in ".{0,120}") {
+        match input.parse::<Url>() {
+            Ok(url) => {
+                let reparsed: Url = url.to_string().parse().expect("display is canonical");
+                prop_assert_eq!(url, reparsed);
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    /// join() never panics against arbitrary hrefs.
+    #[test]
+    fn url_join_is_total(href in ".{0,80}") {
+        let base: Url = "http://h/dir/page".parse().unwrap();
+        let _ = base.join(&href);
+    }
+
+    /// Every app answers arbitrary same-origin requests without panicking,
+    /// and always returns a well-formed response.
+    #[test]
+    fn apps_survive_arbitrary_requests(
+        app_idx in 0usize..11,
+        path in "[/a-z0-9?=&.]{0,60}",
+        post in proptest::bool::ANY,
+        form in proptest::collection::vec(("[a-z]{1,8}", ".{0,20}"), 0..4),
+    ) {
+        let names = apps::all_names();
+        let name = names[app_idx];
+        let mut host = AppHost::new(apps::build(name).unwrap());
+        let host_name = host.app().seed_url().host().to_owned();
+        let raw = format!("http://{host_name}/{}", path.trim_start_matches('/'));
+        if let Ok(url) = raw.parse::<Url>() {
+            let mut req = if post {
+                Request::post(url, form.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+            } else {
+                Request::get(url)
+            };
+            req.method = if post { Method::Post } else { Method::Get };
+            let resp = host.fetch(&req);
+            prop_assert!(resp.session.is_some(), "{name}: session always established");
+            // Any HTML body must be renderable to text and tags.
+            if let Some(doc) = resp.document() {
+                let _ = doc.tag_sequence();
+                let _ = doc.text_content();
+                let _ = doc.to_html();
+                let _ = doc.interactables();
+            }
+        }
+    }
+}
+
+/// Deeply malformed but syntactically valid requests against the trickiest
+/// handlers (widgets with session state).
+#[test]
+fn widget_endpoints_handle_hostile_input() {
+    let hostile_values =
+        ["", " ", "0", "-1", "999999999999999999999", "<script>", "a&b=c", "\u{0}"];
+    for (app, path) in [
+        ("drupal", "/shortcuts"),
+        ("oscommerce2", "/cart?act=buy"),
+        ("oscommerce2", "/cart?act=nonsense"),
+        ("phpbb2", "/post?id=-1"),
+        ("phpbb2", "/post?id=99999"),
+        ("wordpress", "/search"),
+        ("hotcrp", "/scoreform"),
+    ] {
+        let mut host = AppHost::new(apps::build(app).unwrap());
+        for value in hostile_values {
+            let url: Url = format!("http://{}{}", host.app().seed_url().host(), path)
+                .parse()
+                .unwrap();
+            let req = Request::post(
+                url,
+                vec![
+                    ("title".into(), value.into()),
+                    ("data".into(), value.into()),
+                    ("q".into(), value.into()),
+                    ("id".into(), value.into()),
+                ],
+            );
+            let resp = host.fetch(&req);
+            assert!(resp.session.is_some(), "{app}{path} with {value:?}");
+        }
+    }
+}
+
+/// The session store survives interleaved cookies from many "clients".
+#[test]
+fn many_sessions_interleave_safely() {
+    let mut host = AppHost::new(apps::build("oscommerce2").unwrap());
+    let mut cookies = Vec::new();
+    for _ in 0..10 {
+        let resp = host.fetch(&Request::get("http://oscommerce.local/".parse().unwrap()));
+        cookies.push(resp.session.unwrap());
+    }
+    // Interleave cart mutations per session; counters must stay isolated.
+    for (i, &cookie) in cookies.iter().enumerate() {
+        for _ in 0..=i {
+            let mut req =
+                Request::post("http://oscommerce.local/cart?act=add".parse().unwrap(), vec![]);
+            req.session = Some(cookie);
+            host.fetch(&req);
+        }
+    }
+    for (i, &cookie) in cookies.iter().enumerate() {
+        let mut req = Request::get("http://oscommerce.local/cart".parse().unwrap());
+        req.session = Some(cookie);
+        let resp = host.fetch(&req);
+        let text = resp.document().unwrap().text_content();
+        assert!(
+            text.contains(&format!("items: {}", i + 1)),
+            "session {i}: expected items: {} in {text}",
+            i + 1
+        );
+    }
+}

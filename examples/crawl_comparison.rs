@@ -1,0 +1,59 @@
+//! Compare all six crawlers — MAK, WebExplor, QExplore, BFS, DFS, Random —
+//! on one application, like a single column of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release --example crawl_comparison [app] [minutes] [seeds]
+//! ```
+
+use mak::spec::{build_crawler, CRAWLER_NAMES};
+use mak_metrics::experiment::{run_matrix, RunMatrix};
+use mak_metrics::ground_truth::UnionCoverage;
+use mak_metrics::report::markdown_table;
+use mak_metrics::stats::mean;
+use mak::framework::engine::EngineConfig;
+use mak_websim::apps;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let app = args.next().unwrap_or_else(|| "oscommerce2".to_owned());
+    let minutes: f64 = args.next().and_then(|m| m.parse().ok()).unwrap_or(10.0);
+    let seeds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    if apps::build(&app).is_none() {
+        eprintln!("unknown app `{app}`; available: {:?}", apps::all_names());
+        std::process::exit(1);
+    }
+    // All names resolve; fail early if the registry ever drifts.
+    for name in CRAWLER_NAMES {
+        build_crawler(name, 0).expect("registered crawler");
+    }
+
+    println!("Running {} crawlers x {seeds} seeds on `{app}` ({minutes} virtual minutes)…", CRAWLER_NAMES.len());
+    let matrix = RunMatrix::new([app.clone()], CRAWLER_NAMES.iter().copied(), seeds)
+        .with_config(EngineConfig::with_budget_minutes(minutes));
+    let reports = run_matrix(&matrix, std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+
+    let union = UnionCoverage::from_reports(reports.iter());
+    let mut rows = Vec::new();
+    for crawler in CRAWLER_NAMES {
+        let of = |f: &dyn Fn(&mak::framework::engine::CrawlReport) -> f64| -> f64 {
+            mean(&reports.iter().filter(|r| &r.crawler == crawler).map(f).collect::<Vec<_>>())
+        };
+        rows.push(vec![
+            (*crawler).to_owned(),
+            format!("{:.0}", of(&|r| r.final_lines_covered as f64)),
+            format!("{:.1}%", 100.0 * of(&|r| r.final_lines_covered as f64) / union.len() as f64),
+            format!("{:.0}", of(&|r| r.interactions as f64)),
+            format!("{:.0}", of(&|r| r.distinct_urls as f64)),
+        ]);
+    }
+    println!();
+    println!(
+        "{}",
+        markdown_table(
+            &["Crawler", "Mean lines", "% of union GT", "Interactions", "Distinct URLs"],
+            &rows
+        )
+    );
+    println!("Union ground truth (§V-B): {} lines.", union.len());
+}

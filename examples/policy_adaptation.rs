@@ -1,0 +1,43 @@
+//! Watch Exp3.1 adapt: arm usage per time slice on structurally different
+//! applications (§IV-D's motivation — different parts of different apps
+//! favor different navigation strategies).
+//!
+//! ```sh
+//! cargo run --release --example policy_adaptation
+//! ```
+
+use mak_metrics::trace::{mean_reward_per_action, traced_run};
+
+fn main() {
+    for app in ["hotcrp", "wordpress"] {
+        println!("=== MAK on {app} (30 virtual minutes, 6 slices) ===");
+        let (report, usage) =
+            traced_run("mak", app, 30.0, 11, 6).expect("known crawler and app");
+
+        println!("{:>10} {:>8} {:>8} {:>8}", "slice", "Head", "Tail", "Random");
+        for slice in &usage {
+            println!(
+                "{:>7.0}min {:>7.0}% {:>7.0}% {:>7.0}%",
+                slice.start_secs / 60.0,
+                100.0 * slice.share("Head"),
+                100.0 * slice.share("Tail"),
+                100.0 * slice.share("Random"),
+            );
+        }
+
+        let rewards = mean_reward_per_action(&report.trace);
+        print!("mean reward:");
+        for (action, reward) in &rewards {
+            print!("  {action} {reward:.3}");
+        }
+        println!(
+            "\ncovered {} lines with {} interactions\n",
+            report.final_lines_covered, report.interactions
+        );
+    }
+    println!(
+        "Reading guide: the arm mix shifts between applications and across time\n\
+         within an application — the stateless policy is adapting to whichever\n\
+         navigation strategy currently yields link-coverage reward (§IV-D)."
+    );
+}

@@ -1,0 +1,53 @@
+//! Use a crawler as a scanner front-end — the paper's §VII future-work
+//! integration. Enumerates the attack surface of an application with each
+//! crawler, probes for reflected inputs, and shows how crawl coverage
+//! drives scanner yield.
+//!
+//! ```sh
+//! cargo run --release --example scanner [app]
+//! ```
+
+use mak_scanner::scan::{run_scan, ScanConfig};
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "wordpress".to_owned());
+    let config = ScanConfig::with_minutes(10.0, 5.0);
+
+    println!("Scanning `{app}` (10 min crawl + 5 min probing) with three front-ends:\n");
+    println!(
+        "{:<10} {:>9} {:>7} {:>6} {:>9} {:>9}",
+        "crawler", "endpoints", "params", "forms", "findings", "lines"
+    );
+    for crawler in ["mak", "webexplor", "qexplore"] {
+        let Some(report) = run_scan(crawler, &app, &config, 7) else {
+            eprintln!("unknown app `{app}`");
+            std::process::exit(1);
+        };
+        println!(
+            "{:<10} {:>9} {:>7} {:>6} {:>9} {:>9}",
+            report.crawler,
+            report.surface.endpoint_count(),
+            report.surface.param_count(),
+            report.surface.form_count(),
+            report.findings.len(),
+            report.lines_covered,
+        );
+    }
+
+    let report = run_scan("mak", &app, &config, 7).expect("app verified above");
+    if report.findings.is_empty() {
+        println!("\nNo reflected inputs on this app.");
+    } else {
+        println!("\nReflected-input findings (MAK front-end):");
+        for f in &report.findings {
+            match &f.sink {
+                mak_scanner::probe::Sink::QueryParam { path, param } => {
+                    println!("  GET  {path}?{param}=… echoes its value");
+                }
+                mak_scanner::probe::Sink::FormField { action, field } => {
+                    println!("  POST {action} field `{field}` echoes its value");
+                }
+            }
+        }
+    }
+}

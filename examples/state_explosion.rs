@@ -1,0 +1,68 @@
+//! Reproduce the paper's Fig. 1 failure modes interactively: watch the
+//! WebExplor and QExplore state abstractions manufacture redundant states
+//! on the HotCRP and Drupal models.
+//!
+//! ```sh
+//! cargo run --release --example state_explosion
+//! ```
+
+use mak::framework::qcrawler::StateAbstraction;
+use mak::qexplore::QExploreState;
+use mak::webexplor::WebExplorState;
+use mak_browser::client::Browser;
+use mak_browser::clock::VirtualClock;
+use mak_websim::apps;
+use mak_websim::dom::Interactable;
+use mak_websim::server::AppHost;
+
+fn main() {
+    // --- WebExplor + HotCRP aliases (Fig. 1 top) -------------------------
+    println!("WebExplor on HotCRP: exact URL matching vs alias links");
+    let host = AppHost::new(apps::build("hotcrp").expect("hotcrp model"));
+    let mut browser = Browser::new(host, VirtualClock::with_budget_minutes(30.0), 0);
+    let hub = browser.navigate(&"http://hotcrp.local/paper/p0".parse().unwrap()).unwrap();
+
+    let mut states = WebExplorState::new();
+    let origin = browser.origin().clone();
+    let mut shown = 0;
+    for el in hub.valid_interactables(&origin) {
+        let Interactable::Link { href, .. } = el else { continue };
+        if !href.path().starts_with("/paper/p") || href.query().is_empty() {
+            continue;
+        }
+        let page = browser.navigate(href).unwrap();
+        let id = states.state_of(&page);
+        println!("  {href}  ->  state #{id} (page: {})", page.title());
+        shown += 1;
+        if shown == 4 {
+            break;
+        }
+    }
+    println!("  states created: {} (every alias URL is a \"new\" state)\n", states.state_count());
+
+    // --- QExplore + Drupal shortcuts (Fig. 1 bottom) ---------------------
+    println!("QExplore on Drupal: attribute-value hashing vs a mutating page");
+    let host = AppHost::new(apps::build("drupal").expect("drupal model"));
+    let mut browser = Browser::new(host, VirtualClock::with_budget_minutes(30.0), 0);
+    let mut page = browser.navigate(&"http://drupal.local/shortcuts".parse().unwrap()).unwrap();
+    let form = page
+        .valid_interactables(browser.origin())
+        .find(|i| matches!(i, Interactable::Form(_)))
+        .cloned()
+        .expect("shortcut form");
+
+    let mut states = QExploreState::new();
+    for submission in 0..5 {
+        let id = states.state_of(&page);
+        println!(
+            "  submissions: {submission}, elements on page: {}, state #{id}",
+            page.interactables().len()
+        );
+        page = browser.execute(&form).unwrap();
+    }
+    println!("  states created: {} — unbounded growth from broken links", states.state_count());
+
+    // The links the trap adds really are broken:
+    let broken = browser.navigate(&"http://drupal.local/shortcuts/go/s0".parse().unwrap()).unwrap();
+    println!("  following an added shortcut: HTTP {}", broken.status());
+}

@@ -1,0 +1,240 @@
+//! `mak-cli` — drive the MAK reproduction from the command line.
+//!
+//! ```text
+//! mak-cli apps                       list the testbed applications
+//! mak-cli crawlers                   list the registered crawlers
+//! mak-cli crawl <app> [options]      run one crawl and print a report
+//! mak-cli compare <app> [options]    run every crawler on one app
+//! mak-cli scan <app> [options]       crawl then probe for reflected inputs
+//!
+//! options:
+//!   --crawler <name>    crawler for `crawl` (default: mak)
+//!   --minutes <f64>     virtual budget (default: 30)
+//!   --seed <u64>        RNG seed (default: 0)
+//!   --seeds <u64>       repetitions for `compare` (default: 3)
+//!   --trace             print the per-step action trace (crawl only)
+//! ```
+
+use mak::framework::engine::{run_crawl, EngineConfig};
+use mak::spec::{build_crawler, CRAWLER_NAMES, MAK_VARIANTS};
+use mak_metrics::experiment::{run_matrix, RunMatrix};
+use mak_metrics::ground_truth::UnionCoverage;
+use mak_metrics::report::markdown_table;
+use mak_metrics::stats::mean;
+use mak_websim::apps;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Options {
+    crawler: String,
+    minutes: f64,
+    seed: u64,
+    seeds: u64,
+    trace: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { crawler: "mak".to_owned(), minutes: 30.0, seed: 0, seeds: 3, trace: false }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--crawler" => {
+                opts.crawler =
+                    it.next().ok_or("--crawler needs a value")?.clone();
+            }
+            "--minutes" => {
+                opts.minutes = it
+                    .next()
+                    .ok_or("--minutes needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --minutes: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--seeds" => {
+                opts.seeds = it
+                    .next()
+                    .ok_or("--seeds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seeds: {e}"))?;
+            }
+            "--trace" => opts.trace = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if opts.minutes <= 0.0 {
+        return Err("--minutes must be positive".to_owned());
+    }
+    if opts.seeds == 0 {
+        return Err("--seeds must be at least 1".to_owned());
+    }
+    Ok(opts)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mak-cli <apps|crawlers|crawl <app>|compare <app>|scan <app>> \
+         [--crawler NAME] [--minutes F] [--seed N] [--seeds N] [--trace]"
+    );
+    ExitCode::FAILURE
+}
+
+fn cmd_scan(app: &str, opts: &Options) -> ExitCode {
+    use mak_scanner::probe::Sink;
+    use mak_scanner::scan::{run_scan, ScanConfig};
+    let config = ScanConfig::with_minutes(opts.minutes, (opts.minutes / 3.0).max(1.0));
+    let Some(report) = run_scan(&opts.crawler, app, &config, opts.seed) else {
+        eprintln!("unknown crawler `{}` or app `{app}`", opts.crawler);
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "{} scanned {}: {} endpoints, {} params, {} forms from {} crawl interactions",
+        report.crawler,
+        report.app,
+        report.surface.endpoint_count(),
+        report.surface.param_count(),
+        report.surface.form_count(),
+        report.crawl_interactions,
+    );
+    if report.findings.is_empty() {
+        println!("no reflected inputs found");
+    } else {
+        for f in &report.findings {
+            match &f.sink {
+                Sink::QueryParam { path, param } => {
+                    println!("REFLECTED  GET  {path} param `{param}`");
+                }
+                Sink::FormField { action, field } => {
+                    println!("REFLECTED  POST {action} field `{field}`");
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_apps() -> ExitCode {
+    println!("{:<14} {:>10}  coverage", "app", "lines");
+    for name in apps::all_names() {
+        let app = apps::build(name).expect("registered app");
+        let mode = match app.coverage_mode() {
+            mak_websim::coverage::CoverageMode::Live => "live (Xdebug-style)",
+            mak_websim::coverage::CoverageMode::Final => "final (coverage-node-style)",
+        };
+        println!("{name:<14} {:>10}  {mode}", app.code_model().total_lines());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_crawlers() -> ExitCode {
+    println!("paper crawlers : {}", CRAWLER_NAMES.join(", "));
+    println!("MAK variants   : {}", MAK_VARIANTS.join(", "));
+    ExitCode::SUCCESS
+}
+
+fn cmd_crawl(app: &str, opts: &Options) -> ExitCode {
+    let Some(app_model) = apps::build(app) else {
+        eprintln!("unknown app `{app}`; run `mak-cli apps`");
+        return ExitCode::FAILURE;
+    };
+    let Some(mut crawler) = build_crawler(&opts.crawler, opts.seed) else {
+        eprintln!("unknown crawler `{}`; run `mak-cli crawlers`", opts.crawler);
+        return ExitCode::FAILURE;
+    };
+    let total = app_model.code_model().total_lines();
+    let mut config = EngineConfig::with_budget_minutes(opts.minutes);
+    config.record_trace = opts.trace;
+
+    let report = run_crawl(&mut *crawler, app_model, &config, opts.seed);
+    println!(
+        "{} on {}: {}/{} lines ({:.1}%), {} interactions, {} URLs, {:.0}s virtual",
+        report.crawler,
+        report.app,
+        report.final_lines_covered,
+        total,
+        100.0 * report.final_lines_covered as f64 / total as f64,
+        report.interactions,
+        report.distinct_urls,
+        report.elapsed_secs,
+    );
+    if let Some(states) = report.state_count {
+        println!("states created: {states}");
+    }
+    if opts.trace {
+        for entry in &report.trace {
+            match entry.reward {
+                Some(r) => println!("{:8.1}s  {:<60}  r={r:.3}", entry.secs, entry.action),
+                None => println!("{:8.1}s  {:<60}", entry.secs, entry.action),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(app: &str, opts: &Options) -> ExitCode {
+    if apps::build(app).is_none() {
+        eprintln!("unknown app `{app}`; run `mak-cli apps`");
+        return ExitCode::FAILURE;
+    }
+    let matrix = RunMatrix::new([app], CRAWLER_NAMES.iter().copied(), opts.seeds)
+        .with_config(EngineConfig::with_budget_minutes(opts.minutes));
+    eprintln!("running {} crawls…", matrix.run_count());
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let reports = run_matrix(&matrix, threads);
+
+    let union = UnionCoverage::from_reports(reports.iter());
+    let mut rows = Vec::new();
+    for crawler in CRAWLER_NAMES {
+        let lines: Vec<f64> = reports
+            .iter()
+            .filter(|r| &r.crawler == crawler)
+            .map(|r| r.final_lines_covered as f64)
+            .collect();
+        rows.push(vec![
+            (*crawler).to_owned(),
+            format!("{:.0}", mean(&lines)),
+            format!("{:.1}%", 100.0 * mean(&lines) / union.len() as f64),
+        ]);
+    }
+    println!("{}", markdown_table(&["Crawler", "Mean lines", "% of union"], &rows));
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { return usage() };
+    match command.as_str() {
+        "apps" => cmd_apps(),
+        "crawlers" => cmd_crawlers(),
+        "crawl" | "compare" | "scan" => {
+            let Some(app) = args.get(1) else {
+                eprintln!("`{command}` needs an application name");
+                return usage();
+            };
+            let opts = match parse_options(&args[2..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            match command.as_str() {
+                "crawl" => cmd_crawl(app, &opts),
+                "scan" => cmd_scan(app, &opts),
+                _ => cmd_compare(app, &opts),
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,19 @@
+//! Root crate of the MAK reproduction workspace.
+//!
+//! This crate only hosts the repository-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). The actual functionality lives in
+//! the member crates:
+//!
+//! - [`mak`] — the crawler framework and the MAK / WebExplor / QExplore /
+//!   BFS / DFS / Random crawlers,
+//! - [`mak_websim`] — the web-application simulator and the eleven
+//!   application models of the paper's testbed,
+//! - [`mak_browser`] — the black-box client and virtual clock,
+//! - [`mak_bandit`] — Exp3.1 and the other policy-learning algorithms,
+//! - [`mak_metrics`] — experiment runner, ground-truth estimation, regret.
+
+pub use mak;
+pub use mak_bandit;
+pub use mak_browser;
+pub use mak_metrics;
+pub use mak_websim;

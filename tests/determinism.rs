@@ -1,0 +1,54 @@
+//! Reproducibility guarantees: every run is a pure function of
+//! `(app, crawler, seed, config)`.
+
+use mak::framework::engine::{run_crawl, CrawlReport, EngineConfig};
+use mak::spec::{build_crawler, CRAWLER_NAMES};
+use mak_websim::apps;
+
+fn run(crawler: &str, app: &str, seed: u64) -> CrawlReport {
+    let cfg = EngineConfig::with_budget_minutes(3.0);
+    let mut c = build_crawler(crawler, seed).expect("known crawler");
+    run_crawl(&mut *c, apps::build(app).expect("known app"), &cfg, seed)
+}
+
+#[test]
+fn every_crawler_is_deterministic_per_seed() {
+    for crawler in CRAWLER_NAMES {
+        let a = run(crawler, "vanilla", 9);
+        let b = run(crawler, "vanilla", 9);
+        assert_eq!(a.final_lines_covered, b.final_lines_covered, "{crawler}");
+        assert_eq!(a.interactions, b.interactions, "{crawler}");
+        assert_eq!(a.distinct_urls, b.distinct_urls, "{crawler}");
+        assert_eq!(a.covered_lines, b.covered_lines, "{crawler}");
+        assert_eq!(a.coverage_series, b.coverage_series, "{crawler}");
+    }
+}
+
+#[test]
+fn seeds_change_stochastic_crawlers() {
+    let a = run("random", "phpbb2", 1);
+    let b = run("random", "phpbb2", 2);
+    assert!(
+        a.covered_lines != b.covered_lines || a.interactions != b.interactions,
+        "different seeds should explore differently"
+    );
+}
+
+#[test]
+fn app_models_are_identical_across_instantiations() {
+    for name in apps::all_names() {
+        let x = apps::build(name).unwrap();
+        let y = apps::build(name).unwrap();
+        assert_eq!(x.code_model().total_lines(), y.code_model().total_lines(), "{name}");
+        assert_eq!(x.seed_url(), y.seed_url(), "{name}");
+        assert_eq!(x.coverage_mode(), y.coverage_mode(), "{name}");
+    }
+}
+
+#[test]
+fn engine_budget_is_respected() {
+    let report = run("mak", "addressbook", 4);
+    // The run may overshoot only by the cost of its final in-flight step.
+    assert!(report.elapsed_secs >= 0.95 * 180.0, "budget mostly used: {}", report.elapsed_secs);
+    assert!(report.elapsed_secs <= 190.0, "no runaway: {}", report.elapsed_secs);
+}

@@ -1,0 +1,85 @@
+//! End-to-end integration: the full measurement pipeline from run matrix to
+//! Table-II-style numbers, across all five crates.
+
+use mak::framework::engine::EngineConfig;
+use mak_metrics::experiment::{run_matrix, RunMatrix};
+use mak_metrics::ground_truth::UnionCoverage;
+use mak_metrics::regret::{cumulative_regret, AppOutcome};
+use mak_metrics::report::{from_json, to_json, RunSummary};
+use mak_metrics::stats::mean;
+use std::collections::BTreeMap;
+
+fn small_matrix(apps: &[&str], crawlers: &[&str]) -> RunMatrix {
+    RunMatrix::new(apps.iter().copied(), crawlers.iter().copied(), 2)
+        .with_config(EngineConfig::with_budget_minutes(3.0))
+}
+
+#[test]
+fn pipeline_produces_coherent_table2_cell() {
+    let matrix = small_matrix(&["addressbook"], &["mak", "webexplor"]);
+    let reports = run_matrix(&matrix, 4);
+    assert_eq!(reports.len(), 4);
+
+    let union = UnionCoverage::from_reports(reports.iter());
+    assert!(union.len() > 0);
+    for r in &reports {
+        let cov = union.coverage_of(r);
+        assert!((0.0..=1.0).contains(&cov), "coverage {cov} out of range");
+        assert_eq!(r.covered_lines.len() as u64, r.final_lines_covered);
+    }
+
+    // Per-crawler means are comparable and MAK is at least competitive on
+    // the smallest app even at this tiny budget.
+    let mean_of = |name: &str| {
+        mean(
+            &reports
+                .iter()
+                .filter(|r| r.crawler == name)
+                .map(|r| union.coverage_of(r))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert!(mean_of("mak") >= mean_of("webexplor") * 0.9);
+}
+
+#[test]
+fn regret_pipeline_runs_over_multiple_apps() {
+    let matrix = small_matrix(&["addressbook", "vanilla"], &["bfs", "dfs"]);
+    let reports = run_matrix(&matrix, 4);
+
+    let mut outcomes = Vec::new();
+    for app in ["addressbook", "vanilla"] {
+        let app_reports: Vec<_> = reports.iter().filter(|r| r.app == app).collect();
+        let union = UnionCoverage::from_reports(app_reports.iter().copied());
+        let mut runs: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for r in &app_reports {
+            runs.entry(r.crawler.clone()).or_default().push(r.final_lines_covered as f64);
+        }
+        outcomes.push(AppOutcome::from_runs(app, &runs, union.len() as f64));
+    }
+    let cumulative = cumulative_regret(&outcomes);
+    assert_eq!(cumulative.len(), 2);
+    assert!(cumulative[0].1 <= cumulative[1].1, "sorted ascending");
+    assert!(cumulative.iter().all(|(_, r)| *r >= 0.0));
+}
+
+#[test]
+fn summaries_roundtrip_through_json() {
+    let matrix = small_matrix(&["retroboard"], &["mak"]);
+    let reports = run_matrix(&matrix, 2);
+    let summaries: Vec<RunSummary> = reports.iter().map(RunSummary::from).collect();
+    let json = to_json(&summaries).expect("serialize");
+    let back = from_json(&json).expect("deserialize");
+    assert_eq!(summaries, back);
+    assert!(back.iter().all(|s| s.app == "retroboard" && s.final_lines_covered > 0));
+}
+
+#[test]
+fn node_apps_report_totals_and_hide_live_series() {
+    let matrix = small_matrix(&["docmost"], &["bfs"]);
+    let reports = run_matrix(&matrix, 2);
+    for r in &reports {
+        assert!(r.coverage_series.is_empty(), "coverage-node has no live view");
+        assert!(r.total_declared_lines > r.final_lines_covered, "dead code exists");
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning all crates.
+
+use mak::mak::{Arm, LeveledDeque};
+use mak_bandit::exp31::Exp31;
+use mak_bandit::normalize::{logistic, StandardizedReward};
+use mak_bandit::policy::BanditPolicy;
+use mak_websim::coverage::{Block, CodeModel, CoverageMode, CoverageTracker};
+use mak_websim::dom::Interactable;
+use mak_websim::url::Url;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn url_strategy() -> impl Strategy<Value = String> {
+    // hosts and paths from a safe alphabet; queries with small keys/values.
+    (
+        "[a-z]{1,8}(\\.[a-z]{1,5})?",
+        proptest::collection::vec("[a-z0-9]{1,6}", 0..4),
+        proptest::collection::vec(("[a-z]{1,4}", "[a-z0-9]{0,5}"), 0..4),
+    )
+        .prop_map(|(host, segments, query)| {
+            let mut s = format!("http://{host}/{}", segments.join("/"));
+            for (i, (k, v)) in query.iter().enumerate() {
+                s.push(if i == 0 { '?' } else { '&' });
+                s.push_str(k);
+                s.push('=');
+                s.push_str(v);
+            }
+            s
+        })
+}
+
+proptest! {
+    /// Parsing and re-displaying a well-formed URL is the identity.
+    #[test]
+    fn url_display_roundtrips(s in url_strategy()) {
+        let url: Url = s.parse().expect("well-formed by construction");
+        let redisplayed = url.to_string();
+        let reparsed: Url = redisplayed.parse().expect("display is parseable");
+        prop_assert_eq!(url, reparsed);
+    }
+
+    /// Normalization is idempotent and insensitive to query order.
+    #[test]
+    fn url_normalization_is_order_insensitive(
+        host in "[a-z]{1,8}",
+        path in "[a-z]{1,6}",
+        mut query in proptest::collection::vec(("[a-z]{1,4}", "[a-z0-9]{1,4}"), 0..5),
+    ) {
+        let mut a = Url::new(host.clone(), format!("/{path}"));
+        for (k, v) in &query {
+            a = a.with_query(k.clone(), v.clone());
+        }
+        query.reverse();
+        let mut b = Url::new(host, format!("/{path}"));
+        for (k, v) in &query {
+            b = b.with_query(k.clone(), v.clone());
+        }
+        prop_assert_eq!(a.normalized(), b.normalized());
+    }
+
+    /// Exp3.1's policy is always a probability distribution with full
+    /// support, no matter what (clamped) rewards an adversary feeds it.
+    #[test]
+    fn exp31_policy_is_a_distribution(
+        rewards in proptest::collection::vec((0usize..4, -1.0f64..2.0), 1..300),
+    ) {
+        let mut bandit = Exp31::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        for (arm, reward) in rewards {
+            let _ = bandit.choose(&mut rng);
+            bandit.update(arm, reward);
+            let probs = bandit.probabilities();
+            let sum: f64 = probs.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            for p in &probs {
+                prop_assert!(*p > 0.0 && *p <= 1.0, "full support: {:?}", probs);
+            }
+        }
+    }
+
+    /// The standardized reward transform always lands in [0, 1] and the
+    /// logistic function is monotone.
+    #[test]
+    fn standardized_rewards_stay_in_unit_interval(
+        increments in proptest::collection::vec(-1e6f64..1e6, 1..200),
+    ) {
+        let mut sr = StandardizedReward::new();
+        for inc in increments {
+            let r = sr.transform(inc);
+            prop_assert!((0.0..=1.0).contains(&r), "reward {r}");
+        }
+    }
+
+    #[test]
+    fn logistic_is_monotone(a in -50.0f64..50.0, b in -50.0f64..50.0) {
+        if a < b {
+            prop_assert!(logistic(a) <= logistic(b));
+        }
+    }
+
+    /// The leveled deque conserves elements: pops + remaining = pushes, and
+    /// elements never change level except by reinsertion at +1.
+    #[test]
+    fn leveled_deque_conserves_elements(
+        ops in proptest::collection::vec((0usize..3, 0u16..500), 1..200),
+    ) {
+        let mut deque = LeveledDeque::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut inserted = 0usize;
+        let mut popped = 0usize;
+        for (arm_idx, path) in ops {
+            let arm = Arm::from_index(arm_idx);
+            let link = Interactable::Link {
+                href: format!("http://h/p{path}").parse().expect("valid"),
+                text: String::new(),
+            };
+            if deque.push_new(link) {
+                inserted += 1;
+            }
+            if let Some((el, level)) = deque.pop(arm, &mut rng) {
+                popped += 1;
+                // Reinsert every other pop, at level + 1.
+                if popped % 2 == 0 {
+                    deque.reinsert(el, level + 1);
+                    popped -= 1;
+                }
+            }
+        }
+        prop_assert_eq!(deque.len(), inserted - popped);
+    }
+
+    /// Coverage tracking: hits are monotone and merging is a commutative
+    /// union bounded by the declared size.
+    #[test]
+    fn coverage_merge_is_commutative_union(
+        blocks_a in proptest::collection::vec((1u32..100, 1u32..20), 0..20),
+        blocks_b in proptest::collection::vec((1u32..100, 1u32..20), 0..20),
+    ) {
+        let mut model = CodeModel::new();
+        let f = model.declare_file("f.php", 128);
+        let fill = |blocks: &[(u32, u32)]| {
+            let mut t = CoverageTracker::new(&model, CoverageMode::Live);
+            let mut last = 0;
+            for &(start, len) in blocks {
+                let end = (start + len - 1).min(128);
+                t.hit(Block { file: f, start, end });
+                let now = t.lines_covered_unchecked();
+                assert!(now >= last, "monotone");
+                last = now;
+            }
+            t
+        };
+        let a = fill(&blocks_a);
+        let b = fill(&blocks_b);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.lines_covered_unchecked(), ba.lines_covered_unchecked());
+        prop_assert!(ab.lines_covered_unchecked() <= 128);
+        prop_assert!(ab.lines_covered_unchecked() >= a.lines_covered_unchecked().max(b.lines_covered_unchecked()));
+    }
+
+    /// Element signatures are stable identities: equal signature iff equal
+    /// normalized target for links.
+    #[test]
+    fn link_signatures_follow_normalization(
+        q1 in proptest::collection::vec(("[a-z]{1,3}", "[0-9]{1,3}"), 0..3),
+        q2 in proptest::collection::vec(("[a-z]{1,3}", "[0-9]{1,3}"), 0..3),
+    ) {
+        let build = |q: &[(String, String)]| {
+            let mut url = Url::new("h", "/p");
+            for (k, v) in q {
+                url = url.with_query(k.clone(), v.clone());
+            }
+            Interactable::Link { href: url, text: String::new() }
+        };
+        let a = build(&q1);
+        let b = build(&q2);
+        let same_sig = a.signature() == b.signature();
+        let same_norm = a.target_url().normalized() == b.target_url().normalized();
+        prop_assert_eq!(same_sig, same_norm);
+    }
+}
