@@ -51,10 +51,7 @@ impl Exp3 {
     fn policy(&self) -> Vec<f64> {
         let k = self.weights.len() as f64;
         let total: f64 = self.weights.iter().sum();
-        self.weights
-            .iter()
-            .map(|w| (1.0 - self.gamma) * w / total + self.gamma / k)
-            .collect()
+        self.weights.iter().map(|w| (1.0 - self.gamma) * w / total + self.gamma / k).collect()
     }
 
     /// Rescales weights when they grow large, preserving the policy.

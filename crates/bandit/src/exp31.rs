@@ -99,10 +99,7 @@ impl Exp31 {
     fn policy(&self) -> Vec<f64> {
         let gamma = self.gamma();
         let total: f64 = self.weights.iter().sum();
-        self.weights
-            .iter()
-            .map(|w| (1.0 - gamma) * w / total + gamma / self.k as f64)
-            .collect()
+        self.weights.iter().map(|w| (1.0 - gamma) * w / total + gamma / self.k as f64).collect()
     }
 }
 
@@ -128,7 +125,6 @@ impl BanditPolicy for Exp31 {
     /// guarantees this range by construction via the logistic squash).
     fn update(&mut self, arm: usize, reward: f64) {
         assert!(arm < self.k, "arm {arm} out of range (K = {})", self.k);
-        self.advance_epochs();
         let reward = reward.clamp(0.0, 1.0);
         let gamma = self.gamma();
         let pi = self.policy();
@@ -137,6 +133,12 @@ impl BanditPolicy for Exp31 {
         self.renormalize();
         self.g_hat[arm] += r_hat;
         self.t += 1;
+        // Advance epochs *after* bumping `g_hat` (line 9's check runs at the
+        // end of each round), so observers and the next `choose` agree on
+        // the post-reset distribution. Advancing lazily in `choose` instead
+        // left `probabilities()` reporting the stale pre-reset policy
+        // between an epoch-crossing update and the next draw.
+        self.advance_epochs();
     }
 
     fn probabilities(&self) -> Vec<f64> {
@@ -201,6 +203,25 @@ mod tests {
             b.update(arm, 1.0);
         }
         assert!(b.epoch() > e1, "constant max rewards must trigger epoch resets");
+    }
+
+    #[test]
+    fn probabilities_match_next_choose_distribution() {
+        // Regression: `g_hat` used to be bumped *after* the epoch check, so
+        // an epoch-crossing update left `probabilities()` reporting the
+        // pre-reset distribution while the next `choose` played the
+        // post-reset one.
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut b = Exp31::new(3);
+        for step in 0..5_000 {
+            let arm = b.choose(&mut rng);
+            b.update(arm, 1.0);
+            let reported = b.probabilities();
+            let mut next = b.clone();
+            next.advance_epochs(); // exactly what the next `choose` does before sampling
+            assert_eq!(reported, next.policy(), "step {step}: observer and sampler disagree");
+        }
+        assert!(b.epoch() > 1, "constant max rewards must cross epochs for this to bite");
     }
 
     #[test]

@@ -106,8 +106,7 @@ impl StandardizedReward {
     pub fn transform(&mut self, increment: f64) -> f64 {
         self.stats.push(increment);
         let sigma = self.stats.std_dev();
-        let standardized =
-            if sigma > 0.0 { (increment - self.stats.mean()) / sigma } else { 0.0 };
+        let standardized = if sigma > 0.0 { (increment - self.stats.mean()) / sigma } else { 0.0 };
         logistic(standardized)
     }
 

@@ -170,10 +170,7 @@ mod tests {
         let few: Vec<u64> = (0..2).collect();
         a.qexplore_update(1, 10, 0.0, 2, &many, 1.0);
         b.qexplore_update(1, 10, 0.0, 2, &few, 1.0);
-        assert!(
-            a.value(1, 10) > b.value(1, 10),
-            "successor with more actions yields higher Q"
-        );
+        assert!(a.value(1, 10) > b.value(1, 10), "successor with more actions yields higher Q");
     }
 
     #[test]

@@ -93,8 +93,5 @@ fn exp31_handles_stochastic_rewards_too() {
     };
     let mut b = Exp31::new(3);
     let (gain, best) = play(&mut b, horizon, 17, reward);
-    assert!(
-        gain > 0.8 * best,
-        "Exp3.1 captured {gain:.0} of the best arm's {best:.0}"
-    );
+    assert!(gain > 0.8 * best, "Exp3.1 captured {gain:.0} of the best arm's {best:.0}");
 }

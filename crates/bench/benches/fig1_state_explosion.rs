@@ -15,8 +15,9 @@ use std::hint::black_box;
 fn page(url: &str, divs: usize) -> Page {
     let mut body = Element::new(Tag::Body);
     for i in 0..divs {
-        body = body
-            .child(Element::new(Tag::Div).child(Element::new(Tag::A).attr("href", format!("/l{i}"))));
+        body = body.child(
+            Element::new(Tag::Div).child(Element::new(Tag::A).attr("href", format!("/l{i}"))),
+        );
     }
     Page::from_document(Status::Ok, Document::new(url.parse().unwrap(), "t", body))
 }

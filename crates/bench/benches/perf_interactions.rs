@@ -17,8 +17,7 @@ fn bench_steps(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(crawler), &crawler, |b, &name| {
             b.iter(|| {
                 let host = AppHost::new(apps::build("drupal").unwrap());
-                let mut browser =
-                    Browser::new(host, VirtualClock::with_budget_minutes(30.0), 13);
+                let mut browser = Browser::new(host, VirtualClock::with_budget_minutes(30.0), 13);
                 let mut cr = build_crawler(name, 13).expect("known crawler");
                 // 200 decision+interaction steps.
                 for _ in 0..200 {

@@ -4,11 +4,11 @@
 //! Paper result: MAK 14.9, BFS 36.0, Random 70.2, DFS 126.7 — the learning
 //! component lets MAK track the per-application best static strategy.
 
-use mak_bench::{matrix, seeds, threads, write_result, write_summaries};
-use mak_metrics::experiment::run_matrix;
+use mak_bench::{matrix, seeds, store, threads, write_result, write_summaries};
+use mak_metrics::experiment::run_matrix_cached;
 use mak_metrics::ground_truth::UnionCoverage;
-use mak_metrics::regret::{cumulative_regret, AppOutcome};
 use mak_metrics::plot::{BarChart, BarSeries};
+use mak_metrics::regret::{cumulative_regret, AppOutcome};
 use mak_metrics::report::{markdown_table, RunSummary};
 use mak_websim::apps;
 use std::collections::BTreeMap;
@@ -27,7 +27,7 @@ fn main() {
         seeds(),
         threads()
     );
-    let reports = run_matrix(&m, threads());
+    let reports = run_matrix_cached(&m, threads(), &store());
 
     let mut outcomes = Vec::new();
     let mut per_app_rows = Vec::new();

@@ -15,8 +15,8 @@
 //!   §IV-B).
 
 use mak::spec::MAK_VARIANTS;
-use mak_bench::{matrix, seeds, threads, write_result, write_summaries};
-use mak_metrics::experiment::run_matrix;
+use mak_bench::{matrix, seeds, store, threads, write_result, write_summaries};
+use mak_metrics::experiment::run_matrix_cached;
 use mak_metrics::ground_truth::UnionCoverage;
 use mak_metrics::report::{markdown_table, RunSummary};
 use mak_metrics::stats::mean;
@@ -36,7 +36,7 @@ fn main() {
         seeds(),
         threads()
     );
-    let reports = run_matrix(&m, threads());
+    let reports = run_matrix_cached(&m, threads(), &store());
 
     // Per-app unions over all variants, then coverage per variant.
     let mut rows = Vec::new();
@@ -62,7 +62,7 @@ fn main() {
     rows.sort_by(|a, b| {
         let pa: f64 = a.last().unwrap().parse().unwrap();
         let pb: f64 = b.last().unwrap().parse().unwrap();
-        pb.partial_cmp(&pa).unwrap()
+        pb.total_cmp(&pa)
     });
 
     let mut headers = vec!["Variant"];

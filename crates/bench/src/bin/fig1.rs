@@ -107,8 +107,7 @@ fn main() {
     assert_eq!(qexplore_states.state_count(), 6);
 
     // The broken links indeed 404.
-    let broken =
-        browser.navigate(&"http://drupal.local/shortcuts/go/s0".parse().unwrap()).unwrap();
+    let broken = browser.navigate(&"http://drupal.local/shortcuts/go/s0".parse().unwrap()).unwrap();
     assert!(broken.is_error(), "shortcut links trigger navigation errors");
 
     println!("{out}");

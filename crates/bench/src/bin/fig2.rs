@@ -7,10 +7,10 @@
 //! times printed as markdown.
 
 use mak::spec::RL_CRAWLERS;
-use mak_bench::{matrix, seeds, threads, write_result, write_summaries};
-use mak_metrics::experiment::run_matrix;
-use mak_metrics::report::{csv, markdown_table, RunSummary};
+use mak_bench::{matrix, seeds, store, threads, write_result, write_summaries};
+use mak_metrics::experiment::run_matrix_cached;
 use mak_metrics::plot::{LineChart, Series};
+use mak_metrics::report::{csv, markdown_table, RunSummary};
 use mak_metrics::timeseries::{aggregate, convergence_index, resample, MeanStd};
 use mak_websim::apps::PHP_APPS;
 use std::fmt::Write as _;
@@ -34,7 +34,7 @@ fn main() {
         threads()
     );
     let horizon = m.config.budget_minutes * 60.0;
-    let reports = run_matrix(&m, threads());
+    let reports = run_matrix_cached(&m, threads(), &store());
 
     let mut summary_rows = Vec::new();
     for app in PHP_APPS {
@@ -75,11 +75,8 @@ fn main() {
             "server-side lines covered",
         );
         for (c, series) in &per_crawler {
-            let points: Vec<(f64, f64)> = series
-                .iter()
-                .enumerate()
-                .map(|(i, p)| (minutes_at(i, horizon), p.mean))
-                .collect();
+            let points: Vec<(f64, f64)> =
+                series.iter().enumerate().map(|(i, p)| (minutes_at(i, horizon), p.mean)).collect();
             let band: Vec<(f64, f64, f64)> = series
                 .iter()
                 .enumerate()
@@ -101,8 +98,9 @@ fn main() {
             .fold(0.0f64, f64::max);
         for (c, series) in &per_crawler {
             let last = series.last().expect("non-empty grid");
-            let to_min =
-                |i: usize| format!("{:.1} min", horizon * (i + 1) as f64 / GRID_POINTS as f64 / 60.0);
+            let to_min = |i: usize| {
+                format!("{:.1} min", horizon * (i + 1) as f64 / GRID_POINTS as f64 / 60.0)
+            };
             let conv_own = convergence_index(series, 0.95).map(to_min).unwrap_or("-".into());
             let conv_baseline = series
                 .iter()

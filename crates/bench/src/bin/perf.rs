@@ -6,8 +6,8 @@
 //! effective selection of elements".
 
 use mak::spec::RL_CRAWLERS;
-use mak_bench::{matrix, seeds, threads, write_result, write_summaries};
-use mak_metrics::experiment::run_matrix;
+use mak_bench::{matrix, seeds, store, threads, write_result, write_summaries};
+use mak_metrics::experiment::run_matrix_cached;
 use mak_metrics::report::{markdown_table, RunSummary};
 use mak_metrics::stats::{mean, sample_std};
 use mak_websim::apps;
@@ -24,7 +24,7 @@ fn main() {
         seeds(),
         threads()
     );
-    let reports = run_matrix(&m, threads());
+    let reports = run_matrix_cached(&m, threads(), &store());
 
     let mut rows = Vec::new();
     for crawler in RL_CRAWLERS {

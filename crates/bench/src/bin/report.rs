@@ -104,8 +104,7 @@ fn markdown_to_html(md: &str) -> String {
         let trimmed = line.trim();
         if trimmed.starts_with('|') {
             flush_para(&mut para, &mut out);
-            let cells: Vec<&str> =
-                trimmed.trim_matches('|').split('|').map(str::trim).collect();
+            let cells: Vec<&str> = trimmed.trim_matches('|').split('|').map(str::trim).collect();
             if cells.iter().all(|c| c.chars().all(|ch| ch == '-' || ch == ':')) {
                 continue; // separator row
             }

@@ -8,8 +8,8 @@
 
 use mak::framework::engine::EngineConfig;
 use mak::spec::RL_CRAWLERS;
-use mak_bench::{seeds, threads, write_result};
-use mak_metrics::experiment::{run_matrix, RunMatrix};
+use mak_bench::{seeds, store, threads, write_result};
+use mak_metrics::experiment::{run_matrix_cached, RunMatrix};
 use mak_metrics::plot::{LineChart, Series};
 use mak_metrics::report::{csv, markdown_table};
 use mak_metrics::stats::{mean, sample_std};
@@ -28,15 +28,14 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    let mut chart_series: Vec<(String, Vec<(f64, f64)>, Vec<(f64, f64, f64)>)> = RL_CRAWLERS
-        .iter()
-        .map(|c| ((*c).to_owned(), Vec::new(), Vec::new()))
-        .collect();
+    let mut chart_series: Vec<(String, Vec<(f64, f64)>, Vec<(f64, f64, f64)>)> =
+        RL_CRAWLERS.iter().map(|c| ((*c).to_owned(), Vec::new(), Vec::new())).collect();
 
+    let cache = store();
     for &budget in BUDGETS_MIN {
         let matrix = RunMatrix::new([APP], RL_CRAWLERS.iter().copied(), seeds())
             .with_config(EngineConfig::with_budget_minutes(budget));
-        let reports = run_matrix(&matrix, threads());
+        let reports = run_matrix_cached(&matrix, threads(), &cache);
         let mut row = vec![format!("{budget:.0}")];
         for (i, crawler) in RL_CRAWLERS.iter().enumerate() {
             let lines: Vec<f64> = reports

@@ -19,7 +19,14 @@ fn main() {
         })
         .collect();
     let table = markdown_table(
-        &["Tool", "State Abstraction", "Action Definition", "Reward", "Policy Update", "Action Selection"],
+        &[
+            "Tool",
+            "State Abstraction",
+            "Action Definition",
+            "Reward",
+            "Policy Update",
+            "Action Selection",
+        ],
         &rows,
     );
     println!("Table I: Summary of the components of the reviewed RL-based crawlers and MAK.\n");

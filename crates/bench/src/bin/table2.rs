@@ -7,8 +7,8 @@
 //! total line count.
 
 use mak::spec::RL_CRAWLERS;
-use mak_bench::{matrix, pct, seeds, threads, write_result, write_summaries};
-use mak_metrics::experiment::run_matrix;
+use mak_bench::{matrix, pct, seeds, store, threads, write_result, write_summaries};
+use mak_metrics::experiment::run_matrix_cached;
 use mak_metrics::ground_truth::UnionCoverage;
 use mak_metrics::plot::{BarChart, BarSeries};
 use mak_metrics::report::{markdown_table, RunSummary};
@@ -27,7 +27,7 @@ fn main() {
         seeds(),
         threads()
     );
-    let reports = run_matrix(&m, threads());
+    let reports = run_matrix_cached(&m, threads(), &store());
 
     let mut rows = Vec::new();
     let mut chart_values: Vec<Vec<f64>> = vec![Vec::new(); RL_CRAWLERS.len()];
@@ -35,11 +35,8 @@ fn main() {
         let app_reports: Vec<_> = reports.iter().filter(|r| &r.app == app).collect();
         let union = UnionCoverage::from_reports(app_reports.iter().copied());
         let node = NODE_APPS.contains(app);
-        let denominator = if node {
-            app_reports[0].total_declared_lines as f64
-        } else {
-            union.len() as f64
-        };
+        let denominator =
+            if node { app_reports[0].total_declared_lines as f64 } else { union.len() as f64 };
 
         let mut row = vec![(*app).to_owned()];
         let mut best = (0usize, f64::MIN);

@@ -14,11 +14,16 @@
 //! | `sweep`   | extension      | coverage vs crawl budget |
 //! | `report`  | —              | assemble `results/index.html` |
 //!
-//! All binaries honor three environment variables:
+//! All binaries honor these environment variables:
 //!
 //! - `MAK_SEEDS` — repetitions per (app, crawler) pair (default 10, §V-A.4);
 //! - `MAK_BUDGET_MINUTES` — virtual budget per run (default 30, §V-A.4);
-//! - `MAK_THREADS` — worker threads (default: available parallelism).
+//! - `MAK_THREADS` — worker threads (default: available parallelism);
+//! - `MAK_CACHE` — run cache mode, `rw` (default) / `ro` / `off`; cached
+//!   cells live under `results/cache/` (see [`mak_metrics::store`]) and
+//!   make re-invocations incremental — the second run of any binary only
+//!   pays for cells it has not seen;
+//! - `MAK_CACHE_DIR` — overrides the cache directory.
 //!
 //! Results are printed as markdown and also written under `results/`.
 
@@ -28,6 +33,7 @@
 use mak::framework::engine::EngineConfig;
 use mak_metrics::experiment::RunMatrix;
 use mak_metrics::report::RunSummary;
+use mak_metrics::store::RunStore;
 use std::path::{Path, PathBuf};
 
 /// Repetitions per cell, from `MAK_SEEDS` (default 10, as in the paper).
@@ -63,6 +69,13 @@ where
     C::Item: Into<String>,
 {
     RunMatrix::new(apps, crawlers, seeds()).with_config(engine_config())
+}
+
+/// The run store implied by the environment (`MAK_CACHE`,
+/// `MAK_CACHE_DIR`): every bench binary routes its matrix through this so
+/// overlapping grid cells are computed once and shared.
+pub fn store() -> RunStore {
+    RunStore::from_env()
 }
 
 /// The `results/` directory (created on demand).

@@ -215,9 +215,7 @@ impl Browser {
                     format!("input{}-{:04x}", self.fill_counter, self.rng.gen::<u16>())
                 }
                 FieldKind::Hidden(v) => v.clone(),
-                FieldKind::Select(options) => {
-                    options.first().cloned().unwrap_or_default()
-                }
+                FieldKind::Select(options) => options.first().cloned().unwrap_or_default(),
                 FieldKind::Password => "password123".to_owned(),
             };
             data.push((field.name.clone(), value));
@@ -348,11 +346,7 @@ mod tests {
             .expect("trap page has a form");
         let before = trap.interactables().len();
         let after_page = b.execute(&form).unwrap();
-        assert_eq!(
-            after_page.interactables().len(),
-            before + 1,
-            "trap form adds a broken link"
-        );
+        assert_eq!(after_page.interactables().len(), before + 1, "trap form adds a broken link");
     }
 
     #[test]

@@ -13,9 +13,13 @@
 //!   paper's §V-D interaction-count spread (883 vs 854 vs 827).
 
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Cost parameters for one experiment run.
-#[derive(Debug, Clone)]
+///
+/// Serializable and comparable so run caches can key cached reports on the
+/// exact cost model that produced them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CostModel {
     /// Fixed client-side overhead per interaction, in virtual ms.
     pub think_ms: f64,

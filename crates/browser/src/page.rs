@@ -60,7 +60,10 @@ impl Page {
 
     /// Interactable elements whose targets stay on `origin` — the valid
     /// action set under the paper's external-domain rule (§V-A ii).
-    pub fn valid_interactables<'a>(&'a self, origin: &'a Url) -> impl Iterator<Item = &'a Interactable> {
+    pub fn valid_interactables<'a>(
+        &'a self,
+        origin: &'a Url,
+    ) -> impl Iterator<Item = &'a Interactable> {
         self.interactables.iter().filter(move |i| i.target_url().same_origin(origin))
     }
 

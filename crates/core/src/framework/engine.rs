@@ -15,7 +15,10 @@ use mak_websim::server::{AppHost, WebApp};
 use serde::{Deserialize, Serialize};
 
 /// Engine parameters for one run.
-#[derive(Debug, Clone)]
+///
+/// The config is serializable and comparable so that run caches can key
+/// cached [`CrawlReport`]s on the exact configuration that produced them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Virtual time budget in minutes (the paper uses 30, §V-A.4).
     pub budget_minutes: f64,
@@ -68,7 +71,7 @@ pub struct CoverageSample {
 }
 
 /// The measurable outcome of one crawl run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CrawlReport {
     /// Crawler identifier.
     pub crawler: String,
@@ -127,8 +130,15 @@ pub fn run_crawl(
     let mut browser = Browser::with_cost_model(host, clock, seed, config.cost.clone());
 
     let mut series = Vec::new();
-    let mut next_sample = 0.0;
+    let mut next_sample = config.sample_interval_secs;
     let mut trace = Vec::new();
+
+    if live {
+        // The t = 0 baseline is sampled *before* the first step so the
+        // series starts from the pre-crawl coverage (the deployed app with
+        // nothing visited yet), not from whatever the first step reached.
+        series.push(CoverageSample { secs: 0.0, lines: browser.host().harness_lines_covered() });
+    }
 
     loop {
         if browser.clock().expired() {
@@ -161,6 +171,16 @@ pub fn run_crawl(
 
     let interactions = browser.interaction_count();
     let elapsed_secs = browser.clock().elapsed_secs();
+    if live {
+        // Close the series with a sample at the moment the run actually
+        // ended (budget expiry or the crawler getting stuck), so the curve
+        // spans the whole budget instead of stopping at the last crossed
+        // interval boundary.
+        let lines = browser.host().harness_lines_covered();
+        if series.last().is_none_or(|s| s.secs < elapsed_secs) {
+            series.push(CoverageSample { secs: elapsed_secs, lines });
+        }
+    }
     let host = browser.finish();
     let tracker = host.tracker();
     let covered_lines: Vec<(u32, u32)> =
@@ -214,6 +234,17 @@ mod tests {
         let fin = run_crawl(&mut c2, apps::build("retroboard").unwrap(), &short(), 3);
         assert!(fin.coverage_series.is_empty(), "coverage-node cannot sample mid-run");
         assert!(fin.final_lines_covered > 0);
+    }
+
+    #[test]
+    fn coverage_series_spans_the_whole_budget() {
+        let mut c = StaticCrawler::bfs(3);
+        let report = run_crawl(&mut c, apps::build("addressbook").unwrap(), &short(), 3);
+        let first = report.coverage_series.first().expect("live series");
+        assert_eq!(first.secs, 0.0, "t = 0 baseline is recorded before the first step");
+        let last = report.coverage_series.last().expect("live series");
+        assert_eq!(last.secs, report.elapsed_secs, "series closes at budget expiry");
+        assert_eq!(last.lines, report.final_lines_covered);
     }
 
     #[test]

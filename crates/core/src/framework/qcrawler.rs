@@ -194,8 +194,7 @@ impl<S: StateAbstraction> Crawler for QCrawler<S> {
                 return Err(CrawlEnd::Stuck);
             }
         }
-        let action_keys: Vec<u64> =
-            actions.iter().map(|a| hash_str(&a.signature())).collect();
+        let action_keys: Vec<u64> = actions.iter().map(|a| hash_str(&a.signature())).collect();
 
         // CHOOSE_ACTION.
         let values = self.q.values_for(state, &action_keys);

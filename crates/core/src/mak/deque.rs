@@ -149,10 +149,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn link(path: &str) -> Interactable {
-        Interactable::Link {
-            href: format!("http://h{path}").parse().unwrap(),
-            text: String::new(),
-        }
+        Interactable::Link { href: format!("http://h{path}").parse().unwrap(), text: String::new() }
     }
 
     #[test]

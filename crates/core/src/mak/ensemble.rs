@@ -154,11 +154,8 @@ mod tests {
         cfg.record_trace = true;
         let mut c = EnsembleCrawler::new(2, 2);
         let report = run_crawl(&mut c, apps::build("addressbook").unwrap(), &cfg, 2);
-        let agents: Vec<&str> = report
-            .trace
-            .iter()
-            .map(|t| t.action.split(':').next().unwrap())
-            .collect();
+        let agents: Vec<&str> =
+            report.trace.iter().map(|t| t.action.split(':').next().unwrap()).collect();
         // Strict round-robin: agent0, agent1, agent0, ...
         for (i, a) in agents.iter().enumerate() {
             assert_eq!(*a, format!("agent{}", i % 2));

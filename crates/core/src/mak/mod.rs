@@ -14,6 +14,6 @@ pub mod ensemble;
 pub mod policy;
 
 pub use crawler::MakCrawler;
-pub use ensemble::EnsembleCrawler;
 pub use deque::{Arm, LeveledDeque};
+pub use ensemble::EnsembleCrawler;
 pub use policy::{ArmPolicy, RewardKind};

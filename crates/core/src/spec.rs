@@ -94,9 +94,7 @@ pub fn build_crawler(name: &str, seed: u64) -> Option<Box<dyn Crawler>> {
         "webexplor" => Box::new(webexplor(seed)),
         "qexplore" => Box::new(qexplore(seed)),
         "bfs" | "dfs" | "random" => Box::new(StaticCrawler::by_name(name, seed)?),
-        "mak-exp3" => {
-            Box::new(MakCrawler::variant(name, ArmPolicy::exp3(K, 0.1), std, true, seed))
-        }
+        "mak-exp3" => Box::new(MakCrawler::variant(name, ArmPolicy::exp3(K, 0.1), std, true, seed)),
         "mak-epsilon" => {
             Box::new(MakCrawler::variant(name, ArmPolicy::epsilon_greedy(K, 0.1), std, true, seed))
         }

@@ -44,8 +44,7 @@ impl WebExplorState {
             return false;
         }
         let min = la.min(lb);
-        let mismatches =
-            a.iter().zip(b.iter()).filter(|(x, y)| x != y).count() + (max - min);
+        let mismatches = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count() + (max - min);
         (mismatches as f64 / max as f64) <= TAG_TOLERANCE
     }
 }

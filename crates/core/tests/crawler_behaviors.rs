@@ -123,8 +123,7 @@ fn final_mode_apps_work_for_every_crawler() {
 /// app without panicking and with sane outputs.
 #[test]
 fn variants_and_ensembles_run_end_to_end() {
-    let mut names: Vec<String> =
-        mak::spec::MAK_VARIANTS.iter().map(|s| (*s).to_owned()).collect();
+    let mut names: Vec<String> = mak::spec::MAK_VARIANTS.iter().map(|s| (*s).to_owned()).collect();
     names.push("mak-ensemble3".to_owned());
     for name in names {
         let mut c = build_crawler(&name, 7).unwrap_or_else(|| panic!("build {name}"));

@@ -3,14 +3,20 @@
 //! §V-A.4: "Each experiment consists of running the crawler on a web
 //! application for 30 minutes […]. We repeat the experiments for each pair
 //! of crawlers and web applications for 10 times." A [`RunMatrix`] captures
-//! that grid; [`run_matrix`] executes it across worker threads. Every run is
-//! deterministic in its `(app, crawler, seed)` triple, so repetitions are
-//! just seeds `0..n`.
+//! that grid; [`run_matrix`] executes it across worker threads, and
+//! [`run_matrix_cached`] additionally serves cells out of a [`RunStore`]
+//! (see [`crate::store`]) so repeated invocations only pay for new cells.
+//! Every run is deterministic in its `(app, crawler, seed)` triple, so
+//! repetitions are just seeds `0..n` — which is exactly what makes the
+//! cache sound.
 
+use crate::store::RunStore;
 use mak::framework::engine::{run_crawl, CrawlReport, EngineConfig};
 use mak::spec::build_crawler;
 use mak_websim::apps;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// The experiment grid.
 #[derive(Debug, Clone)]
@@ -63,19 +69,143 @@ impl RunMatrix {
 /// failing loudly on.
 pub fn run_one(app: &str, crawler: &str, seed: u64, config: &EngineConfig) -> CrawlReport {
     let app_model = apps::build(app).unwrap_or_else(|| panic!("unknown app {app}"));
-    let mut c =
-        build_crawler(crawler, seed).unwrap_or_else(|| panic!("unknown crawler {crawler}"));
+    let mut c = build_crawler(crawler, seed).unwrap_or_else(|| panic!("unknown crawler {crawler}"));
     run_crawl(&mut *c, app_model, config, seed)
+}
+
+/// Executes one cell through a [`RunStore`]: serves a cache hit when the
+/// store has one, otherwise runs and persists the fresh report.
+///
+/// # Panics
+///
+/// Panics on unknown app or crawler names, like [`run_one`].
+pub fn run_one_cached(
+    app: &str,
+    crawler: &str,
+    seed: u64,
+    config: &EngineConfig,
+    store: &RunStore,
+) -> CrawlReport {
+    if let Some(report) = store.load(app, crawler, seed, config) {
+        return report;
+    }
+    let report = run_one(app, crawler, seed, config);
+    store.save(&report, config);
+    report
+}
+
+/// Renders a panic payload for error reporting.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Live progress shared by the worker threads.
+struct Progress {
+    total: usize,
+    done: AtomicUsize,
+    /// Virtual milliseconds accumulated across finished cells.
+    virtual_ms: AtomicU64,
+    enabled: bool,
+    started: std::time::Instant,
+}
+
+impl Progress {
+    fn new(total: usize, enabled: bool) -> Self {
+        Progress {
+            total,
+            done: AtomicUsize::new(0),
+            virtual_ms: AtomicU64::new(0),
+            enabled,
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Records one finished cell and (when enabled) reports on stderr.
+    fn cell_done(&self, report: &CrawlReport, store: &RunStore) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.virtual_ms.fetch_add((report.elapsed_secs * 1_000.0) as u64, Ordering::Relaxed);
+        if !self.enabled {
+            return;
+        }
+        // One line per cell is unreadable for large grids on a plain log;
+        // cap non-terminal output at ~20 evenly spaced updates.
+        use std::io::IsTerminal;
+        let stride = (self.total / 20).max(1);
+        if std::io::stderr().is_terminal() {
+            eprint!("\r{}", self.line(done, store));
+            if done == self.total {
+                eprintln!();
+            }
+        } else if done % stride == 0 || done == self.total {
+            eprintln!("{}", self.line(done, store));
+        }
+    }
+
+    fn line(&self, done: usize, store: &RunStore) -> String {
+        let hits = store.session_hits();
+        let looked_up = hits + store.session_misses();
+        let rate = if looked_up == 0 { 0.0 } else { 100.0 * hits as f64 / looked_up as f64 };
+        format!("[cells {done}/{}] cache hits {hits}/{looked_up} ({rate:.0}%)", self.total)
+    }
+
+    /// Prints the closing summary (virtual-vs-wall speedup).
+    fn finish(&self, store: &RunStore) {
+        if !self.enabled {
+            return;
+        }
+        let wall = self.started.elapsed().as_secs_f64();
+        let virt = self.virtual_ms.load(Ordering::Relaxed) as f64 / 1_000.0;
+        let speedup = if wall > 0.0 { virt / wall } else { f64::INFINITY };
+        eprintln!(
+            "{}; {:.1} virtual min in {:.1}s wall ({speedup:.0}x real time)",
+            self.line(self.done.load(Ordering::Relaxed), store),
+            virt / 60.0,
+            wall,
+        );
+    }
 }
 
 /// Runs the whole matrix on `threads` worker threads and returns all
 /// reports (ordering follows the grid: apps outermost, then crawlers, then
-/// seeds).
+/// seeds). Every cell executes — nothing is read from or written to disk;
+/// use [`run_matrix_cached`] for the incremental variant.
 ///
 /// # Panics
 ///
-/// Panics if `threads` is zero or any name in the matrix is unknown.
+/// Panics if `threads` is zero or any name in the matrix is unknown; the
+/// failing `(app, crawler, seed)` cell is named in the panic message.
 pub fn run_matrix(matrix: &RunMatrix, threads: usize) -> Vec<CrawlReport> {
+    run_matrix_inner(matrix, threads, &RunStore::disabled(), false)
+}
+
+/// Runs the matrix through a [`RunStore`]: cells the store already holds
+/// are loaded, the rest execute across worker threads and are persisted.
+/// Progress (cells done, cache-hit rate, virtual-vs-wall speedup) is
+/// reported on stderr.
+///
+/// Cached and fresh reports are field-for-field identical — the cache only
+/// short-circuits work, never changes results.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or any name in the matrix is unknown; the
+/// failing `(app, crawler, seed)` cell is named in the panic message.
+pub fn run_matrix_cached(matrix: &RunMatrix, threads: usize, store: &RunStore) -> Vec<CrawlReport> {
+    run_matrix_inner(matrix, threads, store, true)
+}
+
+fn run_matrix_inner(
+    matrix: &RunMatrix,
+    threads: usize,
+    store: &RunStore,
+    progress_enabled: bool,
+) -> Vec<CrawlReport> {
     assert!(threads > 0, "need at least one worker thread");
     let mut jobs = Vec::with_capacity(matrix.run_count());
     for app in &matrix.apps {
@@ -85,22 +215,54 @@ pub fn run_matrix(matrix: &RunMatrix, threads: usize) -> Vec<CrawlReport> {
             }
         }
     }
+    let total = jobs.len();
+    let progress = Progress::new(total, progress_enabled);
     let queue = Mutex::new(jobs.into_iter());
-    let results: Mutex<Vec<(usize, CrawlReport)>> =
-        Mutex::new(Vec::with_capacity(matrix.run_count()));
+    let results: Mutex<Vec<(usize, CrawlReport)>> = Mutex::new(Vec::with_capacity(total));
+    // `(app, crawler, seed, message)` of every cell whose execution
+    // panicked. A panicking cell must not take its siblings down with a
+    // poisoned-mutex cascade, so all locks below tolerate poison
+    // (`PoisonError::into_inner`: the protected data — a job iterator, a
+    // results vector — stays structurally valid even if a panic ever fired
+    // while a lock was held).
+    let failures: Mutex<Vec<(String, String, u64, String)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(matrix.run_count().max(1)) {
+        for _ in 0..threads.min(total.max(1)) {
             scope.spawn(|| loop {
-                let job = queue.lock().expect("queue lock").next();
+                let job = queue.lock().unwrap_or_else(PoisonError::into_inner).next();
                 let Some((idx, app, crawler, seed)) = job else { break };
-                let report = run_one(&app, &crawler, seed, &matrix.config);
-                results.lock().expect("results lock").push((idx, report));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_one_cached(&app, &crawler, seed, &matrix.config, store)
+                }));
+                match outcome {
+                    Ok(report) => {
+                        progress.cell_done(&report, store);
+                        results.lock().unwrap_or_else(PoisonError::into_inner).push((idx, report));
+                    }
+                    Err(payload) => {
+                        let msg = panic_message(payload.as_ref());
+                        failures
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push((app, crawler, seed, msg));
+                    }
+                }
             });
         }
     });
 
-    let mut results = results.into_inner().expect("results lock");
+    let failures = failures.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if let Some((app, crawler, seed, msg)) = failures.first() {
+        panic!(
+            "run_matrix: cell (app=`{app}`, crawler=`{crawler}`, seed={seed}) panicked: {msg} \
+             ({} of {total} cells failed)",
+            failures.len(),
+        );
+    }
+    progress.finish(store);
+
+    let mut results = results.into_inner().unwrap_or_else(PoisonError::into_inner);
     results.sort_by_key(|(idx, _)| *idx);
     results.into_iter().map(|(_, r)| r).collect()
 }
@@ -108,10 +270,18 @@ pub fn run_matrix(matrix: &RunMatrix, threads: usize) -> Vec<CrawlReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::{CacheMode, RunStore};
+    use std::path::PathBuf;
 
     fn tiny_matrix() -> RunMatrix {
         RunMatrix::new(["addressbook"], ["bfs", "random"], 2)
             .with_config(EngineConfig::with_budget_minutes(1.0))
+    }
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mak-exp-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -135,17 +305,92 @@ mod tests {
 
     #[test]
     fn parallel_equals_sequential() {
-        let a = run_matrix(&tiny_matrix(), 1);
-        let b = run_matrix(&tiny_matrix(), 4);
-        let key = |rs: &[CrawlReport]| -> Vec<(String, u64, u64)> {
-            rs.iter().map(|r| (r.crawler.clone(), r.seed, r.final_lines_covered)).collect()
-        };
-        assert_eq!(key(&a), key(&b), "thread count must not change results");
+        // Includes a learning crawler (`mak`): policy state must be
+        // per-cell, so the thread schedule cannot leak between runs.
+        let m = RunMatrix::new(["addressbook", "vanilla"], ["bfs", "random", "mak"], 2)
+            .with_config(EngineConfig::with_budget_minutes(1.0));
+        let a = run_matrix(&m, 1);
+        let b = run_matrix(&m, 4);
+        assert_eq!(a, b, "thread count must not change results");
     }
 
     #[test]
     #[should_panic(expected = "unknown app")]
     fn unknown_app_panics() {
         run_one("geocities", "bfs", 0, &EngineConfig::with_budget_minutes(1.0));
+    }
+
+    #[test]
+    fn failing_cell_is_named_and_siblings_survive() {
+        // Regression: a panic in one cell used to poison the job-queue
+        // mutex and kill every sibling thread with a misleading
+        // `"queue lock"` expect; now the original panic surfaces with the
+        // failing cell named.
+        let m = RunMatrix::new(["addressbook"], ["bfs", "nosuchcrawler"], 1)
+            .with_config(EngineConfig::with_budget_minutes(1.0));
+        let payload = std::panic::catch_unwind(|| run_matrix(&m, 2))
+            .expect_err("matrix with an unknown crawler must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("run_matrix panics with a formatted message");
+        assert!(msg.contains("crawler=`nosuchcrawler`"), "cell named: {msg}");
+        assert!(msg.contains("seed=0"), "seed named: {msg}");
+        assert!(msg.contains("unknown crawler"), "original cause kept: {msg}");
+        assert!(msg.contains("1 of 2 cells failed"), "healthy sibling survived: {msg}");
+    }
+
+    #[test]
+    fn cached_rerun_is_field_identical_to_fresh() {
+        let root = tmp_root("identical");
+        let m = tiny_matrix();
+        let fresh = run_matrix(&m, 2);
+
+        let first = RunStore::at(&root, CacheMode::ReadWrite);
+        let populated = run_matrix_cached(&m, 2, &first);
+        assert_eq!(populated, fresh, "populating pass matches uncached run");
+        assert_eq!(first.session_hits(), 0);
+        assert_eq!(first.session_misses(), m.run_count() as u64);
+
+        let second = RunStore::at(&root, CacheMode::ReadWrite);
+        let cached = run_matrix_cached(&m, 2, &second);
+        assert_eq!(cached, fresh, "cached reload matches uncached run field-for-field");
+        assert_eq!(second.session_hits(), m.run_count() as u64, "second pass is 100% hits");
+        assert_eq!(second.session_misses(), 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn config_change_forces_reexecution() {
+        let root = tmp_root("config-change");
+        let m = tiny_matrix();
+        run_matrix_cached(&m, 2, &RunStore::at(&root, CacheMode::ReadWrite));
+
+        let mut changed = tiny_matrix();
+        changed.config.cost.think_ms += 1.0;
+        let store = RunStore::at(&root, CacheMode::ReadWrite);
+        run_matrix_cached(&changed, 2, &store);
+        assert_eq!(store.session_hits(), 0, "any config change must invalidate");
+        assert_eq!(store.session_misses(), changed.run_count() as u64);
+
+        // A code-fingerprint change invalidates just the same.
+        let refp = RunStore::at(&root, CacheMode::ReadWrite).with_fingerprint(0xdead);
+        run_matrix_cached(&m, 2, &refp);
+        assert_eq!(refp.session_hits(), 0, "a code change must invalidate");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cache_off_forces_reexecution() {
+        let root = tmp_root("off-mode");
+        let m = tiny_matrix();
+        run_matrix_cached(&m, 2, &RunStore::at(&root, CacheMode::ReadWrite));
+
+        let off = RunStore::at(&root, CacheMode::Off);
+        let reports = run_matrix_cached(&m, 2, &off);
+        assert_eq!(off.session_hits(), 0, "MAK_CACHE=off must execute everything");
+        assert_eq!(off.session_misses(), m.run_count() as u64);
+        assert_eq!(reports, run_matrix(&m, 1), "off-mode results are still deterministic");
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -12,6 +12,8 @@
 //!   the best crawler and its cumulative sum;
 //! - [`experiment`] — the run matrix executor (apps × crawlers × seeds,
 //!   multithreaded, deterministic per seed);
+//! - [`store`] — the content-addressed on-disk run cache that makes
+//!   repeated matrix executions incremental (`MAK_CACHE`);
 //! - [`report`] — markdown/CSV rendering and JSON persistence of results.
 //!
 //! ## Example: a miniature Table II
@@ -35,5 +37,6 @@ pub mod plot;
 pub mod regret;
 pub mod report;
 pub mod stats;
+pub mod store;
 pub mod timeseries;
 pub mod trace;

@@ -20,9 +20,8 @@ const GRIDLINE: &str = "#ecebe9";
 /// The categorical palette, fixed slot order (validated: worst adjacent CVD
 /// ΔE 47.2; the two low-contrast slots are relieved by direct labels and
 /// the CSV table view).
-const PALETTE: [&str; 8] = [
-    "#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948", "#e87ba4", "#eb6834",
-];
+const PALETTE: [&str; 8] =
+    ["#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948", "#e87ba4", "#eb6834"];
 
 /// One plotted series: a mean line with an optional deviation band.
 #[derive(Debug, Clone)]
@@ -54,7 +53,11 @@ pub struct LineChart {
 
 impl LineChart {
     /// A chart with the default 760×420 canvas.
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         LineChart {
             title: title.into(),
             x_label: x_label.into(),
@@ -100,11 +103,7 @@ impl LineChart {
             .series
             .iter()
             .flat_map(|s| {
-                s.points
-                    .iter()
-                    .map(|p| p.1)
-                    .chain(s.band.iter().map(|b| b.2))
-                    .collect::<Vec<_>>()
+                s.points.iter().map(|p| p.1).chain(s.band.iter().map(|b| b.2)).collect::<Vec<_>>()
             })
             .fold(f64::NEG_INFINITY, f64::max);
         let x_max = if x_max > 0.0 { x_max } else { 1.0 };
@@ -178,7 +177,8 @@ impl LineChart {
             }
             let mut d = String::new();
             for (k, (x, lo, _)) in s.band.iter().enumerate() {
-                let _ = write!(d, "{}{:.1},{:.1} ", if k == 0 { "M" } else { "L" }, sx(*x), sy(*lo));
+                let _ =
+                    write!(d, "{}{:.1},{:.1} ", if k == 0 { "M" } else { "L" }, sx(*x), sy(*lo));
             }
             for (x, _, hi) in s.band.iter().rev() {
                 let _ = write!(d, "L{:.1},{:.1} ", sx(*x), sy(*hi));
@@ -213,7 +213,7 @@ impl LineChart {
 
         // Direct end labels: resolve collisions by nudging to >=14px apart,
         // with leader lines where a label moved away from its line end.
-        label_targets.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        label_targets.sort_by(|a, b| a.1.total_cmp(&b.1));
         let mut placed: Vec<(usize, f64, f64)> = Vec::new(); // (series, label_y, line_y)
         let mut prev = f64::NEG_INFINITY;
         for (i, line_y) in label_targets {
@@ -308,7 +308,14 @@ impl BarChart {
     ) -> Self {
         let groups: Vec<String> = groups.into_iter().map(Into::into).collect();
         let width = (groups.len() as u32 * 88 + 160).max(420);
-        BarChart { title: title.into(), y_label: y_label.into(), groups, series: Vec::new(), width, height: 380 }
+        BarChart {
+            title: title.into(),
+            y_label: y_label.into(),
+            groups,
+            series: Vec::new(),
+            width,
+            height: 380,
+        }
     }
 
     /// Adds a series (takes the next palette slot).
@@ -553,8 +560,16 @@ mod tests {
     #[test]
     fn converging_series_get_separated_labels() {
         let chart = LineChart::new("t", "x", "y")
-            .series(Series { name: "a".into(), points: vec![(0.0, 100.0), (1.0, 500.0)], band: vec![] })
-            .series(Series { name: "b".into(), points: vec![(0.0, 90.0), (1.0, 498.0)], band: vec![] });
+            .series(Series {
+                name: "a".into(),
+                points: vec![(0.0, 100.0), (1.0, 500.0)],
+                band: vec![],
+            })
+            .series(Series {
+                name: "b".into(),
+                points: vec![(0.0, 90.0), (1.0, 498.0)],
+                band: vec![],
+            });
         let svg = chart.to_svg();
         // Extract the two end-label y positions (last two <text> before legend).
         assert!(svg.contains("</svg>"));
@@ -618,7 +633,14 @@ mod tests {
         let baselines: std::collections::BTreeSet<String> = svg
             .split("<path d=\"M")
             .skip(1)
-            .map(|p| p.split(',').nth(1).unwrap().split(' ').next().unwrap().to_owned())
+            .map(|p| {
+                // Each bar path is "x,y L … z"; the baseline is the first y.
+                p.split(',')
+                    .nth(1)
+                    .and_then(|after_x| after_x.split(' ').next())
+                    .unwrap_or_else(|| panic!("malformed bar path fragment: {p:.40}"))
+                    .to_owned()
+            })
             .collect();
         assert_eq!(baselines.len(), 1, "single baseline: {baselines:?}");
     }

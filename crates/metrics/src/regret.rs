@@ -67,7 +67,7 @@ pub fn cumulative_regret(outcomes: &[AppOutcome]) -> Vec<(String, f64)> {
         }
     }
     let mut out: Vec<(String, f64)> = totals.into_iter().collect();
-    out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite regrets"));
+    out.sort_by(|a, b| a.1.total_cmp(&b.1));
     out
 }
 

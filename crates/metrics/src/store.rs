@@ -1,0 +1,505 @@
+//! Content-addressed on-disk cache of crawl runs.
+//!
+//! Every run is — by the repository's central invariant — a pure function
+//! of `(app, crawler, seed, config)`. The paper's evaluation (§V-A.4) is a
+//! grid of such runs, and the bench binaries re-execute overlapping cells
+//! of that grid from scratch. A [`RunStore`] memoizes whole
+//! [`CrawlReport`]s on disk so the second invocation of any bench binary is
+//! near-instant while staying bit-identical to an uncached run.
+//!
+//! ## Layout
+//!
+//! One JSON file per cached run under `results/cache/` (override with
+//! `MAK_CACHE_DIR`), named
+//!
+//! ```text
+//! <app>__<crawler>__s<seed>__<key>.json
+//! ```
+//!
+//! where `<key>` is a 128-bit FNV-1a hash of the canonical JSON encoding of
+//! `(app, crawler, seed, EngineConfig)` — the config embeds the
+//! [`CostModel`](mak_browser::cost::CostModel) — mixed with a fingerprint
+//! of the workspace's source tree. Changing any config field *or any source
+//! file* therefore changes the key and forces re-execution; stale entries
+//! are simply never addressed again.
+//!
+//! ## Modes
+//!
+//! The `MAK_CACHE` environment variable selects a [`CacheMode`]:
+//!
+//! - `rw` (default) — load hits, execute and store misses;
+//! - `ro` — load hits, execute misses without writing;
+//! - `off` — execute everything, touch nothing on disk.
+
+use mak::framework::engine::{CrawlReport, EngineConfig};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Default cache directory, relative to the invocation directory (the
+/// workspace root for `cargo run`).
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+/// Bumped whenever the on-disk entry format changes incompatibly, so old
+/// caches are invalidated instead of misread.
+const SCHEMA_VERSION: u32 = 1;
+
+/// What the cache is allowed to do (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Never read or write: every run executes.
+    Off,
+    /// Read hits, write misses — the default.
+    ReadWrite,
+    /// Read hits, never write.
+    ReadOnly,
+}
+
+impl CacheMode {
+    /// Parses `MAK_CACHE` (`off` / `rw` / `ro`, default `rw`; unknown
+    /// values fall back to the default rather than erroring).
+    pub fn from_env() -> Self {
+        match std::env::var("MAK_CACHE").as_deref() {
+            Ok("off") | Ok("0") | Ok("none") => CacheMode::Off,
+            Ok("ro") | Ok("readonly") => CacheMode::ReadOnly,
+            _ => CacheMode::ReadWrite,
+        }
+    }
+}
+
+/// 64-bit FNV-1a over a byte stream.
+fn fnv1a64(init: u64, bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = init;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The standard FNV-1a 64-bit offset basis.
+const FNV64_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// 128-bit FNV-1a over a byte stream.
+fn fnv1a128(init: u128, bytes: &[u8]) -> u128 {
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut h = init;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The standard FNV-1a 128-bit offset basis.
+const FNV128_BASIS: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+
+/// Canonical key material. Serialized with `serde_json` — struct field
+/// order is fixed and float formatting is shortest-round-trip, so the
+/// encoding (and hence the hash) is stable across processes.
+#[derive(Serialize)]
+struct KeyMaterial<'a> {
+    schema: u32,
+    fingerprint: u64,
+    app: &'a str,
+    crawler: &'a str,
+    seed: u64,
+    config: &'a EngineConfig,
+}
+
+/// Walks `dir` collecting every `.rs` file and `Cargo.toml`, recursively,
+/// skipping build artifacts.
+fn collect_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                collect_sources(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") || name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+}
+
+/// Finds the workspace root by walking up from the current directory
+/// looking for a `Cargo.toml` declaring `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// A fingerprint of the workspace's source tree (every `.rs` and
+/// `Cargo.toml` under the workspace root, paths and contents), computed
+/// once per process.
+///
+/// Baked into every cache key so that *any* code change invalidates the
+/// whole cache — conservative, but the alternative (trusting stale reports
+/// after an engine change) would silently break the determinism invariant.
+/// Falls back to a constant when no workspace root is found (e.g. when the
+/// library is embedded elsewhere); such users should scope the cache
+/// directory themselves.
+pub fn workspace_fingerprint() -> u64 {
+    static FP: OnceLock<u64> = OnceLock::new();
+    *FP.get_or_init(|| {
+        let Some(root) = find_workspace_root() else { return FNV64_BASIS };
+        let mut files = Vec::new();
+        collect_sources(&root, &mut files);
+        let mut keyed: Vec<(String, PathBuf)> = files
+            .into_iter()
+            .map(|p| (p.strip_prefix(&root).unwrap_or(&p).display().to_string(), p))
+            .collect();
+        keyed.sort();
+        let mut h = FNV64_BASIS;
+        for (rel, path) in keyed {
+            h = fnv1a64(h, rel.as_bytes());
+            h = fnv1a64(h, &[0]);
+            if let Ok(contents) = std::fs::read(&path) {
+                h = fnv1a64(h, &contents);
+            }
+            h = fnv1a64(h, &[0xff]);
+        }
+        h
+    })
+}
+
+/// Aggregate statistics over a cache directory (see [`RunStore::stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of cached run entries.
+    pub entries: usize,
+    /// Total size of the entries, in bytes.
+    pub bytes: u64,
+    /// Entry counts per application.
+    pub per_app: BTreeMap<String, usize>,
+    /// Entry counts per crawler.
+    pub per_crawler: BTreeMap<String, usize>,
+}
+
+/// The content-addressed run cache (see the [module docs](self)).
+#[derive(Debug)]
+pub struct RunStore {
+    root: PathBuf,
+    mode: CacheMode,
+    fingerprint: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RunStore {
+    /// A store rooted at `root` with the given mode, keyed with the
+    /// workspace fingerprint.
+    pub fn at(root: impl Into<PathBuf>, mode: CacheMode) -> Self {
+        RunStore {
+            root: root.into(),
+            mode,
+            fingerprint: workspace_fingerprint(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The store implied by the environment: `MAK_CACHE_DIR` (default
+    /// [`DEFAULT_CACHE_DIR`]) and `MAK_CACHE` (default `rw`).
+    pub fn from_env() -> Self {
+        let root = std::env::var("MAK_CACHE_DIR").unwrap_or_else(|_| DEFAULT_CACHE_DIR.to_owned());
+        Self::at(root, CacheMode::from_env())
+    }
+
+    /// A store that never reads or writes — [`CacheMode::Off`] regardless
+    /// of the environment.
+    pub fn disabled() -> Self {
+        Self::at(DEFAULT_CACHE_DIR, CacheMode::Off)
+    }
+
+    /// Overrides the code fingerprint — test hook for simulating a source
+    /// change without editing files.
+    #[must_use]
+    pub fn with_fingerprint(mut self, fingerprint: u64) -> Self {
+        self.fingerprint = fingerprint;
+        self
+    }
+
+    /// The cache directory this store addresses.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The store's mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// The code fingerprint baked into this store's keys.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Cache hits served by this store instance.
+    pub fn session_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses recorded by this store instance (lookups that found no
+    /// usable entry, including every lookup in [`CacheMode::Off`]).
+    pub fn session_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The content-address of one run cell.
+    pub fn key(&self, app: &str, crawler: &str, seed: u64, config: &EngineConfig) -> u128 {
+        let material = KeyMaterial {
+            schema: SCHEMA_VERSION,
+            fingerprint: self.fingerprint,
+            app,
+            crawler,
+            seed,
+            config,
+        };
+        let bytes = serde_json::to_vec(&material).expect("key material serializes");
+        fnv1a128(FNV128_BASIS, &bytes)
+    }
+
+    fn entry_path(&self, app: &str, crawler: &str, seed: u64, key: u128) -> PathBuf {
+        self.root.join(format!("{app}__{crawler}__s{seed}__{key:032x}.json"))
+    }
+
+    /// Loads the cached report for a cell, if present and readable.
+    /// Corrupt or mismatched entries are treated as misses (and will be
+    /// overwritten by the next [`save`](Self::save)).
+    pub fn load(
+        &self,
+        app: &str,
+        crawler: &str,
+        seed: u64,
+        config: &EngineConfig,
+    ) -> Option<CrawlReport> {
+        if self.mode == CacheMode::Off {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let path = self.entry_path(app, crawler, seed, self.key(app, crawler, seed, config));
+        let report = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| serde_json::from_str::<CrawlReport>(&text).ok())
+            .filter(|r| r.app == app && r.crawler == crawler && r.seed == seed);
+        match report {
+            Some(r) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(r)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists a freshly executed report under its cell's key. A no-op
+    /// unless the store is [`CacheMode::ReadWrite`]; I/O errors are
+    /// reported to stderr but never fail the run (the cache is an
+    /// accelerator, not a dependency).
+    pub fn save(&self, report: &CrawlReport, config: &EngineConfig) {
+        if self.mode != CacheMode::ReadWrite {
+            return;
+        }
+        let key = self.key(&report.app, &report.crawler, report.seed, config);
+        let path = self.entry_path(&report.app, &report.crawler, report.seed, key);
+        let json = match serde_json::to_string(report) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("run cache: serialize {}: {e}", path.display());
+                return;
+            }
+        };
+        if let Err(e) = self.write_atomic(&path, json.as_bytes()) {
+            eprintln!("run cache: write {}: {e}", path.display());
+        }
+    }
+
+    /// Writes via a unique temporary file plus rename, so concurrent
+    /// processes caching the same cell never observe torn entries.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.root)?;
+        let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
+        let tmp = self.root.join(format!(".{file_name}.tmp{}", std::process::id()));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Scans the cache directory and aggregates entry statistics.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        let Ok(entries) = std::fs::read_dir(&self.root) else { return stats };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.ends_with(".json") {
+                continue;
+            }
+            let mut parts = name.split("__");
+            let (Some(app), Some(crawler)) = (parts.next(), parts.next()) else { continue };
+            stats.entries += 1;
+            stats.bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+            *stats.per_app.entry(app.to_owned()).or_insert(0) += 1;
+            *stats.per_crawler.entry(crawler.to_owned()).or_insert(0) += 1;
+        }
+        stats
+    }
+
+    /// Deletes every cached entry, returning how many were removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered while deleting.
+    pub fn clear(&self) -> std::io::Result<usize> {
+        let mut removed = 0;
+        let entries = match std::fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let is_entry = name.to_str().is_some_and(|n| n.ends_with(".json"));
+            if is_entry && entry.path().is_file() {
+                std::fs::remove_file(entry.path())?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mak-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_report(seed: u64) -> CrawlReport {
+        CrawlReport {
+            crawler: "bfs".into(),
+            app: "addressbook".into(),
+            seed,
+            interactions: 42,
+            final_lines_covered: 1_000,
+            total_declared_lines: 5_000,
+            coverage_series: vec![],
+            covered_lines: vec![(0, 1), (0, 2)],
+            distinct_urls: 7,
+            state_count: None,
+            elapsed_secs: 59.5,
+            trace: vec![],
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_and_config_sensitive() {
+        let store = RunStore::at(tmp_root("keys"), CacheMode::Off);
+        let cfg = EngineConfig::with_budget_minutes(1.0);
+        assert_eq!(store.key("a", "bfs", 0, &cfg), store.key("a", "bfs", 0, &cfg));
+        assert_ne!(store.key("a", "bfs", 0, &cfg), store.key("a", "bfs", 1, &cfg));
+        assert_ne!(store.key("a", "bfs", 0, &cfg), store.key("b", "bfs", 0, &cfg));
+        let mut cfg2 = cfg.clone();
+        cfg2.cost.think_ms += 1.0;
+        assert_ne!(store.key("a", "bfs", 0, &cfg), store.key("a", "bfs", 0, &cfg2));
+        let fp = RunStore::at(store.root(), CacheMode::Off).with_fingerprint(123);
+        assert_ne!(store.key("a", "bfs", 0, &cfg), fp.key("a", "bfs", 0, &cfg));
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_identical() {
+        let store = RunStore::at(tmp_root("roundtrip"), CacheMode::ReadWrite);
+        let cfg = EngineConfig::with_budget_minutes(1.0);
+        let report = sample_report(3);
+        assert!(store.load("addressbook", "bfs", 3, &cfg).is_none());
+        store.save(&report, &cfg);
+        let back = store.load("addressbook", "bfs", 3, &cfg).expect("hit after save");
+        assert_eq!(back, report, "cached reload must be field-for-field identical");
+        assert_eq!(store.session_hits(), 1);
+        assert_eq!(store.session_misses(), 1);
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn off_mode_never_touches_disk() {
+        let store = RunStore::at(tmp_root("off"), CacheMode::Off);
+        let cfg = EngineConfig::default();
+        store.save(&sample_report(0), &cfg);
+        assert!(!store.root().exists(), "Off mode must not create the cache dir");
+        assert!(store.load("addressbook", "bfs", 0, &cfg).is_none());
+        assert_eq!(store.session_misses(), 1);
+    }
+
+    #[test]
+    fn readonly_mode_reads_but_never_writes() {
+        let root = tmp_root("ro");
+        let rw = RunStore::at(&root, CacheMode::ReadWrite);
+        let cfg = EngineConfig::default();
+        rw.save(&sample_report(5), &cfg);
+        let ro = RunStore::at(&root, CacheMode::ReadOnly);
+        assert!(ro.load("addressbook", "bfs", 5, &cfg).is_some());
+        ro.save(&sample_report(6), &cfg);
+        assert!(ro.load("addressbook", "bfs", 6, &cfg).is_none(), "ro must not have written");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_entries_fall_back_to_miss() {
+        let root = tmp_root("corrupt");
+        let store = RunStore::at(&root, CacheMode::ReadWrite);
+        let cfg = EngineConfig::default();
+        let report = sample_report(9);
+        store.save(&report, &cfg);
+        let key = store.key("addressbook", "bfs", 9, &cfg);
+        let path = store.entry_path("addressbook", "bfs", 9, key);
+        std::fs::write(&path, "{ not json").expect("corrupt the entry");
+        assert!(store.load("addressbook", "bfs", 9, &cfg).is_none());
+        store.save(&report, &cfg); // heals the entry
+        assert!(store.load("addressbook", "bfs", 9, &cfg).is_some());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stats_and_clear_account_for_entries() {
+        let root = tmp_root("stats");
+        let store = RunStore::at(&root, CacheMode::ReadWrite);
+        let cfg = EngineConfig::default();
+        for seed in 0..3 {
+            store.save(&sample_report(seed), &cfg);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.entries, 3);
+        assert!(stats.bytes > 0);
+        assert_eq!(stats.per_app["addressbook"], 3);
+        assert_eq!(stats.per_crawler["bfs"], 3);
+        assert_eq!(store.clear().expect("clear"), 3);
+        assert_eq!(store.stats(), CacheStats::default());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_within_a_process() {
+        assert_eq!(workspace_fingerprint(), workspace_fingerprint());
+    }
+}

@@ -1,7 +1,7 @@
 //! Resampling and aggregation of coverage-over-time curves (Fig. 2).
 
-use mak::framework::engine::CoverageSample;
 use crate::stats::{mean, sample_std};
+use mak::framework::engine::CoverageSample;
 
 /// Resamples an (increasing-time) coverage series onto a regular grid of
 /// `points` samples spanning `[0, horizon_secs]`, holding the last observed
@@ -96,8 +96,10 @@ mod tests {
 
     #[test]
     fn convergence_index_finds_first_crossing() {
-        let series: Vec<MeanStd> =
-            [10.0, 50.0, 90.0, 95.0, 100.0].iter().map(|&m| MeanStd { mean: m, std: 0.0 }).collect();
+        let series: Vec<MeanStd> = [10.0, 50.0, 90.0, 95.0, 100.0]
+            .iter()
+            .map(|&m| MeanStd { mean: m, std: 0.0 })
+            .collect();
         assert_eq!(convergence_index(&series, 0.9), Some(2));
         assert_eq!(convergence_index(&series, 1.0), Some(4));
         assert_eq!(convergence_index(&[], 0.9), None);

@@ -133,11 +133,8 @@ mod tests {
         let total: usize = usage.iter().flat_map(|s| s.counts.values()).sum();
         assert_eq!(total as u64, report.interactions);
         // MAK's three arms all appear somewhere in a 2-minute crawl.
-        let all: std::collections::BTreeSet<&str> = usage
-            .iter()
-            .flat_map(|s| s.counts.keys())
-            .map(String::as_str)
-            .collect();
+        let all: std::collections::BTreeSet<&str> =
+            usage.iter().flat_map(|s| s.counts.keys()).map(String::as_str).collect();
         assert!(all.contains("Head") && all.contains("Tail") && all.contains("Random"));
     }
 

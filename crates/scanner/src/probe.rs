@@ -49,10 +49,8 @@ pub fn probe_surface(browser: &mut Browser, surface: &AttackSurface) -> Vec<Find
     let host = browser.origin().host().to_owned();
 
     // Query parameters: GET path?param=canary.
-    let targets: Vec<(String, String)> = surface
-        .param_targets()
-        .map(|(path, param)| (path.to_owned(), param.to_owned()))
-        .collect();
+    let targets: Vec<(String, String)> =
+        surface.param_targets().map(|(path, param)| (path.to_owned(), param.to_owned())).collect();
     for (path, param) in targets {
         canary_id += 1;
         let canary = format!("zzcanary{canary_id}zz");
@@ -128,10 +126,7 @@ fn reflects(page: &mak_browser::page::Page, canary: &str) -> bool {
     page.document().map(|d| d.text_content().contains(canary)).unwrap_or(false)
 }
 
-fn browser_submit(
-    browser: &mut Browser,
-    request: Request,
-) -> Result<Option<String>, BrowseError> {
+fn browser_submit(browser: &mut Browser, request: Request) -> Result<Option<String>, BrowseError> {
     // The browser only exposes navigation and element execution; probing a
     // raw request goes through `navigate` for GET and a synthetic form
     // interactable for POST.

@@ -127,9 +127,21 @@ impl ModuleSpec {
     /// # Panics
     ///
     /// Panics if `pages` is zero.
-    pub fn new(name: impl Into<String>, kind: ModuleKind, pages: usize, lines_per_page: u32) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        kind: ModuleKind,
+        pages: usize,
+        lines_per_page: u32,
+    ) -> Self {
         assert!(pages > 0, "modules must have at least one page");
-        ModuleSpec { name: name.into(), kind, pages, lines_per_page, in_nav: true, labels: Vec::new() }
+        ModuleSpec {
+            name: name.into(),
+            kind,
+            pages,
+            lines_per_page,
+            in_nav: true,
+            labels: Vec::new(),
+        }
     }
 
     /// Removes the module entry from the global navigation bar; it is then
@@ -305,12 +317,36 @@ impl Blueprint {
 
 #[derive(Debug, Clone)]
 enum Widget {
-    Search { handler: Block, results: Vec<usize> },
-    Trap { handler: Block, max_links: usize },
-    Flow { add_block: Block, empty_block: Block, stages: Vec<Block>, key: String },
-    Create { create_block: Block, view_block: Block, item_blocks: Vec<Block>, key: String, max: usize },
-    Branches { handler: Block, blocks: Vec<Block> },
-    Login { handler: Block, key: String, area: Vec<usize> },
+    Search {
+        handler: Block,
+        results: Vec<usize>,
+    },
+    Trap {
+        handler: Block,
+        max_links: usize,
+    },
+    Flow {
+        add_block: Block,
+        empty_block: Block,
+        stages: Vec<Block>,
+        key: String,
+    },
+    Create {
+        create_block: Block,
+        view_block: Block,
+        item_blocks: Vec<Block>,
+        key: String,
+        max: usize,
+    },
+    Branches {
+        handler: Block,
+        blocks: Vec<Block>,
+    },
+    Login {
+        handler: Block,
+        key: String,
+        area: Vec<usize>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -478,7 +514,8 @@ impl Compiler {
     /// - pagination pages are always tiny (the archive trap).
     fn page_lines(spec: &ModuleSpec, seed: u64, i: usize) -> u32 {
         let mean = spec.lines_per_page.max(2);
-        let jitter = det_range(seed ^ hash_str(&spec.name), "lines", i as u64, mean / 2, mean + mean / 2);
+        let jitter =
+            det_range(seed ^ hash_str(&spec.name), "lines", i as u64, mean / 2, mean + mean / 2);
         match spec.kind {
             ModuleKind::Chain => jitter + (mean * i as u32) / (spec.pages.max(1) as u32),
             ModuleKind::Pagination => 3,
@@ -626,12 +663,20 @@ impl Compiler {
                                 let pname = alias_names[a % alias_names.len()];
                                 let pval = format!(
                                     "{}",
-                                    det_range(seed, "alias", (i * 131 + child * 7 + a) as u64, 1, 97)
+                                    det_range(
+                                        seed,
+                                        "alias",
+                                        (i * 131 + child * 7 + a) as u64,
+                                        1,
+                                        97
+                                    )
                                 );
                                 let occurrence = self.pages[src].links.len() - 1;
-                                self.pages[src]
-                                    .alias_decor
-                                    .push((occurrence, pname.to_owned(), pval));
+                                self.pages[src].alias_decor.push((
+                                    occurrence,
+                                    pname.to_owned(),
+                                    pval,
+                                ));
                             }
                         }
                     }
@@ -721,9 +766,8 @@ impl Compiler {
                 let mseed = seed ^ hash_str(&spec.name);
                 for i in 0..n {
                     for k in 0..per_page {
-                        let j =
-                            det_range(mseed, "rel", i as u64 * per_page + k, 0, (n - 1) as u32)
-                                as usize;
+                        let j = det_range(mseed, "rel", i as u64 * per_page + k, 0, (n - 1) as u32)
+                            as usize;
                         let (src, dst) = (first_idx + i, first_idx + j);
                         if i != j && !self.pages[src].links.contains(&dst) {
                             self.pages[src].links.push(dst);
@@ -752,10 +796,9 @@ impl Compiler {
 
     fn page_address(&self, spec: &ModuleSpec, i: usize) -> (String, Vec<(String, String)>) {
         match &spec.kind {
-            ModuleKind::ParamDispatch { param } => (
-                "/index.php".to_owned(),
-                vec![(param.clone(), spec.label(i))],
-            ),
+            ModuleKind::ParamDispatch { param } => {
+                ("/index.php".to_owned(), vec![(param.clone(), spec.label(i))])
+            }
             ModuleKind::NoopSearch
             | ModuleKind::MutatingTrap { .. }
             | ModuleKind::StatefulFlow { .. }
@@ -808,8 +851,8 @@ impl BlueprintApp {
         // Real sites keep the global menu short; deeper sections are only
         // reachable through content links (the home page lists everything).
         const NAV_LIMIT: usize = 4;
-        let mut nav = Element::new(Tag::Nav)
-            .child(Element::new(Tag::A).attr("href", "/").text("Home"));
+        let mut nav =
+            Element::new(Tag::Nav).child(Element::new(Tag::A).attr("href", "/").text("Home"));
         for &entry in self.nav_entries.iter().take(NAV_LIMIT) {
             let url = self.page_url(entry);
             nav = nav.child(
@@ -847,9 +890,8 @@ impl BlueprintApp {
                 );
             }
             for k in 0..self.redirect_links {
-                body = body.child(
-                    Element::new(Tag::A).attr("href", format!("/r/{k}")).text("shortlink"),
-                );
+                body = body
+                    .child(Element::new(Tag::A).attr("href", format!("/r/{k}")).text("shortlink"));
             }
         }
 
@@ -929,11 +971,13 @@ impl BlueprintApp {
                 for item in &items {
                     // Broken shortcut links: arbitrary strings that trigger
                     // navigation errors (Fig. 1 bottom).
-                    ul = ul.child(Element::new(Tag::Li).child(
-                        Element::new(Tag::A)
-                            .attr("href", format!("{}/go/{item}", page.path))
-                            .text(item.clone()),
-                    ));
+                    ul = ul.child(
+                        Element::new(Tag::Li).child(
+                            Element::new(Tag::A)
+                                .attr("href", format!("{}/go/{item}", page.path))
+                                .text(item.clone()),
+                        ),
+                    );
                 }
                 body.child(ul).child(
                     Element::new(Tag::Form)
@@ -1004,11 +1048,13 @@ impl BlueprintApp {
                 let count = ctx.session().list(key).len();
                 let mut ul = Element::new(Tag::Ul);
                 for i in 0..count {
-                    ul = ul.child(Element::new(Tag::Li).child(
-                        Element::new(Tag::A)
-                            .attr("href", format!("{}?id={i}", page.path))
-                            .text(format!("item {i}")),
-                    ));
+                    ul = ul.child(
+                        Element::new(Tag::Li).child(
+                            Element::new(Tag::A)
+                                .attr("href", format!("{}?id={i}", page.path))
+                                .text(format!("item {i}")),
+                        ),
+                    );
                 }
                 body.child(ul).child(
                     Element::new(Tag::Form)
@@ -1031,11 +1077,13 @@ impl BlueprintApp {
                     let mut ul = Element::new(Tag::Ul);
                     for &dst in area {
                         let url = self.page_url(dst);
-                        ul = ul.child(Element::new(Tag::Li).child(
-                            Element::new(Tag::A)
-                                .attr("href", url.to_string())
-                                .text(self.pages[dst].title.clone()),
-                        ));
+                        ul = ul.child(
+                            Element::new(Tag::Li).child(
+                                Element::new(Tag::A)
+                                    .attr("href", url.to_string())
+                                    .text(self.pages[dst].title.clone()),
+                            ),
+                        );
                     }
                     body.child(Element::new(Tag::H2).text("Members area")).child(ul)
                 } else {
@@ -1044,7 +1092,9 @@ impl BlueprintApp {
                             .attr("action", page.path.clone())
                             .attr("method", "post")
                             .attr("name", "login")
-                            .child(Element::new(Tag::Input).attr("type", "text").attr("name", "user"))
+                            .child(
+                                Element::new(Tag::Input).attr("type", "text").attr("name", "user"),
+                            )
                             .child(
                                 Element::new(Tag::Input)
                                     .attr("type", "password")
@@ -1161,7 +1211,12 @@ mod tests {
             .bootstrap_lines(10)
             .module(ModuleSpec::new("hub", ModuleKind::Hub, 5, 20))
             .module(ModuleSpec::new("chain", ModuleKind::Chain, 4, 20))
-            .module(ModuleSpec::new("disp", ModuleKind::ParamDispatch { param: "module".into() }, 3, 20))
+            .module(ModuleSpec::new(
+                "disp",
+                ModuleKind::ParamDispatch { param: "module".into() },
+                3,
+                20,
+            ))
             .module(ModuleSpec::new("alias", ModuleKind::Aliased { aliases: 2 }, 4, 20))
             .module(ModuleSpec::new("search", ModuleKind::NoopSearch, 1, 20))
             .module(ModuleSpec::new("trap", ModuleKind::MutatingTrap { max_links: 5 }, 1, 20))
@@ -1227,7 +1282,9 @@ mod tests {
             .interactables()
             .into_iter()
             .filter_map(|i| match i {
-                Interactable::Link { href, .. } if href.path().starts_with("/alias/p") => Some(href),
+                Interactable::Link { href, .. } if href.path().starts_with("/alias/p") => {
+                    Some(href)
+                }
                 _ => None,
             })
             .collect();
@@ -1308,7 +1365,9 @@ mod tests {
             .unwrap()
             .interactables()
             .iter()
-            .filter(|i| matches!(i, Interactable::Link { href, .. } if href.path().contains("/go/")))
+            .filter(
+                |i| matches!(i, Interactable::Link { href, .. } if href.path().contains("/go/")),
+            )
             .count();
         assert_eq!(n_links, 5, "trap bounded at max_links");
     }
@@ -1357,10 +1416,9 @@ mod tests {
         post.session = Some(crate::http::SessionId(0));
         let resp = host.fetch(&post);
         let doc = resp.document().unwrap();
-        assert!(doc
-            .interactables()
-            .iter()
-            .any(|i| matches!(i, Interactable::Link { href, .. } if href.query_value("id") == Some("0"))));
+        assert!(doc.interactables().iter().any(
+            |i| matches!(i, Interactable::Link { href, .. } if href.query_value("id") == Some("0"))
+        ));
         let item = get(&mut host, "http://mini.local/forum?id=0");
         assert_eq!(item.status, Status::Ok);
         // Out-of-range item id covers nothing extra but still renders.

@@ -41,11 +41,11 @@ pub fn hotcrp() -> BlueprintApp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    #[allow(unused_imports)]
-    use crate::server::WebApp;
     use crate::dom::Interactable;
     use crate::http::Request;
     use crate::server::AppHost;
+    #[allow(unused_imports)]
+    use crate::server::WebApp;
 
     #[test]
     fn size_matches_mid_tier() {

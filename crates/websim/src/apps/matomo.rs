@@ -44,8 +44,13 @@ pub fn matomo() -> BlueprintApp {
         // The module dispatcher: 220 dispatch values, the first 20 named
         // after real plugins.
         .module(
-            ModuleSpec::new("plugins", ModuleKind::ParamDispatch { param: "module".into() }, 360, 42)
-                .labels(PLUGINS.iter().copied()),
+            ModuleSpec::new(
+                "plugins",
+                ModuleKind::ParamDispatch { param: "module".into() },
+                360,
+                42,
+            )
+            .labels(PLUGINS.iter().copied()),
         )
         // Report dashboards, aliased by period/date parameters.
         .module(ModuleSpec::new("reports", ModuleKind::Aliased { aliases: 2 }, 260, 40))
@@ -68,10 +73,10 @@ pub fn matomo() -> BlueprintApp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    #[allow(unused_imports)]
-    use crate::server::WebApp;
     use crate::http::Request;
     use crate::server::AppHost;
+    #[allow(unused_imports)]
+    use crate::server::WebApp;
 
     #[test]
     fn module_param_serves_distinct_plugins() {

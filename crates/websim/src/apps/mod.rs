@@ -41,16 +41,8 @@ pub use wordpress::wordpress;
 use crate::server::WebApp;
 
 /// The eight PHP-style applications (live coverage; Fig. 2 + Table II).
-pub const PHP_APPS: &[&str] = &[
-    "addressbook",
-    "drupal",
-    "hotcrp",
-    "matomo",
-    "oscommerce2",
-    "phpbb2",
-    "vanilla",
-    "wordpress",
-];
+pub const PHP_APPS: &[&str] =
+    &["addressbook", "drupal", "hotcrp", "matomo", "oscommerce2", "phpbb2", "vanilla", "wordpress"];
 
 /// The three Node.js-style applications (final coverage; Table II only).
 pub const NODE_APPS: &[&str] = &["actual", "docmost", "retroboard"];

@@ -19,7 +19,12 @@ pub fn vanilla() -> BlueprintApp {
         // Categories: small tree.
         .module(ModuleSpec::new("categories", ModuleKind::Tree { branching: 3 }, 18, 38))
         // New-discussion form.
-        .module(ModuleSpec::new("newdiscussion", ModuleKind::ContentCreation { max_items: 8 }, 1, 45))
+        .module(ModuleSpec::new(
+            "newdiscussion",
+            ModuleKind::ContentCreation { max_items: 8 },
+            1,
+            45,
+        ))
         // Draft → publish flow: stages unlock on repeated interaction.
         .module(ModuleSpec::new("drafts", ModuleKind::StatefulFlow { stages: 6 }, 1, 50))
         // Activity feed: short chain.

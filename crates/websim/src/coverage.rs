@@ -152,10 +152,8 @@ impl CodeModel {
     /// Returns [`CoverageError`] if the file is unknown or the range exceeds
     /// the declared file length.
     pub fn validate(&self, block: Block) -> Result<(), CoverageError> {
-        let decl = self
-            .files
-            .get(block.file.0 as usize)
-            .ok_or(CoverageError::UnknownFile(block.file))?;
+        let decl =
+            self.files.get(block.file.0 as usize).ok_or(CoverageError::UnknownFile(block.file))?;
         if block.is_empty() || block.start == 0 || block.end > decl.lines {
             return Err(CoverageError::OutOfRange { block, file_lines: decl.lines });
         }
@@ -185,11 +183,8 @@ pub struct CoverageTracker {
 impl CoverageTracker {
     /// Creates a tracker for `model` in the given mode.
     pub fn new(model: &CodeModel, mode: CoverageMode) -> Self {
-        let hits = model
-            .files
-            .iter()
-            .map(|f| vec![0u64; (f.lines as usize).div_ceil(64)])
-            .collect();
+        let hits =
+            model.files.iter().map(|f| vec![0u64; (f.lines as usize).div_ceil(64)]).collect();
         CoverageTracker { mode, hits, covered: 0, sealed: false }
     }
 

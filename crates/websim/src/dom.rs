@@ -495,9 +495,8 @@ mod tests {
 
     #[test]
     fn hidden_parent_hides_children() {
-        let d = doc(Element::new(Tag::Body).child(
-            Element::new(Tag::Div).hidden().child(Element::new(Tag::A).attr("href", "/x")),
-        ));
+        let d = doc(Element::new(Tag::Body)
+            .child(Element::new(Tag::Div).hidden().child(Element::new(Tag::A).attr("href", "/x"))));
         assert!(d.interactables().is_empty());
     }
 
@@ -514,13 +513,16 @@ mod tests {
             .attr("method", "get")
             .attr("name", "search")
             .child(Element::new(Tag::Input).attr("type", "text").attr("name", "q"))
-            .child(Element::new(Tag::Input).attr("type", "hidden").attr("name", "tok").attr("value", "abc"))
             .child(
-                Element::new(Tag::Select).attr("name", "scope").children([
-                    Element::new(Tag::Option).attr("value", "all"),
-                    Element::new(Tag::Option).attr("value", "posts"),
-                ]),
-            );
+                Element::new(Tag::Input)
+                    .attr("type", "hidden")
+                    .attr("name", "tok")
+                    .attr("value", "abc"),
+            )
+            .child(Element::new(Tag::Select).attr("name", "scope").children([
+                Element::new(Tag::Option).attr("value", "all"),
+                Element::new(Tag::Option).attr("value", "posts"),
+            ]));
         let d = doc(Element::new(Tag::Body).child(form));
         let items = d.interactables();
         assert_eq!(items.len(), 1);
@@ -542,8 +544,10 @@ mod tests {
 
     #[test]
     fn signatures_dedup_query_order() {
-        let a = Interactable::Link { href: "http://h/p?a=1&b=2".parse().unwrap(), text: String::new() };
-        let b = Interactable::Link { href: "http://h/p?b=2&a=1".parse().unwrap(), text: String::new() };
+        let a =
+            Interactable::Link { href: "http://h/p?a=1&b=2".parse().unwrap(), text: String::new() };
+        let b =
+            Interactable::Link { href: "http://h/p?b=2&a=1".parse().unwrap(), text: String::new() };
         assert_eq!(a.signature(), b.signature());
     }
 

@@ -200,8 +200,8 @@ impl WebApp for StaticApp {
     fn handle(&self, req: &Request, ctx: &mut RequestCtx<'_>) -> Response {
         use crate::dom::{Element, Tag};
         ctx.execute(self.block);
-        let body = Element::new(Tag::Body)
-            .child(Element::new(Tag::A).attr("href", "/").text("home"));
+        let body =
+            Element::new(Tag::Body).child(Element::new(Tag::A).attr("href", "/").text("home"));
         Response::html(crate::dom::Document::new(req.url.clone(), "static", body))
     }
 }

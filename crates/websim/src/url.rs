@@ -175,9 +175,8 @@ impl std::str::FromStr for Url {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = |reason| ParseUrlError { input: s.to_owned(), reason };
-        let rest = s
-            .strip_prefix("http://")
-            .ok_or_else(|| err("only http:// URLs are supported"))?;
+        let rest =
+            s.strip_prefix("http://").ok_or_else(|| err("only http:// URLs are supported"))?;
         if rest.is_empty() {
             return Err(err("missing host"));
         }

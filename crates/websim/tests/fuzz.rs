@@ -82,9 +82,8 @@ fn widget_endpoints_handle_hostile_input() {
     ] {
         let mut host = AppHost::new(apps::build(app).unwrap());
         for value in hostile_values {
-            let url: Url = format!("http://{}{}", host.app().seed_url().host(), path)
-                .parse()
-                .unwrap();
+            let url: Url =
+                format!("http://{}{}", host.app().seed_url().host(), path).parse().unwrap();
             let req = Request::post(
                 url,
                 vec![

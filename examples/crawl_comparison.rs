@@ -5,12 +5,12 @@
 //! cargo run --release --example crawl_comparison [app] [minutes] [seeds]
 //! ```
 
+use mak::framework::engine::EngineConfig;
 use mak::spec::{build_crawler, CRAWLER_NAMES};
 use mak_metrics::experiment::{run_matrix, RunMatrix};
 use mak_metrics::ground_truth::UnionCoverage;
 use mak_metrics::report::markdown_table;
 use mak_metrics::stats::mean;
-use mak::framework::engine::EngineConfig;
 use mak_websim::apps;
 
 fn main() {
@@ -28,10 +28,14 @@ fn main() {
         build_crawler(name, 0).expect("registered crawler");
     }
 
-    println!("Running {} crawlers x {seeds} seeds on `{app}` ({minutes} virtual minutes)…", CRAWLER_NAMES.len());
+    println!(
+        "Running {} crawlers x {seeds} seeds on `{app}` ({minutes} virtual minutes)…",
+        CRAWLER_NAMES.len()
+    );
     let matrix = RunMatrix::new([app.clone()], CRAWLER_NAMES.iter().copied(), seeds)
         .with_config(EngineConfig::with_budget_minutes(minutes));
-    let reports = run_matrix(&matrix, std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    let reports =
+        run_matrix(&matrix, std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
 
     let union = UnionCoverage::from_reports(reports.iter());
     let mut rows = Vec::new();

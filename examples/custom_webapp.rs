@@ -41,17 +41,18 @@ fn crawl(crawler: &mut dyn Crawler) -> CrawlReport {
 
 fn main() {
     let total = my_shop().code_model().total_lines();
-    println!("my-shop declares {total} server-side lines across {} pages\n", my_shop().page_count());
+    println!(
+        "my-shop declares {total} server-side lines across {} pages\n",
+        my_shop().page_count()
+    );
 
     let mut mak = MakCrawler::new(7);
     let mut bfs = StaticCrawler::bfs(7);
     let mut dfs = StaticCrawler::dfs(7);
 
-    for (name, report) in [
-        ("MAK", crawl(&mut mak)),
-        ("BFS", crawl(&mut bfs)),
-        ("DFS", crawl(&mut dfs)),
-    ] {
+    for (name, report) in
+        [("MAK", crawl(&mut mak)), ("BFS", crawl(&mut bfs)), ("DFS", crawl(&mut dfs))]
+    {
         println!(
             "{name:4} covered {:5} lines ({:4.1}%) with {} interactions, {} URLs",
             report.final_lines_covered,
@@ -62,5 +63,8 @@ fn main() {
     }
 
     let p = mak.arm_probabilities();
-    println!("\nMAK's learned arm mix on this app: Head {:.2} / Tail {:.2} / Random {:.2}", p[0], p[1], p[2]);
+    println!(
+        "\nMAK's learned arm mix on this app: Head {:.2} / Tail {:.2} / Random {:.2}",
+        p[0], p[1], p[2]
+    );
 }

@@ -75,9 +75,8 @@ impl WebApp for Pastebin {
             "/" => {
                 ctx.execute(self.home);
                 let count = ctx.session().get("pastes");
-                let mut body = Element::new(Tag::Body)
-                    .child(Element::new(Tag::H1).text("pastebin"))
-                    .child(
+                let mut body =
+                    Element::new(Tag::Body).child(Element::new(Tag::H1).text("pastebin")).child(
                         Element::new(Tag::Form)
                             .attr("action", "/paste")
                             .attr("method", "post")
@@ -99,13 +98,14 @@ impl WebApp for Pastebin {
                 Response::redirect(self.seed_url())
             }
             "/p" => {
-                let id: i64 =
-                    req.param("id").and_then(|v| v.parse().ok()).unwrap_or(-1);
+                let id: i64 = req.param("id").and_then(|v| v.parse().ok()).unwrap_or(-1);
                 if id >= 0 && id < ctx.session().get("pastes") {
                     ctx.execute(self.view);
                     let body = Element::new(Tag::Body)
                         .child(Element::new(Tag::P).text(format!("paste #{id}")))
-                        .child(Element::new(Tag::A).attr("href", format!("/raw?id={id}")).text("raw"))
+                        .child(
+                            Element::new(Tag::A).attr("href", format!("/raw?id={id}")).text("raw"),
+                        )
                         .child(Element::new(Tag::A).attr("href", "/").text("home"));
                     self.page(req, "paste", body)
                 } else {
@@ -138,8 +138,7 @@ fn main() {
     let total = app.code_model().total_lines();
 
     let mut crawler = MakCrawler::new(5);
-    let report =
-        run_crawl(&mut crawler, Box::new(app), &EngineConfig::with_budget_minutes(5.0), 5);
+    let report = run_crawl(&mut crawler, Box::new(app), &EngineConfig::with_budget_minutes(5.0), 5);
 
     println!("MAK crawled the hand-written pastebin for 5 virtual minutes:");
     println!(

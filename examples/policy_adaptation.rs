@@ -11,8 +11,7 @@ use mak_metrics::trace::{mean_reward_per_action, traced_run};
 fn main() {
     for app in ["hotcrp", "wordpress"] {
         println!("=== MAK on {app} (30 virtual minutes, 6 slices) ===");
-        let (report, usage) =
-            traced_run("mak", app, 30.0, 11, 6).expect("known crawler and app");
+        let (report, usage) = traced_run("mak", app, 30.0, 11, 6).expect("known crawler and app");
 
         println!("{:>10} {:>8} {:>8} {:>8}", "slice", "Head", "Tail", "Random");
         for slice in &usage {

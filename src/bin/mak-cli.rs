@@ -6,6 +6,8 @@
 //! mak-cli crawl <app> [options]      run one crawl and print a report
 //! mak-cli compare <app> [options]    run every crawler on one app
 //! mak-cli scan <app> [options]       crawl then probe for reflected inputs
+//! mak-cli cache stats                summarize the on-disk run cache
+//! mak-cli cache clear                delete every cached run
 //!
 //! options:
 //!   --crawler <name>    crawler for `crawl` (default: mak)
@@ -13,14 +15,18 @@
 //!   --seed <u64>        RNG seed (default: 0)
 //!   --seeds <u64>       repetitions for `compare` (default: 3)
 //!   --trace             print the per-step action trace (crawl only)
+//!
+//! `crawl` and `compare` consult the run cache under `results/cache/`
+//! (`MAK_CACHE=off|rw|ro` to control, `MAK_CACHE_DIR` to relocate).
 //! ```
 
-use mak::framework::engine::{run_crawl, EngineConfig};
+use mak::framework::engine::EngineConfig;
 use mak::spec::{build_crawler, CRAWLER_NAMES, MAK_VARIANTS};
-use mak_metrics::experiment::{run_matrix, RunMatrix};
+use mak_metrics::experiment::{run_matrix_cached, run_one_cached, RunMatrix};
 use mak_metrics::ground_truth::UnionCoverage;
 use mak_metrics::report::markdown_table;
 use mak_metrics::stats::mean;
+use mak_metrics::store::RunStore;
 use mak_websim::apps;
 use std::process::ExitCode;
 
@@ -45,8 +51,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--crawler" => {
-                opts.crawler =
-                    it.next().ok_or("--crawler needs a value")?.clone();
+                opts.crawler = it.next().ok_or("--crawler needs a value")?.clone();
             }
             "--minutes" => {
                 opts.minutes = it
@@ -84,10 +89,42 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mak-cli <apps|crawlers|crawl <app>|compare <app>|scan <app>> \
+        "usage: mak-cli <apps|crawlers|crawl <app>|compare <app>|scan <app>|cache <stats|clear>> \
          [--crawler NAME] [--minutes F] [--seed N] [--seeds N] [--trace]"
     );
     ExitCode::FAILURE
+}
+
+fn cmd_cache_stats() -> ExitCode {
+    let store = RunStore::from_env();
+    let stats = store.stats();
+    println!("cache dir   : {}", store.root().display());
+    println!("mode        : {:?}", store.mode());
+    println!("fingerprint : {:016x}", store.fingerprint());
+    println!("entries     : {}", stats.entries);
+    println!("size        : {:.1} MiB", stats.bytes as f64 / (1024.0 * 1024.0));
+    if !stats.per_app.is_empty() {
+        let fmt = |counts: &std::collections::BTreeMap<String, usize>| {
+            counts.iter().map(|(k, n)| format!("{k} ({n})")).collect::<Vec<_>>().join(", ")
+        };
+        println!("per app     : {}", fmt(&stats.per_app));
+        println!("per crawler : {}", fmt(&stats.per_crawler));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_cache_clear() -> ExitCode {
+    let store = RunStore::from_env();
+    match store.clear() {
+        Ok(removed) => {
+            println!("removed {removed} cached runs from {}", store.root().display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to clear {}: {e}", store.root().display());
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_scan(app: &str, opts: &Options) -> ExitCode {
@@ -148,15 +185,15 @@ fn cmd_crawl(app: &str, opts: &Options) -> ExitCode {
         eprintln!("unknown app `{app}`; run `mak-cli apps`");
         return ExitCode::FAILURE;
     };
-    let Some(mut crawler) = build_crawler(&opts.crawler, opts.seed) else {
+    if build_crawler(&opts.crawler, opts.seed).is_none() {
         eprintln!("unknown crawler `{}`; run `mak-cli crawlers`", opts.crawler);
         return ExitCode::FAILURE;
-    };
+    }
     let total = app_model.code_model().total_lines();
     let mut config = EngineConfig::with_budget_minutes(opts.minutes);
     config.record_trace = opts.trace;
 
-    let report = run_crawl(&mut *crawler, app_model, &config, opts.seed);
+    let report = run_one_cached(app, &opts.crawler, opts.seed, &config, &RunStore::from_env());
     println!(
         "{} on {}: {}/{} lines ({:.1}%), {} interactions, {} URLs, {:.0}s virtual",
         report.crawler,
@@ -191,7 +228,7 @@ fn cmd_compare(app: &str, opts: &Options) -> ExitCode {
         .with_config(EngineConfig::with_budget_minutes(opts.minutes));
     eprintln!("running {} crawls…", matrix.run_count());
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let reports = run_matrix(&matrix, threads);
+    let reports = run_matrix_cached(&matrix, threads, &RunStore::from_env());
 
     let union = UnionCoverage::from_reports(reports.iter());
     let mut rows = Vec::new();
@@ -217,6 +254,14 @@ fn main() -> ExitCode {
     match command.as_str() {
         "apps" => cmd_apps(),
         "crawlers" => cmd_crawlers(),
+        "cache" => match args.get(1).map(String::as_str) {
+            Some("stats") => cmd_cache_stats(),
+            Some("clear") => cmd_cache_clear(),
+            _ => {
+                eprintln!("`cache` needs a subcommand: stats or clear");
+                usage()
+            }
+        },
         "crawl" | "compare" | "scan" => {
             let Some(app) = args.get(1) else {
                 eprintln!("`{command}` needs an application name");
