@@ -79,7 +79,7 @@ impl Thompson {
                 continue;
             }
             let u: f64 = rng.gen::<f64>().max(1e-300);
-            if u.ln() < 0.5 * n * n * (-1.0) + d * (1.0 - v + v.ln()) {
+            if u.ln() < -(0.5 * n * n) + d * (1.0 - v + v.ln()) {
                 return d * v;
             }
         }

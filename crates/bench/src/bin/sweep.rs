@@ -27,8 +27,10 @@ fn main() {
         threads()
     );
 
+    // Per-crawler (name, mean series, (x, lo, hi) band series).
+    type CrawlerSeries = (String, Vec<(f64, f64)>, Vec<(f64, f64, f64)>);
     let mut rows = Vec::new();
-    let mut chart_series: Vec<(String, Vec<(f64, f64)>, Vec<(f64, f64, f64)>)> =
+    let mut chart_series: Vec<CrawlerSeries> =
         RL_CRAWLERS.iter().map(|c| ((*c).to_owned(), Vec::new(), Vec::new())).collect();
 
     let cache = store();

@@ -67,4 +67,13 @@ pub trait Crawler {
     /// Number of distinct same-origin URLs observed so far (link coverage,
     /// §IV-C).
     fn distinct_urls(&self) -> usize;
+
+    /// Testkit introspection: a `dyn Any` view for oracle downcasts, so the
+    /// invariant oracle can inspect crawler-specific internals (e.g. MAK's
+    /// leveled deque and Exp3.1 distribution). `None` for crawlers that
+    /// expose nothing.
+    #[cfg(feature = "testkit-oracle")]
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }

@@ -6,7 +6,7 @@
 //! [`Browser`] with a [`VirtualClock`], charges per-decision policy
 //! overhead, and samples the live coverage time series that Fig. 2 plots.
 
-use crate::framework::crawler::{CrawlEnd, Crawler};
+use crate::framework::crawler::{CrawlEnd, Crawler, StepReport};
 use mak_browser::client::Browser;
 use mak_browser::clock::VirtualClock;
 use mak_browser::cost::CostModel;
@@ -123,6 +123,86 @@ pub fn run_crawl(
     config: &EngineConfig,
     seed: u64,
 ) -> CrawlReport {
+    run_crawl_impl(crawler, app, config, seed, &mut NoopObserve)
+}
+
+/// Everything an invariant oracle can inspect after one successful step.
+#[cfg(feature = "testkit-oracle")]
+pub struct StepContext<'a> {
+    /// The crawler mid-run; downcast via [`Crawler::as_any`] for
+    /// crawler-specific invariants (deque consistency, Exp3.1 simplex).
+    pub crawler: &'a dyn Crawler,
+    /// The browser mid-run (virtual clock, host coverage, interactions).
+    pub browser: &'a Browser,
+    /// What the step did (action label, reward fed to the policy).
+    pub step: &'a StepReport,
+    /// Zero-based index of this completed step.
+    pub index: u64,
+}
+
+/// A step-level invariant checker driven by [`run_crawl_observed`].
+///
+/// Only compiled under the `testkit-oracle` feature; the plain
+/// [`run_crawl`] path monomorphizes a no-op observer and pays nothing.
+#[cfg(feature = "testkit-oracle")]
+pub trait StepObserver {
+    /// Called after every successful crawl step.
+    fn on_step(&mut self, ctx: &StepContext<'_>);
+}
+
+/// Like [`run_crawl`], but invokes `observer` after every successful step —
+/// the hook `mak-testkit`'s invariant oracle attaches to.
+#[cfg(feature = "testkit-oracle")]
+pub fn run_crawl_observed(
+    crawler: &mut dyn Crawler,
+    app: Box<dyn WebApp>,
+    config: &EngineConfig,
+    seed: u64,
+    mut observer: &mut dyn StepObserver,
+) -> CrawlReport {
+    run_crawl_impl(crawler, app, config, seed, &mut observer)
+}
+
+/// Internal engine-side observation hook. The only always-on implementor is
+/// the inlined no-op, so the release crawl loop compiles to exactly the
+/// pre-hook code.
+trait Observe {
+    fn after_step(
+        &mut self,
+        crawler: &dyn Crawler,
+        browser: &Browser,
+        step: &StepReport,
+        index: u64,
+    );
+}
+
+struct NoopObserve;
+
+impl Observe for NoopObserve {
+    #[inline(always)]
+    fn after_step(&mut self, _: &dyn Crawler, _: &Browser, _: &StepReport, _: u64) {}
+}
+
+#[cfg(feature = "testkit-oracle")]
+impl Observe for &mut dyn StepObserver {
+    fn after_step(
+        &mut self,
+        crawler: &dyn Crawler,
+        browser: &Browser,
+        step: &StepReport,
+        index: u64,
+    ) {
+        self.on_step(&StepContext { crawler, browser, step, index });
+    }
+}
+
+fn run_crawl_impl<O: Observe>(
+    crawler: &mut dyn Crawler,
+    app: Box<dyn WebApp>,
+    config: &EngineConfig,
+    seed: u64,
+    observer: &mut O,
+) -> CrawlReport {
     let app_name = app.name().to_owned();
     let live = app.coverage_mode() == CoverageMode::Live;
     let host = AppHost::new(app);
@@ -132,6 +212,7 @@ pub fn run_crawl(
     let mut series = Vec::new();
     let mut next_sample = config.sample_interval_secs;
     let mut trace = Vec::new();
+    let mut step_index: u64 = 0;
 
     if live {
         // The t = 0 baseline is sampled *before* the first step so the
@@ -147,6 +228,8 @@ pub fn run_crawl(
         browser.charge_policy_overhead(crawler.policy_overhead_ms(browser.cost_model()));
         match crawler.step(&mut browser) {
             Ok(step) => {
+                observer.after_step(crawler, &browser, &step, step_index);
+                step_index += 1;
                 if config.record_trace {
                     trace.push(TraceEntry {
                         secs: browser.clock().elapsed_secs(),

@@ -114,6 +114,14 @@ impl MakCrawler {
         &self.deque
     }
 
+    /// Testkit fault injection: mutable access to the arm policy, so the
+    /// oracle self-test can plant a known bug (e.g. disabling Exp3.1 epoch
+    /// advances) and prove the invariant oracle catches it.
+    #[cfg(feature = "testkit-oracle")]
+    pub fn policy_mut(&mut self) -> &mut ArmPolicy {
+        &mut self.policy
+    }
+
     /// Absorbs a fetched page: counts new URLs (the raw reward increment)
     /// and enqueues newly discovered same-origin elements at level 0.
     fn ingest(&mut self, page: &Page, browser: &Browser) -> u64 {
@@ -193,6 +201,11 @@ impl Crawler for MakCrawler {
 
     fn distinct_urls(&self) -> usize {
         self.links.len()
+    }
+
+    #[cfg(feature = "testkit-oracle")]
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

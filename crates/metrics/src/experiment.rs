@@ -142,7 +142,7 @@ impl Progress {
             if done == self.total {
                 eprintln!();
             }
-        } else if done % stride == 0 || done == self.total {
+        } else if done.is_multiple_of(stride) || done == self.total {
             eprintln!("{}", self.line(done, store));
         }
     }

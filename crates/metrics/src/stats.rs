@@ -23,7 +23,7 @@ pub fn sample_std(xs: &[f64]) -> f64 {
 pub fn argmax(xs: &[f64]) -> Option<usize> {
     let mut best: Option<(usize, f64)> = None;
     for (i, &x) in xs.iter().enumerate() {
-        if best.map_or(true, |(_, b)| x > b) {
+        if best.is_none_or(|(_, b)| x > b) {
             best = Some((i, x));
         }
     }

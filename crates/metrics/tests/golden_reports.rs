@@ -1,0 +1,72 @@
+//! Golden-snapshot tests: one canonical [`CrawlReport`] per registered
+//! crawler, for a fixed `(app, seed, small budget)` cell, committed under
+//! `tests/golden/`. Any behavioural drift in a crawler, the engine, the
+//! cost model, or the app shows up as a byte-level diff here.
+//!
+//! To bless new snapshots after an *intentional* behaviour change:
+//!
+//! ```text
+//! MAK_BLESS=1 cargo test -p mak-metrics --test golden_reports
+//! ```
+//!
+//! (and re-run the bench binaries so EXPERIMENTS.md follows).
+
+use mak::framework::engine::EngineConfig;
+use mak::spec::CRAWLER_NAMES;
+use mak_metrics::experiment::run_one;
+use std::path::PathBuf;
+
+const GOLDEN_APP: &str = "addressbook";
+const GOLDEN_SEED: u64 = 0;
+const GOLDEN_MINUTES: f64 = 2.0;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn canonical_report(crawler: &str) -> String {
+    let config = EngineConfig::with_budget_minutes(GOLDEN_MINUTES);
+    let report = run_one(GOLDEN_APP, crawler, GOLDEN_SEED, &config);
+    let mut json = serde_json::to_string_pretty(&report).expect("report serializes");
+    json.push('\n');
+    json
+}
+
+#[test]
+fn reports_match_committed_goldens() {
+    let dir = golden_dir();
+    let bless = std::env::var("MAK_BLESS").is_ok();
+    for crawler in CRAWLER_NAMES {
+        let json = canonical_report(crawler);
+        let path = dir.join(format!("{crawler}.json"));
+        if bless {
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(&path, &json).unwrap();
+            continue;
+        }
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {} ({e}); bless with MAK_BLESS=1 cargo test -p mak-metrics \
+                 --test golden_reports",
+                path.display()
+            )
+        });
+        assert_eq!(
+            json, golden,
+            "{crawler} on {GOLDEN_APP} diverged from its golden snapshot. If the change is \
+             intentional, re-bless with MAK_BLESS=1 and refresh EXPERIMENTS.md via the bench \
+             binaries."
+        );
+    }
+}
+
+#[test]
+fn report_regeneration_is_bit_identical() {
+    for crawler in CRAWLER_NAMES {
+        assert_eq!(
+            canonical_report(crawler),
+            canonical_report(crawler),
+            "{crawler}: two in-process regenerations must serialize identically"
+        );
+    }
+}

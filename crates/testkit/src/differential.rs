@@ -1,0 +1,204 @@
+//! Differential oracles: the same `(spec, crawler, seed, config)` cell
+//! must produce byte-identical [`CrawlReport`]s no matter *how* it is
+//! executed.
+//!
+//! Three execution paths are cross-checked:
+//!
+//! - **rerun ≡ first run** — rebuilding the crawler and the app from the
+//!   spec and crawling again yields the identical report (the workspace
+//!   determinism contract).
+//! - **parallel ≡ sequential** — running all crawlers concurrently on
+//!   their own app instances matches the sequential reports (no hidden
+//!   shared state, no iteration-order leaks).
+//! - **cached ≡ fresh** — a report saved through the
+//!   [`RunStore`](mak_metrics::store::RunStore) and loaded back is
+//!   field-for-field identical to the fresh one.
+//!
+//! Reports are compared through their canonical JSON serialization so a
+//! mismatch in *any* field (including the full coverage series and trace)
+//! is caught, and the differing serialization can be embedded in the
+//! violation.
+
+use crate::generate::BlueprintSpec;
+use crate::oracle::{InvariantOracle, Violation};
+use mak::framework::crawler::Crawler;
+use mak::framework::engine::{run_crawl, run_crawl_observed, CrawlReport, EngineConfig};
+use mak::spec::build_crawler;
+use mak_metrics::store::{CacheMode, RunStore};
+
+/// Runs one crawl under the step-level invariant oracle, returning both
+/// the report and any violations the oracle recorded.
+pub fn oracle_crawl(
+    crawler: &mut dyn Crawler,
+    spec: &BlueprintSpec,
+    config: &EngineConfig,
+    seed: u64,
+) -> (CrawlReport, Vec<Violation>) {
+    let mut oracle = InvariantOracle::new();
+    let report = run_crawl_observed(crawler, Box::new(spec.build()), config, seed, &mut oracle);
+    (report, oracle.into_violations())
+}
+
+/// Canonical JSON form of a report, used for byte-exact comparison.
+pub fn report_json(report: &CrawlReport) -> String {
+    serde_json::to_string(report).expect("CrawlReport serializes")
+}
+
+fn diff_violation(invariant: &str, details: String) -> Violation {
+    Violation { step: 0, invariant: invariant.to_owned(), details }
+}
+
+fn summarize_mismatch(context: &str, a: &CrawlReport, b: &CrawlReport) -> String {
+    format!(
+        "{context}: reports differ \
+         (interactions {} vs {}, lines {} vs {}, urls {} vs {}, states {:?} vs {:?})",
+        a.interactions,
+        b.interactions,
+        a.final_lines_covered,
+        b.final_lines_covered,
+        a.distinct_urls,
+        b.distinct_urls,
+        a.state_count,
+        b.state_count,
+    )
+}
+
+/// Checks that rebuilding everything from the spec and re-crawling yields
+/// a byte-identical report.
+pub fn check_rerun_identical(
+    spec: &BlueprintSpec,
+    crawler_name: &str,
+    seed: u64,
+    config: &EngineConfig,
+    first: &CrawlReport,
+) -> Result<(), Violation> {
+    let mut crawler = build_crawler(crawler_name, seed)
+        .unwrap_or_else(|| panic!("unknown crawler {crawler_name}"));
+    let rerun = run_crawl(&mut *crawler, Box::new(spec.build()), config, seed);
+    if report_json(first) == report_json(&rerun) {
+        Ok(())
+    } else {
+        Err(diff_violation(
+            "rerun-identical",
+            summarize_mismatch(&format!("{crawler_name} seed {seed} rerun"), first, &rerun),
+        ))
+    }
+}
+
+/// Checks that running the given crawlers in parallel (one thread each,
+/// each with its own app instance built from the spec) reproduces the
+/// sequential reports byte-for-byte.
+pub fn check_parallel_sequential(
+    spec: &BlueprintSpec,
+    crawlers: &[String],
+    seed: u64,
+    config: &EngineConfig,
+    sequential: &[CrawlReport],
+) -> Vec<Violation> {
+    assert_eq!(crawlers.len(), sequential.len());
+    let parallel: Vec<CrawlReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = crawlers
+            .iter()
+            .map(|name| {
+                scope.spawn(move || {
+                    let mut crawler =
+                        build_crawler(name, seed).unwrap_or_else(|| panic!("unknown {name}"));
+                    run_crawl(&mut *crawler, Box::new(spec.build()), config, seed)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("crawl thread panicked")).collect()
+    });
+    let mut violations = Vec::new();
+    for ((name, seq), par) in crawlers.iter().zip(sequential).zip(&parallel) {
+        if report_json(seq) != report_json(par) {
+            violations.push(diff_violation(
+                "parallel-sequential",
+                summarize_mismatch(&format!("{name} seed {seed} parallel"), seq, par),
+            ));
+        }
+    }
+    violations
+}
+
+/// Checks that saving a fresh report through the run cache and loading it
+/// back yields a field-for-field identical report. Uses a private store
+/// rooted in a per-call temp directory; the directory is removed before
+/// returning.
+pub fn check_cache_roundtrip(
+    spec: &BlueprintSpec,
+    crawler_name: &str,
+    seed: u64,
+    config: &EngineConfig,
+    fresh: &CrawlReport,
+) -> Result<(), Violation> {
+    let dir = std::env::temp_dir().join(format!(
+        "mak-testkit-cache-{}-{}-{crawler_name}-{seed}",
+        std::process::id(),
+        spec.name
+    ));
+    let store = RunStore::at(&dir, CacheMode::ReadWrite);
+    store.save(fresh, config);
+    let loaded = store.load(&fresh.app, crawler_name, seed, config);
+    let result = match loaded {
+        None => Err(diff_violation(
+            "cache-roundtrip",
+            format!("{crawler_name} seed {seed}: saved report not found on load"),
+        )),
+        Some(cached) if report_json(&cached) != report_json(fresh) => Err(diff_violation(
+            "cache-roundtrip",
+            summarize_mismatch(&format!("{crawler_name} seed {seed} cached"), fresh, &cached),
+        )),
+        Some(_) => Ok(()),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> EngineConfig {
+        EngineConfig::with_budget_minutes(0.5)
+    }
+
+    #[test]
+    fn rerun_is_identical_for_all_core_crawlers() {
+        let spec = BlueprintSpec::generate(5);
+        let config = small_config();
+        for name in ["mak", "bfs", "dfs", "random", "webexplor", "qexplore"] {
+            let mut c = build_crawler(name, 2).unwrap();
+            let (report, violations) = oracle_crawl(&mut *c, &spec, &config, 2);
+            assert!(violations.is_empty(), "{name}: {violations:?}");
+            check_rerun_identical(&spec, name, 2, &config, &report)
+                .unwrap_or_else(|v| panic!("{v}"));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let spec = BlueprintSpec::generate(9);
+        let config = small_config();
+        let crawlers: Vec<String> =
+            ["mak", "bfs", "random"].iter().map(|s| (*s).to_owned()).collect();
+        let sequential: Vec<CrawlReport> = crawlers
+            .iter()
+            .map(|name| {
+                let mut c = build_crawler(name, 4).unwrap();
+                run_crawl(&mut *c, Box::new(spec.build()), &config, 4)
+            })
+            .collect();
+        let violations = check_parallel_sequential(&spec, &crawlers, 4, &config, &sequential);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn cache_roundtrip_is_exact() {
+        let spec = BlueprintSpec::generate(13);
+        let config = small_config();
+        let mut c = build_crawler("mak", 6).unwrap();
+        let report = run_crawl(&mut *c, Box::new(spec.build()), &config, 6);
+        check_cache_roundtrip(&spec, "mak", 6, &config, &report).unwrap_or_else(|v| panic!("{v}"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Seeded generation of adversarial application blueprints.
+//!
+//! [`BlueprintSpec`] is the fuzzer's value domain: a plain-data,
+//! serializable mirror of the websim [`Blueprint`] builder. Keeping the
+//! spec as data (rather than building a [`BlueprintApp`] directly) buys
+//! three things: specs can be *generated* from a seed, *shrunk* by
+//! structural edits (drop a module, halve its pages), and *persisted* in
+//! failure artifacts that replay bit-identically later.
+
+use mak_websim::apps::blueprint::{Blueprint, BlueprintApp, ModuleKind, ModuleSpec};
+use mak_websim::coverage::CoverageMode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A module kind, as plain serializable data. Mirrors
+/// [`ModuleKind`] one variant for one variant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KindSpec {
+    /// Hub topology: page 0 links to every other page.
+    Hub,
+    /// Chain topology: page `i` links to page `i + 1`.
+    Chain,
+    /// Heap-shaped tree.
+    Tree {
+        /// Children per page.
+        branching: usize,
+    },
+    /// One path, pages selected by a `module=` query parameter.
+    ParamDispatch,
+    /// Ternary tree whose links carry redundant query parameters.
+    Aliased {
+        /// Distinct alias URLs per page.
+        aliases: usize,
+    },
+    /// Near-empty archive pages, the depth-first trap.
+    Pagination,
+    /// A page whose element list grows broken links on every submission.
+    MutatingTrap {
+        /// Maximum accumulated broken links.
+        max_links: usize,
+    },
+    /// A search form whose results never change.
+    NoopSearch,
+    /// A cart-style flow unlocking new code per accumulated session item.
+    StatefulFlow {
+        /// Distinct unlockable stages.
+        stages: usize,
+    },
+    /// A creation form adding linked item pages up to a bound.
+    ContentCreation {
+        /// Maximum creatable items.
+        max_items: usize,
+    },
+    /// Input-dependent validation branches.
+    FormBranches {
+        /// Distinct validation branches.
+        branches: usize,
+    },
+    /// A login-gated area behind demo credentials.
+    AuthArea,
+}
+
+impl KindSpec {
+    /// Whether the kind compiles to a single-page widget module (all pages
+    /// of such a module share one route, so multi-page specs would
+    /// collide).
+    fn single_page(&self) -> bool {
+        matches!(
+            self,
+            KindSpec::MutatingTrap { .. }
+                | KindSpec::NoopSearch
+                | KindSpec::StatefulFlow { .. }
+                | KindSpec::ContentCreation { .. }
+                | KindSpec::FormBranches { .. }
+        )
+    }
+
+    fn to_kind(&self) -> ModuleKind {
+        match self {
+            KindSpec::Hub => ModuleKind::Hub,
+            KindSpec::Chain => ModuleKind::Chain,
+            KindSpec::Tree { branching } => ModuleKind::Tree { branching: (*branching).max(2) },
+            KindSpec::ParamDispatch => ModuleKind::ParamDispatch { param: "module".to_owned() },
+            KindSpec::Aliased { aliases } => ModuleKind::Aliased { aliases: (*aliases).max(2) },
+            KindSpec::Pagination => ModuleKind::Pagination,
+            KindSpec::MutatingTrap { max_links } => {
+                ModuleKind::MutatingTrap { max_links: (*max_links).max(1) }
+            }
+            KindSpec::NoopSearch => ModuleKind::NoopSearch,
+            KindSpec::StatefulFlow { stages } => {
+                ModuleKind::StatefulFlow { stages: (*stages).max(1) }
+            }
+            KindSpec::ContentCreation { max_items } => {
+                ModuleKind::ContentCreation { max_items: (*max_items).max(1) }
+            }
+            KindSpec::FormBranches { branches } => {
+                ModuleKind::FormBranches { branches: (*branches).max(1) }
+            }
+            KindSpec::AuthArea => ModuleKind::AuthArea,
+        }
+    }
+}
+
+/// One module of a [`BlueprintSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleDef {
+    /// Module name (unique within the spec).
+    pub name: String,
+    /// Topology / behaviour.
+    pub kind: KindSpec,
+    /// Requested page count (clamped to 1 for single-page widget kinds).
+    pub pages: usize,
+    /// Mean handler lines per page.
+    pub lines_per_page: u32,
+}
+
+impl ModuleDef {
+    /// The page count the module will actually compile to.
+    pub fn effective_pages(&self) -> usize {
+        if self.kind.single_page() {
+            1
+        } else {
+            self.pages.max(1)
+        }
+    }
+}
+
+/// A serializable blueprint: everything needed to rebuild one generated
+/// application, bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlueprintSpec {
+    /// Application name; also determines the host (`<name>.local`) and the
+    /// blueprint compiler's internal layout seed.
+    pub name: String,
+    /// The modules, in compilation order.
+    pub modules: Vec<ModuleDef>,
+    /// Deterministic cross-module links.
+    pub cross_links: usize,
+    /// External-domain links on the home page.
+    pub external_links: usize,
+    /// WordPress-style `/r/<k>` redirect shortlinks.
+    pub redirect_links: usize,
+    /// Every n-th request 500s (None: no transient failures; values < 2
+    /// are treated as None).
+    pub flaky_every: Option<u64>,
+    /// Shared controller/template code per module, in percent of the
+    /// module's summed page lines (kept integral so specs serialize
+    /// canonically).
+    pub shared_ratio_pct: u32,
+    /// Framework lines executed on every request.
+    pub bootstrap_lines: u32,
+    /// Live (Xdebug-style) vs final (coverage-node-style) observation.
+    pub live_coverage: bool,
+}
+
+impl BlueprintSpec {
+    /// Generates a random-but-seeded spec. The same seed always yields the
+    /// same spec; different seeds explore module-kind combinations,
+    /// topology sizes, and builder knobs (aliasing, dispatch, traps,
+    /// stateful flows, transient failures, redirects).
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ SPEC_STREAM_TAG);
+        let n_modules = rng.gen_range(1..=5usize);
+        let mut modules = Vec::with_capacity(n_modules);
+        for i in 0..n_modules {
+            let (kind, pages) = match rng.gen_range(0..12u32) {
+                0 => (KindSpec::Hub, rng.gen_range(2..=8)),
+                1 => (KindSpec::Chain, rng.gen_range(2..=8)),
+                2 => (KindSpec::Tree { branching: rng.gen_range(2..=4) }, rng.gen_range(3..=10)),
+                3 => (KindSpec::ParamDispatch, rng.gen_range(2..=6)),
+                4 => (KindSpec::Aliased { aliases: rng.gen_range(2..=4) }, rng.gen_range(3..=9)),
+                5 => (KindSpec::Pagination, rng.gen_range(4..=12)),
+                6 => (KindSpec::MutatingTrap { max_links: rng.gen_range(1..=6) }, 1),
+                7 => (KindSpec::NoopSearch, 1),
+                8 => (KindSpec::StatefulFlow { stages: rng.gen_range(1..=4) }, 1),
+                9 => (KindSpec::ContentCreation { max_items: rng.gen_range(1..=5) }, 1),
+                10 => (KindSpec::FormBranches { branches: rng.gen_range(1..=6) }, 1),
+                _ => (KindSpec::AuthArea, rng.gen_range(2..=5)),
+            };
+            modules.push(ModuleDef {
+                name: format!("m{i}"),
+                kind,
+                pages,
+                lines_per_page: rng.gen_range(5..=60),
+            });
+        }
+        BlueprintSpec {
+            name: format!("fuzz{seed}"),
+            modules,
+            cross_links: rng.gen_range(0..=4),
+            external_links: rng.gen_range(0..=2),
+            redirect_links: rng.gen_range(0..=3),
+            flaky_every: if rng.gen_bool(0.25) { Some(rng.gen_range(2..=7)) } else { None },
+            shared_ratio_pct: [0, 50, 100, 200][rng.gen_range(0..4usize)],
+            bootstrap_lines: rng.gen_range(5..=50),
+            live_coverage: rng.gen_bool(0.75),
+        }
+    }
+
+    /// Total routable pages the spec compiles to (home page included) —
+    /// the size metric shrinking minimizes.
+    pub fn total_pages(&self) -> usize {
+        1 + self.modules.iter().map(ModuleDef::effective_pages).sum::<usize>()
+    }
+
+    /// Compiles the spec into a servable application. Building twice from
+    /// the same spec yields identical applications (the blueprint compiler
+    /// is seeded by the app name).
+    pub fn build(&self) -> BlueprintApp {
+        let mode = if self.live_coverage { CoverageMode::Live } else { CoverageMode::Final };
+        let mut bp = Blueprint::new(self.name.clone(), format!("{}.local", self.name))
+            .coverage_mode(mode)
+            .bootstrap_lines(self.bootstrap_lines.max(1))
+            .shared_ratio(f64::from(self.shared_ratio_pct.min(400)) / 100.0)
+            .cross_links(self.cross_links)
+            .external_links(self.external_links)
+            .redirect_links(self.redirect_links);
+        if let Some(n) = self.flaky_every {
+            if n >= 2 {
+                bp = bp.flaky_every(n);
+            }
+        }
+        for m in &self.modules {
+            bp = bp.module(ModuleSpec::new(
+                m.name.clone(),
+                m.kind.to_kind(),
+                m.effective_pages(),
+                m.lines_per_page.max(2),
+            ));
+        }
+        bp.build()
+    }
+}
+
+/// A fixed tag mixed into generation seeds so spec streams are decoupled
+/// from other consumers of small consecutive seeds.
+const SPEC_STREAM_TAG: u64 = 0x9e37_79b9_7f4a_7c15;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mak_websim::server::WebApp;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..50 {
+            assert_eq!(BlueprintSpec::generate(seed), BlueprintSpec::generate(seed));
+        }
+    }
+
+    #[test]
+    fn seeds_explore_different_shapes() {
+        let distinct: std::collections::BTreeSet<String> =
+            (0..100).map(|s| format!("{:?}", BlueprintSpec::generate(s).modules)).collect();
+        assert!(distinct.len() > 80, "only {} distinct module sets", distinct.len());
+    }
+
+    #[test]
+    fn every_generated_spec_builds() {
+        for seed in 0..100 {
+            let spec = BlueprintSpec::generate(seed);
+            let app = spec.build();
+            assert_eq!(app.page_count(), spec.total_pages(), "seed {seed}");
+            assert!(app.code_model().total_lines() > 0);
+        }
+    }
+
+    #[test]
+    fn build_twice_is_identical() {
+        let spec = BlueprintSpec::generate(7);
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.page_count(), b.page_count());
+        assert_eq!(a.code_model().total_lines(), b.code_model().total_lines());
+    }
+
+    #[test]
+    fn spec_json_roundtrips() {
+        for seed in [0, 3, 11, 42] {
+            let spec = BlueprintSpec::generate(seed);
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: BlueprintSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn widget_kinds_stay_single_page() {
+        let spec = BlueprintSpec {
+            name: "w".into(),
+            modules: vec![ModuleDef {
+                name: "trap".into(),
+                kind: KindSpec::MutatingTrap { max_links: 3 },
+                pages: 9,
+                lines_per_page: 10,
+            }],
+            cross_links: 0,
+            external_links: 0,
+            redirect_links: 0,
+            flaky_every: None,
+            shared_ratio_pct: 100,
+            bootstrap_lines: 10,
+            live_coverage: true,
+        };
+        assert_eq!(spec.total_pages(), 2);
+        assert_eq!(spec.build().page_count(), 2);
+    }
+}

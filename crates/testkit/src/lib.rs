@@ -1,0 +1,39 @@
+//! `mak-testkit` — seeded property-testing, invariant-oracle, and
+//! differential-fuzzing harness for the MAK reproduction.
+//!
+//! The crate answers one question: *does every crawler preserve its
+//! invariants on applications nobody hand-wrote?* It has four layers:
+//!
+//! 1. [`generate`] — [`generate::BlueprintSpec`], a serializable mirror of
+//!    the websim [blueprint DSL](mak_websim::apps::blueprint) that can be
+//!    generated from a seed (aliased URLs, query-param dispatch,
+//!    DOM-mutation traps, stateful flows, …), built into a servable app,
+//!    and — crucially for shrinking — edited structurally.
+//! 2. [`oracle`] — [`oracle::InvariantOracle`], a
+//!    [`StepObserver`](mak::framework::engine::StepObserver) that checks
+//!    step-level invariants during a crawl: clock/coverage/URL-count
+//!    monotonicity, URL-normalization idempotence, leveled-deque
+//!    consistency, reward range, and Exp3.1 distribution validity
+//!    (simplex, exploration floor, finite weights, epoch-termination
+//!    bound).
+//! 3. [`differential`] — cross-run oracles: bit-identical reruns per seed,
+//!    cached ≡ fresh through the [`RunStore`](mak_metrics::store::RunStore),
+//!    and parallel ≡ sequential execution.
+//! 4. [`fuzz`] + [`shrink`] — the driver behind `mak-cli fuzz`: generate
+//!    apps, run every crawler under the oracles, and shrink any failure by
+//!    deterministic bisection (drop modules → bisect pages → strip knobs →
+//!    bisect budget) down to a minimal reproducing blueprint written to
+//!    disk and replayable with `mak-cli fuzz --replay <file>`.
+//!
+//! Everything is deterministic: the same seed always generates the same
+//! application, the same crawl, the same violation, and the same shrunk
+//! artifact.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod differential;
+pub mod fuzz;
+pub mod generate;
+pub mod oracle;
+pub mod shrink;

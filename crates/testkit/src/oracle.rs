@@ -1,0 +1,297 @@
+//! The step-level invariant oracle.
+//!
+//! [`InvariantOracle`] implements the engine's feature-gated
+//! [`StepObserver`] hook and checks, after **every** successful crawl
+//! step:
+//!
+//! - **Monotonicity** — virtual clock, server-side covered lines,
+//!   browser interaction count, and the crawler's distinct-URL count never
+//!   decrease.
+//! - **URL-normalization idempotence** — the canonical form re-parses to
+//!   itself (the link-coverage accounting identity).
+//! - **Reward sanity** — rewards are finite; MAK rewards lie in `[0, 1]`
+//!   (the Exp3.1 precondition).
+//! - **Leveled-deque consistency** — `len()` equals the sum over
+//!   per-level lengths (downcast via [`Crawler::as_any`]).
+//! - **Exp3.1 distribution validity** — the arm distribution is a simplex
+//!   (sums to 1, entries in `[0, 1]`), respects the `γ/K` exploration
+//!   floor, all weights stay finite and positive, and the maximum
+//!   estimated gain never exceeds the epoch-termination bound
+//!   `g_m − K/γ_m` (the invariant that breaks when epoch advancement is
+//!   broken).
+//!
+//! Violations are recorded, not panicked, so the fuzz driver can shrink
+//! the failing case and write a replayable artifact.
+//!
+//! [`StepObserver`]: mak::framework::engine::StepObserver
+//! [`Crawler::as_any`]: mak::framework::crawler::Crawler
+
+use mak::framework::engine::{StepContext, StepObserver};
+use mak::mak::MakCrawler;
+use mak_websim::url::Url;
+use serde::{Deserialize, Serialize};
+
+/// One detected invariant violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Zero-based index of the step after which the violation was seen
+    /// (0 for violations detected outside a step, e.g. differential
+    /// mismatches).
+    pub step: u64,
+    /// Short invariant identifier, e.g. `"exp31-epoch-bound"`.
+    pub invariant: String,
+    /// Human-readable details with the observed values.
+    pub details: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[step {}] {}: {}", self.step, self.invariant, self.details)
+    }
+}
+
+/// Maximum violations kept per run; a broken invariant usually fails on
+/// every subsequent step, and one witness per kind is all shrinking needs.
+const MAX_VIOLATIONS: usize = 16;
+
+/// The step-level invariant checker. Attach with
+/// [`run_crawl_observed`](mak::framework::engine::run_crawl_observed).
+#[derive(Debug, Default)]
+pub struct InvariantOracle {
+    last_secs: f64,
+    last_lines: u64,
+    last_urls: usize,
+    last_interactions: u64,
+    violations: Vec<Violation>,
+}
+
+impl InvariantOracle {
+    /// A fresh oracle for one run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All violations recorded so far, in detection order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Consumes the oracle, returning its violations.
+    pub fn into_violations(self) -> Vec<Violation> {
+        self.violations
+    }
+
+    fn fail(&mut self, step: u64, invariant: &str, details: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(Violation { step, invariant: invariant.to_owned(), details });
+        }
+    }
+
+    fn check_mak(&mut self, mak: &MakCrawler, step_index: u64, reward: Option<f64>) {
+        // Leveled-deque consistency: the cached length must equal the sum
+        // of the per-level lengths.
+        let deque = mak.deque();
+        let summed: usize = (0..deque.level_count()).map(|l| deque.level_len(l)).sum();
+        if summed != deque.len() {
+            self.fail(
+                step_index,
+                "deque-consistency",
+                format!("len() = {} but levels sum to {summed}", deque.len()),
+            );
+        }
+
+        // MAK rewards feed Exp3.1, whose analysis requires [0, 1].
+        if let Some(r) = reward {
+            if !(0.0..=1.0).contains(&r) {
+                self.fail(step_index, "mak-reward-range", format!("reward {r} outside [0, 1]"));
+            }
+        }
+
+        // The arm distribution must be a valid simplex.
+        let probs = mak.arm_probabilities();
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            self.fail(step_index, "arm-simplex-sum", format!("probabilities sum to {sum}"));
+        }
+        if probs.iter().any(|p| !p.is_finite() || *p < 0.0 || *p > 1.0 + 1e-12) {
+            self.fail(step_index, "arm-simplex-range", format!("probabilities {probs:?}"));
+        }
+
+        if let Some(exp) = mak.policy().as_exp31() {
+            for (i, w) in exp.weights().iter().enumerate() {
+                if !w.is_finite() || *w <= 0.0 {
+                    self.fail(
+                        step_index,
+                        "exp31-weight-finite",
+                        format!("weight[{i}] = {w} (must be finite and positive)"),
+                    );
+                }
+            }
+            // γ-smoothing guarantees every arm at least γ/K probability.
+            let floor = exp.gamma() / probs.len() as f64;
+            for (i, p) in probs.iter().enumerate() {
+                if *p < floor - 1e-12 {
+                    self.fail(
+                        step_index,
+                        "exp31-exploration-floor",
+                        format!("p[{i}] = {p} below γ/K = {floor}"),
+                    );
+                }
+            }
+            // Line 9 of Algorithm 1: after every completed update the
+            // maximum estimated gain must sit at or below the
+            // epoch-termination bound, because `advance_epochs` runs until
+            // it does. Only meaningful once at least one update happened
+            // (fixed-arm baselines never touch the policy).
+            if exp.steps() > 0 {
+                let max_gain = exp.gains().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let bound = exp.epoch_termination_bound();
+                if max_gain > bound + 1e-9 {
+                    self.fail(
+                        step_index,
+                        "exp31-epoch-bound",
+                        format!(
+                            "max Ĝ = {max_gain} exceeds g_m − K/γ_m = {bound} \
+                             (epoch {}, {} updates)",
+                            exp.epoch(),
+                            exp.steps()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl StepObserver for InvariantOracle {
+    fn on_step(&mut self, ctx: &StepContext<'_>) {
+        let step = ctx.index;
+
+        let secs = ctx.browser.clock().elapsed_secs();
+        if secs < self.last_secs {
+            self.fail(step, "clock-monotone", format!("elapsed {secs}s after {}s", self.last_secs));
+        }
+        self.last_secs = secs;
+
+        let lines = ctx.browser.host().harness_lines_covered();
+        if lines < self.last_lines {
+            self.fail(
+                step,
+                "coverage-monotone",
+                format!("covered lines fell {} -> {lines}", self.last_lines),
+            );
+        }
+        self.last_lines = lines;
+
+        let interactions = ctx.browser.interaction_count();
+        if interactions < self.last_interactions {
+            self.fail(
+                step,
+                "interactions-monotone",
+                format!("interaction count fell {} -> {interactions}", self.last_interactions),
+            );
+        }
+        self.last_interactions = interactions;
+
+        let urls = ctx.crawler.distinct_urls();
+        if urls < self.last_urls {
+            self.fail(
+                step,
+                "distinct-urls-monotone",
+                format!("distinct URLs fell {} -> {urls}", self.last_urls),
+            );
+        }
+        self.last_urls = urls;
+
+        // URL-normalization idempotence on the crawl origin: the
+        // canonical form must re-parse to itself, or link-coverage
+        // accounting would split one resource into several.
+        let norm = ctx.browser.origin().normalized();
+        match norm.parse::<Url>() {
+            Ok(u) if u.normalized() == norm => {}
+            Ok(u) => self.fail(
+                step,
+                "url-normalization-idempotent",
+                format!("normalized({norm}) reparses to {}", u.normalized()),
+            ),
+            Err(e) => self.fail(
+                step,
+                "url-normalization-idempotent",
+                format!("normalized form {norm} does not reparse: {e}"),
+            ),
+        }
+
+        if let Some(r) = ctx.step.reward {
+            if !r.is_finite() {
+                self.fail(step, "reward-finite", format!("reward {r}"));
+            }
+        }
+
+        if let Some(any) = ctx.crawler.as_any() {
+            if let Some(mak) = any.downcast_ref::<MakCrawler>() {
+                self.check_mak(mak, step, ctx.step.reward);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::BlueprintSpec;
+    use mak::framework::engine::{run_crawl_observed, EngineConfig};
+    use mak::spec::build_crawler;
+
+    #[test]
+    fn clean_crawlers_produce_no_violations() {
+        let spec = BlueprintSpec::generate(3);
+        let config = EngineConfig::with_budget_minutes(0.5);
+        for crawler in ["mak", "bfs", "random", "webexplor"] {
+            let mut c = build_crawler(crawler, 1).unwrap();
+            let mut oracle = InvariantOracle::new();
+            let report =
+                run_crawl_observed(&mut *c, Box::new(spec.build()), &config, 1, &mut oracle);
+            assert!(report.interactions > 0, "{crawler} did something");
+            assert!(oracle.violations().is_empty(), "{crawler}: {:?}", oracle.violations());
+        }
+    }
+
+    #[test]
+    fn injected_epoch_bug_is_caught() {
+        use mak::mak::MakCrawler;
+        let spec = BlueprintSpec::generate(3);
+        let mut c = MakCrawler::new(1);
+        c.policy_mut().as_exp31_mut().expect("mak uses Exp3.1").testing_disable_epoch_advance();
+        let mut oracle = InvariantOracle::new();
+        run_crawl_observed(
+            &mut c,
+            Box::new(spec.build()),
+            &EngineConfig::with_budget_minutes(0.5),
+            1,
+            &mut oracle,
+        );
+        assert!(
+            oracle.violations().iter().any(|v| v.invariant == "exp31-epoch-bound"),
+            "epoch-advance bug must trip the bound invariant: {:?}",
+            oracle.violations()
+        );
+    }
+
+    #[test]
+    fn violations_are_capped() {
+        use mak::mak::MakCrawler;
+        let spec = BlueprintSpec::generate(3);
+        let mut c = MakCrawler::new(1);
+        c.policy_mut().as_exp31_mut().unwrap().testing_disable_epoch_advance();
+        let mut oracle = InvariantOracle::new();
+        run_crawl_observed(
+            &mut c,
+            Box::new(spec.build()),
+            &EngineConfig::with_budget_minutes(2.0),
+            1,
+            &mut oracle,
+        );
+        assert!(!oracle.violations().is_empty());
+        assert!(oracle.violations().len() <= MAX_VIOLATIONS);
+    }
+}

@@ -1,0 +1,190 @@
+//! Deterministic shrinking of failing blueprints.
+//!
+//! Given a spec + budget that reproduces a violation, [`shrink`] searches
+//! for a smaller reproduction by structural bisection, in four rounds
+//! applied to a fixpoint:
+//!
+//! 1. drop whole modules (one at a time, first-to-last);
+//! 2. halve each module's page count;
+//! 3. strip builder knobs (cross links, external links, redirects,
+//!    transient failures, shared code, bootstrap lines);
+//! 4. halve the crawl budget (down to a 0.25-minute floor).
+//!
+//! A candidate is accepted only if the caller's `check` closure still
+//! reproduces a violation on it, so the final result is a *minimal-ish*
+//! deterministic reproduction — not globally minimal (shrinking is greedy)
+//! but typically a handful of pages. The whole process is a pure function
+//! of its inputs: no randomness, no wall-clock.
+
+use crate::generate::BlueprintSpec;
+use crate::oracle::Violation;
+
+/// Outcome of shrinking one failure.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The smallest spec that still reproduces a violation.
+    pub spec: BlueprintSpec,
+    /// The (possibly reduced) crawl budget that still reproduces.
+    pub budget_minutes: f64,
+    /// The violation observed on the shrunk spec.
+    pub violation: Violation,
+    /// Number of candidate specs evaluated.
+    pub attempts: u64,
+}
+
+/// Shrinks `(spec, budget_minutes)` while `check` keeps returning
+/// `Some(violation)`. `check` must be deterministic; it is called once per
+/// candidate.
+pub fn shrink(
+    spec: &BlueprintSpec,
+    budget_minutes: f64,
+    violation: &Violation,
+    check: &mut dyn FnMut(&BlueprintSpec, f64) -> Option<Violation>,
+) -> ShrinkResult {
+    let mut best = spec.clone();
+    let mut budget = budget_minutes;
+    let mut witness = violation.clone();
+    let mut attempts = 0u64;
+
+    let mut try_accept =
+        |candidate: &BlueprintSpec, cand_budget: f64, attempts: &mut u64| -> Option<Violation> {
+            *attempts += 1;
+            check(candidate, cand_budget)
+        };
+
+    loop {
+        let mut improved = false;
+
+        // Round 1: drop whole modules.
+        let mut i = 0;
+        while best.modules.len() > 1 && i < best.modules.len() {
+            let mut candidate = best.clone();
+            candidate.modules.remove(i);
+            if let Some(v) = try_accept(&candidate, budget, &mut attempts) {
+                best = candidate;
+                witness = v;
+                improved = true;
+                // Same index now names the next module; don't advance.
+            } else {
+                i += 1;
+            }
+        }
+
+        // Round 2: halve page counts.
+        for i in 0..best.modules.len() {
+            while best.modules[i].pages > 1 {
+                let mut candidate = best.clone();
+                candidate.modules[i].pages = candidate.modules[i].pages.div_ceil(2);
+                if candidate.modules[i].pages == best.modules[i].pages {
+                    break;
+                }
+                if let Some(v) = try_accept(&candidate, budget, &mut attempts) {
+                    best = candidate;
+                    witness = v;
+                    improved = true;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // Round 3: strip knobs one at a time.
+        let knobs: Vec<fn(&mut BlueprintSpec)> = vec![
+            |s| s.cross_links = 0,
+            |s| s.external_links = 0,
+            |s| s.redirect_links = 0,
+            |s| s.flaky_every = None,
+            |s| s.shared_ratio_pct = 0,
+            |s| s.bootstrap_lines = 5,
+        ];
+        for strip in knobs {
+            let mut candidate = best.clone();
+            strip(&mut candidate);
+            if candidate == best {
+                continue;
+            }
+            if let Some(v) = try_accept(&candidate, budget, &mut attempts) {
+                best = candidate;
+                witness = v;
+                improved = true;
+            }
+        }
+
+        // Round 4: halve the crawl budget.
+        while budget > 0.25 {
+            let half = (budget / 2.0).max(0.25);
+            if let Some(v) = try_accept(&best, half, &mut attempts) {
+                budget = half;
+                witness = v;
+                improved = true;
+            } else {
+                break;
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+
+    ShrinkResult { spec: best, budget_minutes: budget, violation: witness, attempts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{KindSpec, ModuleDef};
+
+    fn violation() -> Violation {
+        Violation { step: 0, invariant: "test".into(), details: "synthetic".into() }
+    }
+
+    /// A synthetic bug that reproduces whenever the spec still contains a
+    /// Pagination module — shrinking should strip everything else.
+    #[test]
+    fn shrinks_to_the_guilty_module() {
+        let spec = BlueprintSpec {
+            name: "shrinkme".into(),
+            modules: vec![
+                ModuleDef { name: "a".into(), kind: KindSpec::Hub, pages: 8, lines_per_page: 10 },
+                ModuleDef {
+                    name: "b".into(),
+                    kind: KindSpec::Pagination,
+                    pages: 12,
+                    lines_per_page: 10,
+                },
+                ModuleDef { name: "c".into(), kind: KindSpec::Chain, pages: 6, lines_per_page: 10 },
+            ],
+            cross_links: 4,
+            external_links: 2,
+            redirect_links: 3,
+            flaky_every: Some(3),
+            shared_ratio_pct: 200,
+            bootstrap_lines: 40,
+            live_coverage: true,
+        };
+        let mut check = |s: &BlueprintSpec, _b: f64| {
+            s.modules.iter().any(|m| matches!(m.kind, KindSpec::Pagination)).then(violation)
+        };
+        let result = shrink(&spec, 2.0, &violation(), &mut check);
+        assert_eq!(result.spec.modules.len(), 1);
+        assert!(matches!(result.spec.modules[0].kind, KindSpec::Pagination));
+        assert_eq!(result.spec.modules[0].pages, 1);
+        assert_eq!(result.spec.cross_links, 0);
+        assert_eq!(result.spec.flaky_every, None);
+        assert!(result.budget_minutes <= 0.25 + 1e-9);
+        assert!(result.attempts > 0);
+    }
+
+    /// If nothing smaller reproduces, shrinking returns the input.
+    #[test]
+    fn keeps_input_when_nothing_smaller_reproduces() {
+        let spec = BlueprintSpec::generate(0);
+        let original = spec.clone();
+        let mut check =
+            |s: &BlueprintSpec, b: f64| (*s == original && (b - 2.0).abs() < 1e-9).then(violation);
+        let result = shrink(&spec, 2.0, &violation(), &mut check);
+        assert_eq!(result.spec, spec);
+        assert!((result.budget_minutes - 2.0).abs() < 1e-9);
+    }
+}

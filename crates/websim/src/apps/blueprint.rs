@@ -1179,7 +1179,7 @@ impl WebApp for BlueprintApp {
         // Deterministic transient failure: every n-th request 500s before
         // reaching any application code beyond the front controller.
         if let Some(n) = self.flaky_every {
-            if ctx.request_index() % n == 0 {
+            if ctx.request_index().is_multiple_of(n) {
                 ctx.execute(self.bootstrap);
                 return self.server_error_page(req, ctx);
             }

@@ -1,0 +1,123 @@
+//! Edge-case tests for URL canonicalization and server-side sessions:
+//! normalization idempotence, alias-class stability under query-parameter
+//! permutation, and session-allocation determinism across fresh hosts.
+
+use mak_websim::apps;
+use mak_websim::http::{Request, SessionId};
+use mak_websim::server::AppHost;
+use mak_websim::url::Url;
+use proptest::prelude::*;
+
+fn with_params(mut url: Url, params: &[(String, String)]) -> Url {
+    for (k, v) in params {
+        url = url.with_query(k.clone(), v.clone());
+    }
+    url
+}
+
+proptest! {
+    /// `normalized()` is idempotent: the canonical form re-parses and
+    /// re-normalizes to itself. Without this, one resource could occupy
+    /// several alias classes and inflate distinct-URL counts.
+    #[test]
+    fn normalization_is_idempotent(
+        host in "[a-z]{1,8}(\\.[a-z]{2,5})?",
+        segments in proptest::collection::vec("[a-z0-9._-]{1,8}", 0..4),
+        params in proptest::collection::vec(("[a-z]{1,5}", "[a-z0-9]{0,6}"), 0..5),
+    ) {
+        let url = with_params(Url::new(host, format!("/{}", segments.join("/"))), &params);
+        let norm = url.normalized();
+        let reparsed: Url = norm.parse().expect("canonical form parses");
+        prop_assert_eq!(reparsed.normalized(), norm);
+    }
+
+    /// The alias class is stable under any rotation or adjacent swap of
+    /// the query parameters — parameter order must never split a class.
+    /// Duplicate keys are kept, so multisets are compared, not sets.
+    #[test]
+    fn alias_class_stable_under_query_permutation(
+        params in proptest::collection::vec(("[a-z]{1,5}", "[a-z0-9]{0,4}"), 1..6),
+        rotation in 0usize..8,
+        swap in 0usize..8,
+    ) {
+        let base = Url::new("app.local", "/index.php");
+        let canonical = with_params(base.clone(), &params).normalized();
+
+        let mut rotated = params.clone();
+        let r = rotation % rotated.len();
+        rotated.rotate_left(r);
+        prop_assert_eq!(with_params(base.clone(), &rotated).normalized(), canonical.clone());
+
+        let mut swapped = params.clone();
+        if swapped.len() >= 2 {
+            let i = swap % (swapped.len() - 1);
+            swapped.swap(i, i + 1);
+        }
+        prop_assert_eq!(with_params(base, &swapped).normalized(), canonical);
+    }
+
+    /// Repeating a query parameter is visible in the alias class (the
+    /// duplicate is retained), and doubling is itself order-insensitive.
+    #[test]
+    fn duplicate_parameters_are_retained(
+        key in "[a-z]{1,5}",
+        value in "[a-z0-9]{1,4}",
+        other in "[a-z0-9]{1,4}",
+    ) {
+        let base = Url::new("app.local", "/p");
+        let single = base.clone().with_query(key.clone(), value.clone());
+        let doubled = single.clone().with_query(key.clone(), other.clone());
+        prop_assert_ne!(single.normalized(), doubled.normalized());
+        let reversed =
+            base.with_query(key.clone(), other).with_query(key, value);
+        prop_assert_eq!(doubled.normalized(), reversed.normalized());
+    }
+}
+
+/// Replaying one request trace against two fresh hosts yields identical
+/// session cookies, session counts, rendered text, and covered lines:
+/// session allocation and reset are pure functions of the request order.
+#[test]
+fn session_allocation_is_deterministic() {
+    fn replay(app: &str) -> (Vec<SessionId>, usize, u64, Vec<String>) {
+        let mut host = AppHost::new(apps::build(app).unwrap());
+        let origin = host.app().seed_url();
+        let paths = ["/", "/login", "/search", "/"];
+        let mut cookies: Vec<SessionId> = Vec::new();
+        let mut texts = Vec::new();
+        for i in 0..12usize {
+            let url = origin.join(paths[i % paths.len()]).unwrap();
+            let mut req = Request::get(url);
+            // Every third request simulates a session reset: a fresh
+            // client with no cookie. Others continue the latest session.
+            if i % 3 != 0 {
+                req.session = cookies.last().copied();
+            }
+            let resp = host.fetch(&req);
+            cookies.push(resp.session.expect("session always established"));
+            if let Some(doc) = resp.document() {
+                texts.push(doc.text_content());
+            }
+        }
+        (cookies, host.session_count(), host.harness_lines_covered(), texts)
+    }
+
+    for app in ["phpbb2", "oscommerce2", "wordpress"] {
+        assert_eq!(replay(app), replay(app), "{app}: session replay must be deterministic");
+    }
+}
+
+/// A reset (cookie-less request) always mints a fresh session rather than
+/// resurrecting an old one, and never disturbs existing sessions.
+#[test]
+fn reset_mints_fresh_sessions() {
+    let mut host = AppHost::new(apps::build("oscommerce2").unwrap());
+    let origin = host.app().seed_url();
+    let mut seen = std::collections::BTreeSet::new();
+    for round in 1..=5usize {
+        let resp = host.fetch(&Request::get(origin.clone()));
+        let cookie = resp.session.unwrap();
+        assert!(seen.insert(cookie), "round {round}: cookie {cookie} reused");
+        assert_eq!(host.session_count(), round);
+    }
+}

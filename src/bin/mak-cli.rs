@@ -6,18 +6,23 @@
 //! mak-cli crawl <app> [options]      run one crawl and print a report
 //! mak-cli compare <app> [options]    run every crawler on one app
 //! mak-cli scan <app> [options]       crawl then probe for reflected inputs
+//! mak-cli fuzz [options]             fuzz generated apps under the invariant oracles
+//! mak-cli fuzz --replay <file>       re-run a saved failure artifact
 //! mak-cli cache stats                summarize the on-disk run cache
 //! mak-cli cache clear                delete every cached run
 //!
 //! options:
 //!   --crawler <name>    crawler for `crawl` (default: mak)
-//!   --minutes <f64>     virtual budget (default: 30)
-//!   --seed <u64>        RNG seed (default: 0)
-//!   --seeds <u64>       repetitions for `compare` (default: 3)
+//!   --minutes <f64>     virtual budget (default: 30; fuzz default: 1)
+//!   --seed <u64>        RNG seed (default: 0; fuzz: base blueprint seed)
+//!   --seeds <u64>       repetitions for `compare`, crawl seeds for `fuzz` (default: 3)
+//!   --apps <u64>        generated applications for `fuzz` (default: 25)
+//!   --replay <file>     replay a fuzz failure artifact instead of fuzzing
 //!   --trace             print the per-step action trace (crawl only)
 //!
 //! `crawl` and `compare` consult the run cache under `results/cache/`
 //! (`MAK_CACHE=off|rw|ro` to control, `MAK_CACHE_DIR` to relocate).
+//! `fuzz` writes shrunk failure artifacts to `results/fuzz/`.
 //! ```
 
 use mak::framework::engine::EngineConfig;
@@ -33,15 +38,26 @@ use std::process::ExitCode;
 #[derive(Debug)]
 struct Options {
     crawler: String,
-    minutes: f64,
+    /// `None` means "command default" (30 min for crawls, 1 min for fuzz).
+    minutes: Option<f64>,
     seed: u64,
     seeds: u64,
+    apps: u64,
+    replay: Option<String>,
     trace: bool,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { crawler: "mak".to_owned(), minutes: 30.0, seed: 0, seeds: 3, trace: false }
+        Options {
+            crawler: "mak".to_owned(),
+            minutes: None,
+            seed: 0,
+            seeds: 3,
+            apps: 25,
+            replay: None,
+            trace: false,
+        }
     }
 }
 
@@ -54,11 +70,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.crawler = it.next().ok_or("--crawler needs a value")?.clone();
             }
             "--minutes" => {
-                opts.minutes = it
-                    .next()
-                    .ok_or("--minutes needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --minutes: {e}"))?;
+                opts.minutes = Some(
+                    it.next()
+                        .ok_or("--minutes needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --minutes: {e}"))?,
+                );
             }
             "--seed" => {
                 opts.seed = it
@@ -74,23 +91,37 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("bad --seeds: {e}"))?;
             }
+            "--apps" => {
+                opts.apps = it
+                    .next()
+                    .ok_or("--apps needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --apps: {e}"))?;
+            }
+            "--replay" => {
+                opts.replay = Some(it.next().ok_or("--replay needs a file path")?.clone());
+            }
             "--trace" => opts.trace = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    if opts.minutes <= 0.0 {
+    if opts.minutes.is_some_and(|m| m <= 0.0) {
         return Err("--minutes must be positive".to_owned());
     }
     if opts.seeds == 0 {
         return Err("--seeds must be at least 1".to_owned());
+    }
+    if opts.apps == 0 {
+        return Err("--apps must be at least 1".to_owned());
     }
     Ok(opts)
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mak-cli <apps|crawlers|crawl <app>|compare <app>|scan <app>|cache <stats|clear>> \
-         [--crawler NAME] [--minutes F] [--seed N] [--seeds N] [--trace]"
+        "usage: mak-cli <apps|crawlers|crawl <app>|compare <app>|scan <app>|fuzz|\
+         cache <stats|clear>> [--crawler NAME] [--minutes F] [--seed N] [--seeds N] \
+         [--apps N] [--replay FILE] [--trace]"
     );
     ExitCode::FAILURE
 }
@@ -130,7 +161,8 @@ fn cmd_cache_clear() -> ExitCode {
 fn cmd_scan(app: &str, opts: &Options) -> ExitCode {
     use mak_scanner::probe::Sink;
     use mak_scanner::scan::{run_scan, ScanConfig};
-    let config = ScanConfig::with_minutes(opts.minutes, (opts.minutes / 3.0).max(1.0));
+    let minutes = opts.minutes.unwrap_or(30.0);
+    let config = ScanConfig::with_minutes(minutes, (minutes / 3.0).max(1.0));
     let Some(report) = run_scan(&opts.crawler, app, &config, opts.seed) else {
         eprintln!("unknown crawler `{}` or app `{app}`", opts.crawler);
         return ExitCode::FAILURE;
@@ -190,7 +222,7 @@ fn cmd_crawl(app: &str, opts: &Options) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let total = app_model.code_model().total_lines();
-    let mut config = EngineConfig::with_budget_minutes(opts.minutes);
+    let mut config = EngineConfig::with_budget_minutes(opts.minutes.unwrap_or(30.0));
     config.record_trace = opts.trace;
 
     let report = run_one_cached(app, &opts.crawler, opts.seed, &config, &RunStore::from_env());
@@ -225,7 +257,7 @@ fn cmd_compare(app: &str, opts: &Options) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let matrix = RunMatrix::new([app], CRAWLER_NAMES.iter().copied(), opts.seeds)
-        .with_config(EngineConfig::with_budget_minutes(opts.minutes));
+        .with_config(EngineConfig::with_budget_minutes(opts.minutes.unwrap_or(30.0)));
     eprintln!("running {} crawls…", matrix.run_count());
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let reports = run_matrix_cached(&matrix, threads, &RunStore::from_env());
@@ -248,12 +280,87 @@ fn cmd_compare(app: &str, opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_fuzz(opts: &Options) -> ExitCode {
+    use mak_testkit::fuzz::{replay, run_fuzz, FuzzConfig};
+
+    if let Some(path) = &opts.replay {
+        let outcome = match replay(std::path::Path::new(path)) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "replaying {path}: {} on {} (seed {}, {} min, {} pages)",
+            outcome.artifact.crawler,
+            outcome.artifact.spec.name,
+            outcome.artifact.seed,
+            outcome.artifact.budget_minutes,
+            outcome.artifact.spec.total_pages(),
+        );
+        println!("recorded violation: {}", outcome.artifact.violation);
+        return match outcome.reproduced {
+            Some(v) => {
+                println!("STILL REPRODUCES: {v}");
+                ExitCode::FAILURE
+            }
+            None => {
+                println!("does not reproduce — the underlying bug appears fixed");
+                ExitCode::SUCCESS
+            }
+        };
+    }
+
+    let cfg = FuzzConfig {
+        apps: opts.apps,
+        seeds: opts.seeds,
+        base_seed: opts.seed,
+        budget_minutes: opts.minutes.unwrap_or(1.0),
+        progress: true,
+        ..FuzzConfig::default()
+    };
+    println!(
+        "fuzzing {} generated apps x {} seeds x {} crawlers ({} min budget each)",
+        cfg.apps,
+        cfg.seeds,
+        cfg.crawlers.len(),
+        cfg.budget_minutes
+    );
+    let outcome = match run_fuzz(&cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fuzz I/O error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{} apps, {} oracle runs", outcome.apps, outcome.runs);
+    if outcome.clean() {
+        println!("no invariant or differential violations");
+        ExitCode::SUCCESS
+    } else {
+        println!("{} failures; artifacts:", outcome.failures.len());
+        for (path, artifact) in &outcome.failures {
+            println!("  {}  ({})", path.display(), artifact.violation);
+        }
+        println!("replay with: mak-cli fuzz --replay <file>");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else { return usage() };
     match command.as_str() {
         "apps" => cmd_apps(),
         "crawlers" => cmd_crawlers(),
+        "fuzz" => match parse_options(&args[1..]) {
+            Ok(opts) => cmd_fuzz(&opts),
+            Err(e) => {
+                eprintln!("{e}");
+                usage()
+            }
+        },
         "cache" => match args.get(1).map(String::as_str) {
             Some("stats") => cmd_cache_stats(),
             Some("clear") => cmd_cache_clear(),

@@ -21,7 +21,7 @@ fn pipeline_produces_coherent_table2_cell() {
     assert_eq!(reports.len(), 4);
 
     let union = UnionCoverage::from_reports(reports.iter());
-    assert!(union.len() > 0);
+    assert!(!union.is_empty());
     for r in &reports {
         let cov = union.coverage_of(r);
         assert!((0.0..=1.0).contains(&cov), "coverage {cov} out of range");

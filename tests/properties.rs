@@ -122,7 +122,7 @@ proptest! {
             if let Some((el, level)) = deque.pop(arm, &mut rng) {
                 popped += 1;
                 // Reinsert every other pop, at level + 1.
-                if popped % 2 == 0 {
+                if popped.is_multiple_of(2) {
                     deque.reinsert(el, level + 1);
                     popped -= 1;
                 }

@@ -1,0 +1,186 @@
+//! Minimal, offline benchmarking harness exposing the slice of the
+//! `criterion` API this workspace uses: `Criterion::bench_function`,
+//! `benchmark_group` (with `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Under `cargo bench` (the binary receives `--bench`) each benchmark is
+//! timed adaptively and a mean ns/iter is printed. Under `cargo test` the
+//! harness runs every benchmark body once as a smoke test and prints
+//! nothing, keeping the suite fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// An id that is just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures handed to `Bencher::iter`.
+pub struct Bencher {
+    bench_mode: bool,
+    measured: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records its mean execution time. In test
+    /// mode (no `--bench` argument) `f` runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.bench_mode {
+            let _ = f();
+            self.iters = 1;
+            return;
+        }
+        // Warm-up, then double the batch until it takes long enough to time.
+        for _ in 0..3 {
+            let _ = f();
+        }
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                let _ = f();
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(200) || batch >= (1 << 20) {
+                self.measured = Some(elapsed);
+                self.iters = batch;
+                return;
+            }
+            batch *= 2;
+        }
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a driver, detecting bench vs. test mode from the arguments.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { bench_mode: self.bench_mode, measured: None, iters: 0 };
+        f(&mut bencher);
+        if let Some(elapsed) = bencher.measured {
+            let per_iter = elapsed.as_nanos() as f64 / bencher.iters.max(1) as f64;
+            println!("{id:<50} {per_iter:>14.1} ns/iter ({} iters)", bencher.iters);
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the adaptive timer ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the adaptive timer ignores it.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Benchmarks one function parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export for code that imports `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a function running a set of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` entry point for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

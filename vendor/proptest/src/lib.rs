@@ -1,0 +1,170 @@
+//! Minimal, offline property-testing engine exposing the slice of the
+//! `proptest` API this workspace uses: the [`Strategy`] trait with
+//! `prop_map`, range and tuple strategies, regex-subset string strategies,
+//! `proptest::collection::vec`, `proptest::bool::ANY`, and the
+//! `proptest!`/`prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Unlike upstream proptest the case seed is a pure function of the test
+//! name and case index — fully deterministic across runs and machines, no
+//! persistence files. Failures report the case number and seed; shrinking
+//! is not implemented (the workspace's own testkit shrinks at the blueprint
+//! level instead). `PROPTEST_CASES` overrides the per-test case count
+//! (default 64).
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Map, Strategy};
+pub use test_runner::TestCaseError;
+
+/// Strategies over `bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform `bool` strategy (`proptest::bool::ANY`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Uniform `bool` strategy instance.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A size specification for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a `Vec` strategy with sizes drawn from `size`
+    /// (`proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.below((self.size.hi - self.size.lo) as u64) as usize + self.size.lo;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Glob import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($p:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__pt_rng| {
+                    $(let $p = $crate::Strategy::generate(&($strat), __pt_rng);)*
+                    let mut __pt_case = move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    __pt_case()
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current property-test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current property-test case unless the values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pt_left, __pt_right) => {
+                $crate::prop_assert!(
+                    *__pt_left == *__pt_right,
+                    "assertion failed: `{:?}` == `{:?}`",
+                    __pt_left,
+                    __pt_right
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__pt_left, __pt_right) => {
+                $crate::prop_assert!(*__pt_left == *__pt_right, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Fails the current property-test case if the values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__pt_left, __pt_right) => {
+                $crate::prop_assert!(
+                    *__pt_left != *__pt_right,
+                    "assertion failed: `{:?}` != `{:?}`",
+                    __pt_left,
+                    __pt_right
+                );
+            }
+        }
+    };
+}

@@ -1,0 +1,381 @@
+//! The [`Strategy`] trait and the built-in strategies: numeric ranges,
+//! tuples, `Just`, and regex-subset `&str` string generation.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (`Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    pub(crate) source: S,
+    pub(crate) f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $ty)
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    lo.wrapping_add(rng.below(span + 1) as $ty)
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = rng.unit_f64() as $ty;
+                    let v = self.start + unit * (self.end - self.start);
+                    if v >= self.end {
+                        <$ty>::from_bits(self.end.to_bits() - 1)
+                    } else {
+                        v
+                    }
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let unit = rng.unit_f64() as $ty;
+                    lo + unit * (hi - lo)
+                }
+            }
+        )*
+    };
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+// ------------------------------------------------------- string strategies
+
+/// `&str` literals are regex strategies over a pragmatic subset: literals,
+/// `.`, escapes, `[a-z0-9_.]` classes, `(...)` groups, and the quantifiers
+/// `{m,n}` / `{n}` / `?` / `*` / `+` (the unbounded ones cap at 8 repeats).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = Pattern::compile(self);
+        let mut out = String::new();
+        pattern.append(rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Any char: mostly printable ASCII with occasional exotic characters so
+    /// totality tests see control bytes and multi-byte UTF-8 too.
+    AnyChar,
+    Class(Vec<(char, char)>),
+    Group(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+#[derive(Debug, Clone)]
+struct Pattern {
+    nodes: Vec<Node>,
+}
+
+impl Pattern {
+    fn compile(pattern: &str) -> Pattern {
+        let mut chars = pattern.chars().peekable();
+        let nodes = Self::parse_sequence(&mut chars, pattern, false);
+        Pattern { nodes }
+    }
+
+    fn parse_sequence(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+        in_group: bool,
+    ) -> Vec<Node> {
+        let mut nodes: Vec<Node> = Vec::new();
+        while let Some(c) = chars.next() {
+            let node = match c {
+                ')' if in_group => return nodes,
+                '.' => Node::AnyChar,
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in pattern `{pattern}`"));
+                    match esc {
+                        'd' => Node::Class(vec![('0', '9')]),
+                        'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                        'n' => Node::Literal('\n'),
+                        't' => Node::Literal('\t'),
+                        other => Node::Literal(other),
+                    }
+                }
+                '[' => Node::Class(Self::parse_class(chars, pattern)),
+                '(' => Node::Group(Self::parse_sequence(chars, pattern, true)),
+                '{' | '?' | '*' | '+' => {
+                    let (min, max) = match c {
+                        '?' => (0, 1),
+                        '*' => (0, 8),
+                        '+' => (1, 8),
+                        _ => Self::parse_counts(chars, pattern),
+                    };
+                    let prev = nodes
+                        .pop()
+                        .unwrap_or_else(|| panic!("quantifier with no atom in `{pattern}`"));
+                    nodes.push(Node::Repeat(Box::new(prev), min, max));
+                    continue;
+                }
+                '|' | '^' | '$' => panic!("unsupported regex feature `{c}` in `{pattern}`"),
+                literal => Node::Literal(literal),
+            };
+            nodes.push(node);
+        }
+        if in_group {
+            panic!("unclosed group in pattern `{pattern}`");
+        }
+        nodes
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        if chars.peek() == Some(&'^') {
+            panic!("negated classes unsupported in `{pattern}`");
+        }
+        loop {
+            let c = chars.next().unwrap_or_else(|| panic!("unclosed class in pattern `{pattern}`"));
+            if c == ']' {
+                break;
+            }
+            let c = if c == '\\' {
+                chars.next().unwrap_or_else(|| panic!("dangling escape in `{pattern}`"))
+            } else {
+                c
+            };
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next();
+                // A trailing `-` before `]` is a literal dash.
+                if ahead.peek() != Some(&']') {
+                    chars.next();
+                    let hi =
+                        chars.next().unwrap_or_else(|| panic!("unclosed range in `{pattern}`"));
+                    assert!(c <= hi, "inverted class range in `{pattern}`");
+                    ranges.push((c, hi));
+                    continue;
+                }
+            }
+            ranges.push((c, c));
+        }
+        assert!(!ranges.is_empty(), "empty class in `{pattern}`");
+        ranges
+    }
+
+    fn parse_counts(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> (u32, u32) {
+        let mut text = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                break;
+            }
+            text.push(c);
+        }
+        let parse = |s: &str| -> u32 {
+            s.trim().parse().unwrap_or_else(|_| panic!("bad count `{s}` in `{pattern}`"))
+        };
+        match text.split_once(',') {
+            Some((min, max)) => (parse(min), parse(max)),
+            None => {
+                let n = parse(&text);
+                (n, n)
+            }
+        }
+    }
+
+    fn append(&self, rng: &mut TestRng, out: &mut String) {
+        for node in &self.nodes {
+            Self::append_node(node, rng, out);
+        }
+    }
+
+    fn append_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::AnyChar => out.push(Self::any_char(rng)),
+            Node::Class(ranges) => {
+                let total: u64 =
+                    ranges.iter().map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1).sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u64) - (*lo as u64) + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo));
+                        break;
+                    }
+                    pick -= span;
+                }
+            }
+            Node::Group(nodes) => {
+                for n in nodes {
+                    Self::append_node(n, rng, out);
+                }
+            }
+            Node::Repeat(inner, min, max) => {
+                let count = *min as u64 + rng.below((*max - *min) as u64 + 1);
+                for _ in 0..count {
+                    Self::append_node(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    fn any_char(rng: &mut TestRng) -> char {
+        match rng.below(100) {
+            0..=84 => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or('x'),
+            85..=89 => char::from_u32(rng.below(0x20) as u32).unwrap_or('\u{1}'),
+            90..=94 => ['é', 'ß', '中', '🦀', '\u{7f}', '±', '\u{a0}'][rng.below(7) as usize],
+            _ => char::from_u32(0x80 + rng.below(0x800) as u32).unwrap_or('ü'),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_and_counts_generate_in_language() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..200 {
+            let s = "[a-z0-9]{2,5}".generate(&mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn groups_escapes_and_optionals_work() {
+        let mut rng = TestRng::from_seed(8);
+        let mut saw_suffix = false;
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}(\\.[a-z]{1,5})?".generate(&mut rng);
+            if let Some((host, tld)) = s.split_once('.') {
+                saw_suffix = true;
+                assert!(!host.is_empty() && !tld.is_empty(), "{s:?}");
+            }
+        }
+        assert!(saw_suffix, "optional group should sometimes appear");
+    }
+
+    #[test]
+    fn dot_generates_varied_chars_deterministically() {
+        let a: Vec<String> =
+            (0..50).map(|i| ".{0,20}".generate(&mut TestRng::from_seed(i))).collect();
+        let b: Vec<String> =
+            (0..50).map(|i| ".{0,20}".generate(&mut TestRng::from_seed(i))).collect();
+        assert_eq!(a, b, "generation is a pure function of the seed");
+        assert!(a.iter().any(|s| !s.is_ascii()), "exotic chars appear");
+    }
+
+    #[test]
+    fn literal_dash_and_single_count_work() {
+        let mut rng = TestRng::from_seed(9);
+        let s = "[a-]{4}".generate(&mut rng);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.chars().all(|c| c == 'a' || c == '-'), "{s:?}");
+    }
+}

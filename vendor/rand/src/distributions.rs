@@ -1,0 +1,142 @@
+//! Distributions: the [`Standard`] distribution and uniform range sampling.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over the full domain for
+/// integers and `bool`, uniform over `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($ty:ty => $via:ident),* $(,)?) => {
+        $(impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.$via() as $ty
+            }
+        })*
+    };
+}
+
+standard_int! {
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64, usize => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64, isize => next_u64,
+}
+
+pub mod uniform {
+    //! Uniform sampling from ranges, powering `Rng::gen_range`.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that `Rng::gen_range` can sample from.
+    pub trait SampleRange<T> {
+        /// Samples a single value uniformly from `self`.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Uniform `u64` below `span` (exclusive) via rejection sampling, so
+    /// every value is exactly equally likely.
+    fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = rng.next_u64();
+            if v < zone {
+                return v % span;
+            }
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($ty:ty),* $(,)?) => {
+            $(
+                impl SampleRange<$ty> for Range<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        self.start.wrapping_add(below(rng, span) as $ty)
+                    }
+                }
+                impl SampleRange<$ty> for RangeInclusive<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let span = (hi as i128 - lo as i128) as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $ty;
+                        }
+                        lo.wrapping_add(below(rng, span + 1) as $ty)
+                    }
+                }
+            )*
+        };
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($ty:ty, $unit:expr);* $(;)?) => {
+            $(
+                impl SampleRange<$ty> for Range<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let unit: $ty = $unit(rng);
+                        let v = self.start + unit * (self.end - self.start);
+                        // Guard against rounding up to the excluded endpoint.
+                        if v >= self.end {
+                            <$ty>::from_bits(self.end.to_bits() - 1)
+                        } else {
+                            v
+                        }
+                    }
+                }
+                impl SampleRange<$ty> for RangeInclusive<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "cannot sample empty range");
+                        let unit: $ty = $unit(rng);
+                        lo + unit * (hi - lo)
+                    }
+                }
+            )*
+        };
+    }
+
+    fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    uniform_float! {
+        f64, unit_f64;
+        f32, unit_f32;
+    }
+}

@@ -1,0 +1,52 @@
+//! Concrete generators. [`StdRng`] here is xoshiro256++ — a different (but
+//! equally deterministic) stream from upstream `rand`'s ChaCha12-based
+//! `StdRng`; nothing in this workspace depends on specific stream values.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seeded generator (xoshiro256++).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = (self.s[0].wrapping_add(self.s[3])).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // xoshiro's state must not be all zero; remap that one seed.
+        if s == [0; 4] {
+            s = [
+                0x9e37_79b9_7f4a_7c15,
+                0x6a09_e667_f3bc_c909,
+                0xbb67_ae85_84ca_a73b,
+                0x3c6e_f372_fe94_f82b,
+            ];
+        }
+        StdRng { s }
+    }
+}

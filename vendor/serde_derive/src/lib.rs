@@ -1,0 +1,340 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored `serde`,
+//! written directly against `proc_macro` (no `syn`/`quote`, which are not
+//! available offline).
+//!
+//! Supported input shapes — exactly what this workspace uses:
+//! - structs with named fields, optionally with lifetime-only generics
+//!   (e.g. `KeyMaterial<'a>`); bounds on generics are rejected
+//! - enums whose variants are unit or have named fields (externally tagged:
+//!   `Variant` → `"Variant"`, `Variant { .. }` → `{"Variant": {..}}`)
+//!
+//! No `#[serde(...)]` attributes are supported; none exist in this repo.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+enum Body {
+    /// Named struct fields.
+    Struct(Vec<String>),
+    /// Enum variants: `(name, None)` for unit, `(name, Some(fields))` for
+    /// named-field variants.
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+struct Input {
+    name: String,
+    /// Raw generics text between `<` and `>` (lifetimes only), e.g. `'a`.
+    generics: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    expand_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    expand_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn skip_attributes(iter: &mut Tokens) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        iter.next(); // the `[...]` group
+    }
+}
+
+fn skip_visibility(iter: &mut Tokens) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next(); // pub(crate) etc.
+                }
+            }
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    if kind != "struct" && kind != "enum" {
+        panic!("derive supports only structs and enums, found `{kind}`");
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    let generics = parse_generics(&mut iter);
+    let group = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+            panic!("where clauses are not supported by the vendored serde derive")
+        }
+        other => panic!("expected named-field body for `{name}`, found {other:?}"),
+    };
+    let body = if kind == "struct" {
+        Body::Struct(parse_named_fields(group.stream()))
+    } else {
+        Body::Enum(parse_variants(group.stream()))
+    };
+    Input { name, generics, body }
+}
+
+fn parse_generics(iter: &mut Tokens) -> String {
+    let mut generics = String::new();
+    let is_open = matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<');
+    if !is_open {
+        return generics;
+    }
+    iter.next();
+    let mut depth = 1u32;
+    loop {
+        match iter.next().expect("unclosed generics") {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                generics.push('<');
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                generics.push('>');
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' => {
+                panic!("generic bounds are not supported by the vendored serde derive")
+            }
+            TokenTree::Punct(p) => generics.push(p.as_char()),
+            other => {
+                generics.push_str(&other.to_string());
+                generics.push(' ');
+            }
+        }
+    }
+    generics
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Consume the type: everything up to the next comma that is not
+        // nested inside angle brackets (groups are single atoms already).
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Option<Vec<String>>)> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let Some(TokenTree::Group(g)) = iter.next() else { unreachable!() };
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("tuple variants are not supported by the vendored serde derive")
+            }
+            _ => None,
+        };
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+fn expand_serialize(input: &Input) -> String {
+    let Input { name, generics, body } = input;
+    let (impl_generics, ty_generics) = if generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        (format!("<{generics}>"), format!("<{generics}>"))
+    };
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl{impl_generics} ::serde::Serialize for {name}{ty_generics} {{ \
+         fn to_value(&self) -> ::serde::Value {{ "
+    );
+    match body {
+        Body::Struct(fields) => {
+            out.push_str("::serde::Value::Object(::std::vec![");
+            for field in fields {
+                let _ = write!(
+                    out,
+                    "(::std::string::String::from(\"{field}\"), \
+                     ::serde::Serialize::to_value(&self.{field})),"
+                );
+            }
+            out.push_str("])");
+        }
+        Body::Enum(variants) => {
+            out.push_str("match self {");
+            for (variant, fields) in variants {
+                match fields {
+                    None => {
+                        let _ = write!(
+                            out,
+                            "{name}::{variant} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{variant}\")),"
+                        );
+                    }
+                    Some(fields) => {
+                        let bindings = fields.join(", ");
+                        let _ = write!(out, "{name}::{variant} {{ {bindings} }} => ");
+                        out.push_str(
+                            "::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"",
+                        );
+                        out.push_str(variant);
+                        out.push_str("\"), ::serde::Value::Object(::std::vec![");
+                        for field in fields {
+                            let _ = write!(
+                                out,
+                                "(::std::string::String::from(\"{field}\"), \
+                                 ::serde::Serialize::to_value({field})),"
+                            );
+                        }
+                        out.push_str("]))]),");
+                    }
+                }
+            }
+            out.push('}');
+        }
+    }
+    out.push_str(" } }");
+    out
+}
+
+fn expand_deserialize(input: &Input) -> String {
+    let Input { name, generics, body } = input;
+    if !generics.is_empty() {
+        panic!("Deserialize derive does not support generics (type `{name}`)");
+    }
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "impl ::serde::Deserialize for {name} {{ \
+         fn from_value(__v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::Error> {{ "
+    );
+    match body {
+        Body::Struct(fields) => {
+            let _ = write!(
+                out,
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?; \
+                 ::core::result::Result::Ok({name} {{"
+            );
+            for field in fields {
+                let _ = write!(out, "{field}: ::serde::__field(__obj, \"{field}\")?,");
+            }
+            out.push_str("})");
+        }
+        Body::Enum(variants) => {
+            let units: Vec<_> = variants.iter().filter(|(_, f)| f.is_none()).collect();
+            let structs: Vec<_> = variants.iter().filter(|(_, f)| f.is_some()).collect();
+            if !units.is_empty() {
+                out.push_str("if let ::serde::Value::Str(__s) = __v { match __s.as_str() {");
+                for (variant, _) in &units {
+                    let _ = write!(
+                        out,
+                        "\"{variant}\" => return ::core::result::Result::Ok({name}::{variant}),"
+                    );
+                }
+                out.push_str("_ => {} } }");
+            }
+            if !structs.is_empty() {
+                out.push_str(
+                    "if let ::serde::Value::Object(__entries) = __v { \
+                     if __entries.len() == 1 { \
+                     let (__tag, __inner) = &__entries[0]; \
+                     match __tag.as_str() {",
+                );
+                for (variant, fields) in &structs {
+                    let fields = fields.as_ref().expect("struct variant");
+                    let _ = write!(
+                        out,
+                        "\"{variant}\" => {{ \
+                         let __obj = __inner.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object for {name}::{variant}\"))?; \
+                         return ::core::result::Result::Ok({name}::{variant} {{"
+                    );
+                    for field in fields {
+                        let _ = write!(out, "{field}: ::serde::__field(__obj, \"{field}\")?,");
+                    }
+                    out.push_str("}); }");
+                }
+                out.push_str("_ => {} } } }");
+            }
+            let _ = write!(
+                out,
+                "::core::result::Result::Err(::serde::Error::custom(\
+                 \"no matching variant of {name}\"))"
+            );
+        }
+    }
+    out.push_str(" } }");
+    out
+}

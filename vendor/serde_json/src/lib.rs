@@ -1,0 +1,430 @@
+//! Minimal, offline stand-in for `serde_json`: renders the vendored
+//! `serde::Value` tree to JSON text and parses it back.
+//!
+//! Floats use Rust's shortest-roundtrip `{:?}` formatting (`1.0`, `0.1`,
+//! `1e300`) and non-finite values serialize as `null`, matching the real
+//! crate closely enough for the run cache's canonical key material, which
+//! only needs the encoding to be deterministic and lossless.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Serialization/deserialization failure.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value of type `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = Parser { bytes: s.as_bytes(), pos: 0 }.parse_document()?;
+    Ok(T::from_value(&value)?)
+}
+
+// ------------------------------------------------------------------ writer
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            out.push_str(&i.to_string());
+        }
+        Value::UInt(u) => {
+            out.push_str(&u.to_string());
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{:?}` is shortest-roundtrip and always keeps a `.0` or
+                // exponent, so floats never re-parse as integers.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_break(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            write_break(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_break(out, indent, depth + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            write_break(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn write_break(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ------------------------------------------------------------------ parser
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_document(mut self) -> Result<Value> {
+        let value = self.parse_value(0)?;
+        self.skip_whitespace();
+        if self.pos != self.bytes.len() {
+            return Err(self.fail("trailing characters"));
+        }
+        Ok(value)
+    }
+
+    fn fail(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_whitespace();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(self.fail("nesting too deep"));
+        }
+        match self.peek().ok_or_else(|| self.fail("unexpected end of input"))? {
+            b'n' => self.parse_keyword("null", Value::Null),
+            b't' => self.parse_keyword("true", Value::Bool(true)),
+            b'f' => self.parse_keyword("false", Value::Bool(false)),
+            b'"' => self.parse_string().map(Value::Str),
+            b'[' => self.parse_array(depth),
+            b'{' => self.parse_object(depth),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            _ => Err(self.fail("unexpected character")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.fail(&format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.fail("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            if self.peek() != Some(b'"') {
+                return Err(self.fail("expected object key"));
+            }
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            entries.push((key, self.parse_value(depth + 1)?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.fail("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.fail("invalid UTF-8"))?,
+            );
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.fail("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                // Surrogate pair: expect the low half next.
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err(self.fail("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.fail("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.fail("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.fail("invalid \\u escape"))?
+                            };
+                            s.push(c);
+                        }
+                        _ => return Err(self.fail("unknown escape")),
+                    }
+                }
+                _ => return Err(self.fail("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.fail("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.fail("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.fail("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.fail("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>().map(Value::Float).map_err(|_| self.fail("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_scalars_and_collections() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(7)),
+            ("b".into(), Value::Float(1.0)),
+            ("c".into(), Value::Str("x\n\"\\é".into())),
+            ("d".into(), Value::Array(vec![Value::Int(-3), Value::Null, Value::Bool(true)])),
+            ("e".into(), Value::Object(vec![])),
+        ]);
+        let compact = to_string(&ValueWrap(v.clone())).unwrap();
+        let parsed = Parser { bytes: compact.as_bytes(), pos: 0 }.parse_document().unwrap();
+        assert_eq!(parsed, v);
+        let pretty = to_string_pretty(&ValueWrap(v.clone())).unwrap();
+        let parsed = Parser { bytes: pretty.as_bytes(), pos: 0 }.parse_document().unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn floats_keep_shortest_roundtrip_form() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        let x: f64 = from_str("0.30000000000000004").unwrap();
+        assert_eq!(x, 0.1 + 0.2);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str::<f64>("").is_err());
+        assert!(from_str::<f64>("1 2").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<Vec<u64>>("[1,]").is_err());
+    }
+
+    struct ValueWrap(Value);
+
+    impl Serialize for ValueWrap {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}
