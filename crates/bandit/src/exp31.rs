@@ -11,6 +11,8 @@
 //! (§IV-D).
 
 use crate::policy::{sample_discrete, BanditPolicy};
+use mak_obs::event::Event;
+use mak_obs::sink::SinkHandle;
 use rand::Rng;
 
 /// Exp3.1 over `K` arms. Rewards must lie in `[0, 1]`.
@@ -31,6 +33,9 @@ pub struct Exp31 {
     /// invariant oracles can prove they catch the resulting drift. Always
     /// `false` outside `testing_disable_epoch_advance`.
     skip_epoch_advance: bool,
+    /// Observability: receives `PolicyUpdated` / `EpochAdvanced` events.
+    /// Inert by default; never influences the learner's state.
+    sink: SinkHandle,
 }
 
 impl Exp31 {
@@ -49,7 +54,15 @@ impl Exp31 {
             epoch: 0,
             t: 0,
             skip_epoch_advance: false,
+            sink: SinkHandle::none(),
         }
+    }
+
+    /// Attaches an event sink; the learner emits [`Event::PolicyUpdated`]
+    /// after every completed update and [`Event::EpochAdvanced`] on each
+    /// epoch reset.
+    pub fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     /// `K ln K / (e − 1)`, the scale of the epoch gain bounds.
@@ -120,6 +133,7 @@ impl Exp31 {
         while max_gain > self.epoch_gain_bound() - self.k as f64 / self.gamma() {
             self.epoch += 1;
             self.weights = vec![1.0; self.k];
+            self.sink.emit_with(|| Event::EpochAdvanced { epoch: self.epoch, gamma: self.gamma() });
         }
     }
 
@@ -180,6 +194,24 @@ impl BanditPolicy for Exp31 {
         // left `probabilities()` reporting the stale pre-reset policy
         // between an epoch-crossing update and the next draw.
         self.advance_epochs();
+        self.sink.emit_with(|| {
+            let max_gain = self.g_hat.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let (mut min_w, mut max_w) = (f64::INFINITY, f64::NEG_INFINITY);
+            for w in &self.weights {
+                min_w = min_w.min(*w);
+                max_w = max_w.max(*w);
+            }
+            Event::PolicyUpdated {
+                probs: self.policy(),
+                gamma: self.gamma(),
+                epoch: self.epoch,
+                updates: self.t,
+                max_gain,
+                bound: self.epoch_termination_bound(),
+                min_weight: min_w,
+                max_weight: max_w,
+            }
+        });
     }
 
     fn probabilities(&self) -> Vec<f64> {

@@ -19,7 +19,7 @@ const CRAWLERS: &[&str] = &["mak", "bfs", "dfs", "random"];
 fn main() {
     let all = apps::all_names();
     let m = matrix(all.iter().copied(), CRAWLERS.iter().copied());
-    eprintln!(
+    mak_obs::progress!(
         "ablation: {} runs ({} apps x {} crawlers x {} seeds) on {} threads",
         m.run_count(),
         all.len(),

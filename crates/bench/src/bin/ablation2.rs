@@ -28,7 +28,7 @@ const APPS: &[&str] = &["hotcrp", "drupal", "wordpress", "oscommerce2", "phpbb2"
 fn main() {
     let crawlers: Vec<&str> = std::iter::once("mak").chain(MAK_VARIANTS.iter().copied()).collect();
     let m = matrix(APPS.iter().copied(), crawlers.iter().copied());
-    eprintln!(
+    mak_obs::progress!(
         "ablation2: {} runs ({} apps x {} variants x {} seeds) on {} threads",
         m.run_count(),
         APPS.len(),

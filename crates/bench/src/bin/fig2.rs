@@ -25,7 +25,7 @@ fn minutes_at(i: usize, horizon_secs: f64) -> f64 {
 
 fn main() {
     let m = matrix(PHP_APPS.iter().copied(), RL_CRAWLERS.iter().copied());
-    eprintln!(
+    mak_obs::progress!(
         "fig2: {} runs ({} apps x {} crawlers x {} seeds) on {} threads",
         m.run_count(),
         PHP_APPS.len(),

@@ -19,7 +19,7 @@ const BUDGETS_MIN: &[f64] = &[5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0];
 const APP: &str = "drupal";
 
 fn main() {
-    eprintln!(
+    mak_obs::progress!(
         "sweep: {} budgets x {} crawlers x {} seeds on {APP}, {} threads",
         BUDGETS_MIN.len(),
         RL_CRAWLERS.len(),

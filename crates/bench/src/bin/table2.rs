@@ -19,7 +19,7 @@ use std::fmt::Write as _;
 fn main() {
     let all = apps::all_names();
     let m = matrix(all.iter().copied(), RL_CRAWLERS.iter().copied());
-    eprintln!(
+    mak_obs::progress!(
         "table2: {} runs ({} apps x {} crawlers x {} seeds) on {} threads",
         m.run_count(),
         all.len(),

@@ -8,6 +8,8 @@
 use crate::clock::VirtualClock;
 use crate::cost::CostModel;
 use crate::page::Page;
+use mak_obs::event::Event;
+use mak_obs::sink::SinkHandle;
 use mak_websim::dom::{FieldKind, FormSpec, Interactable};
 use mak_websim::http::{Body, Method, Request, SessionId, Status};
 use mak_websim::server::AppHost;
@@ -55,6 +57,7 @@ pub struct Browser {
     interactions: u64,
     fill_counter: u64,
     observer: Option<PageObserver>,
+    sink: SinkHandle,
 }
 
 impl std::fmt::Debug for Browser {
@@ -87,7 +90,16 @@ impl Browser {
             interactions: 0,
             fill_counter: 0,
             observer: None,
+            sink: SinkHandle::none(),
         }
+    }
+
+    /// Attaches an event sink; the browser emits
+    /// [`Event::PageFetched`] / [`Event::RedirectFollowed`] with the
+    /// cost-model breakdown of every charge. Purely observational —
+    /// the charges themselves are identical with or without a sink.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     /// Installs a callback invoked with every rendered page, in fetch
@@ -241,7 +253,12 @@ impl Browser {
             match resp.body {
                 Body::Redirect(location) => {
                     // Redirect hop: charge a headers-only round trip.
-                    self.clock.advance(latency * 0.5);
+                    let hop_ms = latency * 0.5;
+                    self.clock.advance(hop_ms);
+                    self.sink.emit_with(|| Event::RedirectFollowed {
+                        url: location.normalized(),
+                        fetch_ms: hop_ms,
+                    });
                     hops += 1;
                     if hops > MAX_REDIRECTS || !location.same_origin(&self.origin) {
                         return Ok(Page::empty(Status::ServerError, location));
@@ -250,18 +267,37 @@ impl Browser {
                 }
                 Body::Html(doc) => {
                     let page = Page::from_document(resp.status, doc);
-                    let cost =
-                        self.cost.fetch_cost(&mut self.rng, latency, page.interactables().len());
-                    self.clock.advance(cost);
+                    let cost = self.cost.fetch_cost_parts(
+                        &mut self.rng,
+                        latency,
+                        page.interactables().len(),
+                    );
+                    self.clock.advance(cost.total());
+                    self.sink.emit_with(|| Event::PageFetched {
+                        url: page.url().normalized(),
+                        status: page.status().code(),
+                        fetch_ms: cost.fetch_ms,
+                        think_ms: cost.think_ms,
+                        interact_ms: cost.interact_ms,
+                        elements: page.interactables().len() as u64,
+                    });
                     if let Some(observer) = &mut self.observer {
                         observer(&page);
                     }
                     return Ok(page);
                 }
                 Body::Empty => {
-                    let cost = self.cost.fetch_cost(&mut self.rng, latency, 0);
-                    self.clock.advance(cost);
+                    let cost = self.cost.fetch_cost_parts(&mut self.rng, latency, 0);
+                    self.clock.advance(cost.total());
                     let page = Page::empty(resp.status, req.url);
+                    self.sink.emit_with(|| Event::PageFetched {
+                        url: page.url().normalized(),
+                        status: page.status().code(),
+                        fetch_ms: cost.fetch_ms,
+                        think_ms: cost.think_ms,
+                        interact_ms: cost.interact_ms,
+                        elements: 0,
+                    });
                     if let Some(observer) = &mut self.observer {
                         observer(&page);
                     }

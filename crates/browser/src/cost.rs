@@ -37,6 +37,28 @@ impl Default for CostModel {
     }
 }
 
+/// One page fetch's cost, split into the model's three buckets. The
+/// split is what the observability layer attributes budget to; the sum
+/// is exactly what the virtual clock is charged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FetchCost {
+    /// Jittered network latency, in virtual ms.
+    pub fetch_ms: f64,
+    /// Fixed client think/render overhead, in virtual ms.
+    pub think_ms: f64,
+    /// Per-element extraction cost, in virtual ms.
+    pub interact_ms: f64,
+}
+
+impl FetchCost {
+    /// Total charge. Summation order matches the pre-split formula
+    /// (`fetch + think + interact`, left-associated) so totals are
+    /// bit-identical with historical runs.
+    pub fn total(&self) -> f64 {
+        self.fetch_ms + self.think_ms + self.interact_ms
+    }
+}
+
 impl CostModel {
     /// The virtual cost of fetching one page with `base_latency_ms` from the
     /// application and `element_count` extracted interactables.
@@ -46,8 +68,23 @@ impl CostModel {
         base_latency_ms: f64,
         element_count: usize,
     ) -> f64 {
+        self.fetch_cost_parts(rng, base_latency_ms, element_count).total()
+    }
+
+    /// [`fetch_cost`](Self::fetch_cost), decomposed into buckets. Draws
+    /// exactly one jitter sample from `rng`, same as the total form.
+    pub fn fetch_cost_parts<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        base_latency_ms: f64,
+        element_count: usize,
+    ) -> FetchCost {
         let jitter = 1.0 + self.jitter * (rng.gen::<f64>() * 2.0 - 1.0);
-        base_latency_ms * jitter + self.think_ms + self.per_element_ms * element_count as f64
+        FetchCost {
+            fetch_ms: base_latency_ms * jitter,
+            think_ms: self.think_ms,
+            interact_ms: self.per_element_ms * element_count as f64,
+        }
     }
 
     /// The policy-decision overhead for a *stateless* policy (MAK): constant.
@@ -88,6 +125,18 @@ mod tests {
         for _ in 0..1_000 {
             let c = m.fetch_cost(&mut rng, 100.0, 0);
             assert!((80.0..=120.0).contains(&c), "got {c}");
+        }
+    }
+
+    #[test]
+    fn parts_sum_to_the_undecomposed_cost_bit_for_bit() {
+        let m = CostModel::default();
+        for seed in 0..50 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            let total = m.fetch_cost(&mut a, 550.0 + seed as f64, seed as usize);
+            let parts = m.fetch_cost_parts(&mut b, 550.0 + seed as f64, seed as usize);
+            assert_eq!(total.to_bits(), parts.total().to_bits(), "seed {seed}");
         }
     }
 

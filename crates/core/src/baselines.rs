@@ -63,6 +63,10 @@ impl Crawler for StaticCrawler {
     fn distinct_urls(&self) -> usize {
         self.inner.distinct_urls()
     }
+
+    fn attach_sink(&mut self, sink: mak_obs::sink::SinkHandle) {
+        self.inner.attach_sink(sink);
+    }
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use mak_browser::client::Browser;
 use mak_browser::cost::CostModel;
+use mak_obs::sink::SinkHandle;
 use std::fmt;
 
 /// Why a crawl step could not be performed.
@@ -68,12 +69,12 @@ pub trait Crawler {
     /// §IV-C).
     fn distinct_urls(&self) -> usize;
 
-    /// Testkit introspection: a `dyn Any` view for oracle downcasts, so the
-    /// invariant oracle can inspect crawler-specific internals (e.g. MAK's
-    /// leveled deque and Exp3.1 distribution). `None` for crawlers that
-    /// expose nothing.
-    #[cfg(feature = "testkit-oracle")]
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        None
+    /// Observability: the engine hands every crawler the run's event sink
+    /// before the first step. Crawlers with internal decision structure
+    /// (MAK's arm choices and deque, the ensemble's agents) emit
+    /// `ActionChosen` / `DequeDepth` and forward the sink to their
+    /// policies; the default implementation ignores it.
+    fn attach_sink(&mut self, sink: SinkHandle) {
+        let _ = sink;
     }
 }

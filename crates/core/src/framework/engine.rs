@@ -6,10 +6,12 @@
 //! [`Browser`] with a [`VirtualClock`], charges per-decision policy
 //! overhead, and samples the live coverage time series that Fig. 2 plots.
 
-use crate::framework::crawler::{CrawlEnd, Crawler, StepReport};
+use crate::framework::crawler::{CrawlEnd, Crawler};
 use mak_browser::client::Browser;
 use mak_browser::clock::VirtualClock;
 use mak_browser::cost::CostModel;
+use mak_obs::event::Event;
+use mak_obs::sink::SinkHandle;
 use mak_websim::coverage::CoverageMode;
 use mak_websim::server::{AppHost, WebApp};
 use serde::{Deserialize, Serialize};
@@ -123,91 +125,43 @@ pub fn run_crawl(
     config: &EngineConfig,
     seed: u64,
 ) -> CrawlReport {
-    run_crawl_impl(crawler, app, config, seed, &mut NoopObserve)
+    run_crawl_with_sink(crawler, app, config, seed, &SinkHandle::none())
 }
 
-/// Everything an invariant oracle can inspect after one successful step.
-#[cfg(feature = "testkit-oracle")]
-pub struct StepContext<'a> {
-    /// The crawler mid-run; downcast via [`Crawler::as_any`] for
-    /// crawler-specific invariants (deque consistency, Exp3.1 simplex).
-    pub crawler: &'a dyn Crawler,
-    /// The browser mid-run (virtual clock, host coverage, interactions).
-    pub browser: &'a Browser,
-    /// What the step did (action label, reward fed to the policy).
-    pub step: &'a StepReport,
-    /// Zero-based index of this completed step.
-    pub index: u64,
-}
-
-/// A step-level invariant checker driven by [`run_crawl_observed`].
+/// Like [`run_crawl`], but wires `sink` through the whole stack for the
+/// duration of the run: the engine emits `RunStarted`, `StepStarted`,
+/// `RewardComputed`, `StepFinished`, and `RunFinished`; the [`Browser`],
+/// [`AppHost`], and the crawler's policy add their own events (see
+/// `mak_obs::event::Event` for the taxonomy).
 ///
-/// Only compiled under the `testkit-oracle` feature; the plain
-/// [`run_crawl`] path monomorphizes a no-op observer and pays nothing.
-#[cfg(feature = "testkit-oracle")]
-pub trait StepObserver {
-    /// Called after every successful crawl step.
-    fn on_step(&mut self, ctx: &StepContext<'_>);
-}
-
-/// Like [`run_crawl`], but invokes `observer` after every successful step —
-/// the hook `mak-testkit`'s invariant oracle attaches to.
-#[cfg(feature = "testkit-oracle")]
-pub fn run_crawl_observed(
+/// Sinks are strictly observational: the returned [`CrawlReport`] is
+/// byte-identical to the sink-less run (enforced by the workspace's
+/// observability tests), and the event stream itself is a pure function
+/// of `(crawler, app, seed, config)` because events carry only
+/// virtual-clock time.
+pub fn run_crawl_with_sink(
     crawler: &mut dyn Crawler,
     app: Box<dyn WebApp>,
     config: &EngineConfig,
     seed: u64,
-    mut observer: &mut dyn StepObserver,
-) -> CrawlReport {
-    run_crawl_impl(crawler, app, config, seed, &mut observer)
-}
-
-/// Internal engine-side observation hook. The only always-on implementor is
-/// the inlined no-op, so the release crawl loop compiles to exactly the
-/// pre-hook code.
-trait Observe {
-    fn after_step(
-        &mut self,
-        crawler: &dyn Crawler,
-        browser: &Browser,
-        step: &StepReport,
-        index: u64,
-    );
-}
-
-struct NoopObserve;
-
-impl Observe for NoopObserve {
-    #[inline(always)]
-    fn after_step(&mut self, _: &dyn Crawler, _: &Browser, _: &StepReport, _: u64) {}
-}
-
-#[cfg(feature = "testkit-oracle")]
-impl Observe for &mut dyn StepObserver {
-    fn after_step(
-        &mut self,
-        crawler: &dyn Crawler,
-        browser: &Browser,
-        step: &StepReport,
-        index: u64,
-    ) {
-        self.on_step(&StepContext { crawler, browser, step, index });
-    }
-}
-
-fn run_crawl_impl<O: Observe>(
-    crawler: &mut dyn Crawler,
-    app: Box<dyn WebApp>,
-    config: &EngineConfig,
-    seed: u64,
-    observer: &mut O,
+    sink: &SinkHandle,
 ) -> CrawlReport {
     let app_name = app.name().to_owned();
     let live = app.coverage_mode() == CoverageMode::Live;
-    let host = AppHost::new(app);
+    let mut host = AppHost::new(app);
+    host.set_sink(sink.clone());
     let clock = VirtualClock::with_budget_minutes(config.budget_minutes);
+    let budget_ms = clock.budget_ms();
     let mut browser = Browser::with_cost_model(host, clock, seed, config.cost.clone());
+    browser.set_sink(sink.clone());
+    crawler.attach_sink(sink.clone());
+
+    sink.emit_with(|| Event::RunStarted {
+        app: app_name.clone(),
+        crawler: crawler.name().to_owned(),
+        seed,
+        budget_ms,
+    });
 
     let mut series = Vec::new();
     let mut next_sample = config.sample_interval_secs;
@@ -225,10 +179,31 @@ fn run_crawl_impl<O: Observe>(
         if browser.clock().expired() {
             break;
         }
-        browser.charge_policy_overhead(crawler.policy_overhead_ms(browser.cost_model()));
+        let policy_ms = crawler.policy_overhead_ms(browser.cost_model());
+        browser.charge_policy_overhead(policy_ms);
+        sink.emit_with(|| Event::StepStarted {
+            step: step_index,
+            t_ms: browser.clock().elapsed_ms(),
+            policy_ms,
+        });
         match crawler.step(&mut browser) {
             Ok(step) => {
-                observer.after_step(crawler, &browser, &step, step_index);
+                if let Some(reward) = step.reward {
+                    sink.emit_with(|| Event::RewardComputed {
+                        step: step_index,
+                        action: step.action.clone(),
+                        reward,
+                    });
+                }
+                sink.emit_with(|| Event::StepFinished {
+                    step: step_index,
+                    t_ms: browser.clock().elapsed_ms(),
+                    action: step.action.clone(),
+                    reward: step.reward,
+                    interactions: browser.interaction_count(),
+                    lines: browser.host().harness_lines_covered(),
+                    distinct_urls: crawler.distinct_urls() as u64,
+                });
                 step_index += 1;
                 if config.record_trace {
                     trace.push(TraceEntry {
@@ -264,6 +239,12 @@ fn run_crawl_impl<O: Observe>(
             series.push(CoverageSample { secs: elapsed_secs, lines });
         }
     }
+    sink.emit_with(|| Event::RunFinished {
+        t_ms: browser.clock().elapsed_ms(),
+        steps: step_index,
+        interactions,
+        lines: browser.host().harness_lines_covered(),
+    });
     let host = browser.finish();
     let tracker = host.tracker();
     let covered_lines: Vec<(u32, u32)> =

@@ -7,6 +7,8 @@ use crate::mak::policy::{ArmPolicy, RewardKind};
 use mak_bandit::normalize::StandardizedReward;
 use mak_browser::client::{BrowseError, Browser};
 use mak_browser::page::Page;
+use mak_obs::event::Event;
+use mak_obs::sink::SinkHandle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,6 +50,9 @@ pub struct MakCrawler {
     /// §V-C: "these strategies can be simulated with MAK by always
     /// executing one of its three actions".
     fixed_arm: Option<Arm>,
+    /// Observability: receives `ActionChosen` / `DequeDepth`. Inert by
+    /// default; never influences crawl decisions.
+    sink: SinkHandle,
 }
 
 impl MakCrawler {
@@ -82,6 +87,7 @@ impl MakCrawler {
             started: false,
             leveled,
             fixed_arm: None,
+            sink: SinkHandle::none(),
         }
     }
 
@@ -117,7 +123,6 @@ impl MakCrawler {
     /// Testkit fault injection: mutable access to the arm policy, so the
     /// oracle self-test can plant a known bug (e.g. disabling Exp3.1 epoch
     /// advances) and prove the invariant oracle catches it.
-    #[cfg(feature = "testkit-oracle")]
     pub fn policy_mut(&mut self) -> &mut ArmPolicy {
         &mut self.policy
     }
@@ -170,6 +175,10 @@ impl Crawler for MakCrawler {
             Some(arm) => arm,
             None => Arm::from_index(self.policy.choose(&mut self.rng, Arm::ALL.len())),
         };
+        self.sink.emit_with(|| Event::ActionChosen {
+            arm: arm.to_string(),
+            probs: self.arm_probabilities(),
+        });
 
         let Some((element, level)) = self.deque.pop(arm, &mut self.rng) else {
             return Err(CrawlEnd::Stuck);
@@ -195,6 +204,10 @@ impl Crawler for MakCrawler {
         }
         let next_level = if self.leveled { level + 1 } else { 0 };
         self.deque.reinsert(element, next_level);
+        self.sink.emit_with(|| Event::DequeDepth {
+            len: self.deque.len() as u64,
+            levels: (0..self.deque.level_count()).map(|l| self.deque.level_len(l) as u64).collect(),
+        });
 
         Ok(StepReport { action: arm.to_string(), reward: Some(reward) })
     }
@@ -203,9 +216,9 @@ impl Crawler for MakCrawler {
         self.links.len()
     }
 
-    #[cfg(feature = "testkit-oracle")]
-    fn as_any(&self) -> Option<&dyn std::any::Any> {
-        Some(self)
+    fn attach_sink(&mut self, sink: SinkHandle) {
+        self.policy.attach_sink(sink.clone());
+        self.sink = sink;
     }
 }
 

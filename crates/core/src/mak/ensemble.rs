@@ -17,6 +17,8 @@ use mak_bandit::normalize::StandardizedReward;
 use mak_bandit::policy::BanditPolicy;
 use mak_browser::client::{BrowseError, Browser};
 use mak_browser::page::Page;
+use mak_obs::event::Event;
+use mak_obs::sink::SinkHandle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,6 +33,7 @@ pub struct EnsembleCrawler {
     links: LinkLog,
     rng: StdRng,
     started: bool,
+    sink: SinkHandle,
 }
 
 impl EnsembleCrawler {
@@ -50,6 +53,7 @@ impl EnsembleCrawler {
             links: LinkLog::new(),
             rng: StdRng::seed_from_u64(seed),
             started: false,
+            sink: SinkHandle::none(),
         }
     }
 
@@ -97,6 +101,10 @@ impl Crawler for EnsembleCrawler {
         self.next_agent = (self.next_agent + 1) % self.policies.len();
 
         let arm = Arm::from_index(self.policies[agent].choose(&mut self.rng));
+        self.sink.emit_with(|| Event::ActionChosen {
+            arm: format!("agent{agent}:{arm}"),
+            probs: self.policies[agent].probabilities(),
+        });
         let Some((element, level)) = self.deque.pop(arm, &mut self.rng) else {
             return Err(CrawlEnd::Stuck);
         };
@@ -118,12 +126,23 @@ impl Crawler for EnsembleCrawler {
         let reward = self.rewards[agent].transform(increment as f64);
         self.policies[agent].update(arm.index(), reward);
         self.deque.reinsert(element, level + 1);
+        self.sink.emit_with(|| Event::DequeDepth {
+            len: self.deque.len() as u64,
+            levels: (0..self.deque.level_count()).map(|l| self.deque.level_len(l) as u64).collect(),
+        });
 
         Ok(StepReport { action: format!("agent{agent}:{arm}"), reward: Some(reward) })
     }
 
     fn distinct_urls(&self) -> usize {
         self.links.len()
+    }
+
+    fn attach_sink(&mut self, sink: SinkHandle) {
+        for policy in &mut self.policies {
+            policy.attach_sink(sink.clone());
+        }
+        self.sink = sink;
     }
 }
 

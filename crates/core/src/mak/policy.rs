@@ -109,11 +109,18 @@ impl ArmPolicy {
 
     /// Mutable access to the inner Exp3.1 learner, for testkit fault
     /// injection only.
-    #[cfg(feature = "testkit-oracle")]
     pub fn as_exp31_mut(&mut self) -> Option<&mut Exp31> {
         match self {
             ArmPolicy::Exp31(p) => Some(p),
             _ => None,
+        }
+    }
+
+    /// Observability: forwards the sink to learners that emit policy
+    /// events (currently Exp3.1; the ablation policies stay silent).
+    pub fn attach_sink(&mut self, sink: mak_obs::sink::SinkHandle) {
+        if let ArmPolicy::Exp31(p) = self {
+            p.attach_sink(sink);
         }
     }
 

@@ -13,6 +13,9 @@
 use crate::store::RunStore;
 use mak::framework::engine::{run_crawl, CrawlReport, EngineConfig};
 use mak::spec::build_crawler;
+use mak_obs::event::Event;
+use mak_obs::logger::{enabled, Level};
+use mak_obs::sink::SharedSink;
 use mak_websim::apps;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -86,12 +89,28 @@ pub fn run_one_cached(
     config: &EngineConfig,
     store: &RunStore,
 ) -> CrawlReport {
+    run_one_cached_flagged(app, crawler, seed, config, store).0
+}
+
+/// Like [`run_one_cached`], but also reports whether the cell was served
+/// from the store (`true`) or executed fresh (`false`).
+///
+/// # Panics
+///
+/// Panics on unknown app or crawler names, like [`run_one`].
+pub fn run_one_cached_flagged(
+    app: &str,
+    crawler: &str,
+    seed: u64,
+    config: &EngineConfig,
+    store: &RunStore,
+) -> (CrawlReport, bool) {
     if let Some(report) = store.load(app, crawler, seed, config) {
-        return report;
+        return (report, true);
     }
     let report = run_one(app, crawler, seed, config);
     store.save(&report, config);
-    report
+    (report, false)
 }
 
 /// Renders a panic payload for error reporting.
@@ -116,12 +135,14 @@ struct Progress {
 }
 
 impl Progress {
-    fn new(total: usize, enabled: bool) -> Self {
+    fn new(total: usize, wanted: bool) -> Self {
         Progress {
             total,
             done: AtomicUsize::new(0),
             virtual_ms: AtomicU64::new(0),
-            enabled,
+            // Respect `MAK_LOG=off` even when the caller asked for
+            // progress: the env var is the user's master switch.
+            enabled: wanted && enabled(Level::Progress),
             started: std::time::Instant::now(),
         }
     }
@@ -181,7 +202,7 @@ impl Progress {
 /// Panics if `threads` is zero or any name in the matrix is unknown; the
 /// failing `(app, crawler, seed)` cell is named in the panic message.
 pub fn run_matrix(matrix: &RunMatrix, threads: usize) -> Vec<CrawlReport> {
-    run_matrix_inner(matrix, threads, &RunStore::disabled(), false)
+    run_matrix_inner(matrix, threads, &RunStore::disabled(), false, &SharedSink::none())
 }
 
 /// Runs the matrix through a [`RunStore`]: cells the store already holds
@@ -197,7 +218,27 @@ pub fn run_matrix(matrix: &RunMatrix, threads: usize) -> Vec<CrawlReport> {
 /// Panics if `threads` is zero or any name in the matrix is unknown; the
 /// failing `(app, crawler, seed)` cell is named in the panic message.
 pub fn run_matrix_cached(matrix: &RunMatrix, threads: usize, store: &RunStore) -> Vec<CrawlReport> {
-    run_matrix_inner(matrix, threads, store, true)
+    run_matrix_inner(matrix, threads, store, true, &SharedSink::none())
+}
+
+/// [`run_matrix_cached`] plus observability: every finished cell emits an
+/// [`Event::CellFinished`] into `sink`, carrying per-cell wall-clock
+/// milliseconds, virtual seconds, interactions, and whether the cell came
+/// from the cache. The wall-clock field lives only in this bench-side
+/// event — per-crawl events stay on the virtual clock — so crawl results
+/// remain deterministic while the harness can still be profiled.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or any name in the matrix is unknown; the
+/// failing `(app, crawler, seed)` cell is named in the panic message.
+pub fn run_matrix_cached_observed(
+    matrix: &RunMatrix,
+    threads: usize,
+    store: &RunStore,
+    sink: &SharedSink,
+) -> Vec<CrawlReport> {
+    run_matrix_inner(matrix, threads, store, true, sink)
 }
 
 fn run_matrix_inner(
@@ -205,6 +246,7 @@ fn run_matrix_inner(
     threads: usize,
     store: &RunStore,
     progress_enabled: bool,
+    sink: &SharedSink,
 ) -> Vec<CrawlReport> {
     assert!(threads > 0, "need at least one worker thread");
     let mut jobs = Vec::with_capacity(matrix.run_count());
@@ -232,11 +274,21 @@ fn run_matrix_inner(
             scope.spawn(|| loop {
                 let job = queue.lock().unwrap_or_else(PoisonError::into_inner).next();
                 let Some((idx, app, crawler, seed)) = job else { break };
+                let cell_started = std::time::Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_one_cached(&app, &crawler, seed, &matrix.config, store)
+                    run_one_cached_flagged(&app, &crawler, seed, &matrix.config, store)
                 }));
                 match outcome {
-                    Ok(report) => {
+                    Ok((report, cached)) => {
+                        sink.emit_with(|| Event::CellFinished {
+                            app: report.app.clone(),
+                            crawler: report.crawler.clone(),
+                            seed: report.seed,
+                            wall_ms: cell_started.elapsed().as_secs_f64() * 1_000.0,
+                            virtual_secs: report.elapsed_secs,
+                            interactions: report.interactions,
+                            cached,
+                        });
                         progress.cell_done(&report, store);
                         results.lock().unwrap_or_else(PoisonError::into_inner).push((idx, report));
                     }

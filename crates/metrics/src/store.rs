@@ -32,6 +32,9 @@
 //! - `off` — execute everything, touch nothing on disk.
 
 use mak::framework::engine::{CrawlReport, EngineConfig};
+use mak_obs::aggregate::Counter;
+use mak_obs::event::Event;
+use mak_obs::sink::SharedSink;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -178,6 +181,15 @@ pub fn workspace_fingerprint() -> u64 {
     })
 }
 
+/// Per-`(app, crawler)` cache accounting (see [`CacheStats::per_pair`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairStats {
+    /// Number of cached run entries for the pair.
+    pub entries: usize,
+    /// Total size of those entries, in bytes.
+    pub bytes: u64,
+}
+
 /// Aggregate statistics over a cache directory (see [`RunStore::stats`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -185,10 +197,29 @@ pub struct CacheStats {
     pub entries: usize,
     /// Total size of the entries, in bytes.
     pub bytes: u64,
-    /// Entry counts per application.
-    pub per_app: BTreeMap<String, usize>,
-    /// Entry counts per crawler.
-    pub per_crawler: BTreeMap<String, usize>,
+    /// Entry counts and byte totals per `(app, crawler)` pair, in sorted
+    /// order.
+    pub per_pair: BTreeMap<(String, String), PairStats>,
+}
+
+impl CacheStats {
+    /// Entry counts per application, folded from the per-pair stats.
+    pub fn per_app(&self) -> Counter {
+        let mut counter = Counter::new();
+        for ((app, _), stats) in &self.per_pair {
+            counter.add(app, stats.entries as u64);
+        }
+        counter
+    }
+
+    /// Entry counts per crawler, folded from the per-pair stats.
+    pub fn per_crawler(&self) -> Counter {
+        let mut counter = Counter::new();
+        for ((_, crawler), stats) in &self.per_pair {
+            counter.add(crawler, stats.entries as u64);
+        }
+        counter
+    }
 }
 
 /// The content-addressed run cache (see the [module docs](self)).
@@ -199,6 +230,7 @@ pub struct RunStore {
     fingerprint: u64,
     hits: AtomicU64,
     misses: AtomicU64,
+    sink: SharedSink,
 }
 
 impl RunStore {
@@ -211,7 +243,18 @@ impl RunStore {
             fingerprint: workspace_fingerprint(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            sink: SharedSink::none(),
         }
+    }
+
+    /// Attaches a thread-safe event sink; the store emits
+    /// `CacheHit` / `CacheMiss` on every [`load`](Self::load). The sink
+    /// must be [`SharedSink`] because matrix runners call `load` from
+    /// worker threads.
+    #[must_use]
+    pub fn with_shared_sink(mut self, sink: SharedSink) -> Self {
+        self.sink = sink;
+        self
     }
 
     /// The store implied by the environment: `MAK_CACHE_DIR` (default
@@ -291,6 +334,11 @@ impl RunStore {
     ) -> Option<CrawlReport> {
         if self.mode == CacheMode::Off {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.sink.emit_with(|| Event::CacheMiss {
+                app: app.to_owned(),
+                crawler: crawler.to_owned(),
+                seed,
+            });
             return None;
         }
         let path = self.entry_path(app, crawler, seed, self.key(app, crawler, seed, config));
@@ -301,10 +349,20 @@ impl RunStore {
         match report {
             Some(r) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.sink.emit_with(|| Event::CacheHit {
+                    app: app.to_owned(),
+                    crawler: crawler.to_owned(),
+                    seed,
+                });
                 Some(r)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.sink.emit_with(|| Event::CacheMiss {
+                    app: app.to_owned(),
+                    crawler: crawler.to_owned(),
+                    seed,
+                });
                 None
             }
         }
@@ -323,12 +381,12 @@ impl RunStore {
         let json = match serde_json::to_string(report) {
             Ok(j) => j,
             Err(e) => {
-                eprintln!("run cache: serialize {}: {e}", path.display());
+                mak_obs::progress!("run cache: serialize {}: {e}", path.display());
                 return;
             }
         };
         if let Err(e) = self.write_atomic(&path, json.as_bytes()) {
-            eprintln!("run cache: write {}: {e}", path.display());
+            mak_obs::progress!("run cache: write {}: {e}", path.display());
         }
     }
 
@@ -354,10 +412,12 @@ impl RunStore {
             }
             let mut parts = name.split("__");
             let (Some(app), Some(crawler)) = (parts.next(), parts.next()) else { continue };
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
             stats.entries += 1;
-            stats.bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
-            *stats.per_app.entry(app.to_owned()).or_insert(0) += 1;
-            *stats.per_crawler.entry(crawler.to_owned()).or_insert(0) += 1;
+            stats.bytes += bytes;
+            let pair = stats.per_pair.entry((app.to_owned(), crawler.to_owned())).or_default();
+            pair.entries += 1;
+            pair.bytes += bytes;
         }
         stats
     }
@@ -491,10 +551,28 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.entries, 3);
         assert!(stats.bytes > 0);
-        assert_eq!(stats.per_app["addressbook"], 3);
-        assert_eq!(stats.per_crawler["bfs"], 3);
+        assert_eq!(stats.per_app().get("addressbook"), 3);
+        assert_eq!(stats.per_crawler().get("bfs"), 3);
+        let pair = stats.per_pair[&("addressbook".to_owned(), "bfs".to_owned())];
+        assert_eq!(pair.entries, 3);
+        assert_eq!(pair.bytes, stats.bytes, "single pair owns all bytes");
         assert_eq!(store.clear().expect("clear"), 3);
         assert_eq!(store.stats(), CacheStats::default());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn load_emits_cache_events_through_a_shared_sink() {
+        use mak_obs::sink::VecSink;
+        let root = tmp_root("sink");
+        let (shared, cell) = SharedSink::shared(VecSink::new());
+        let store = RunStore::at(&root, CacheMode::ReadWrite).with_shared_sink(shared);
+        let cfg = EngineConfig::default();
+        assert!(store.load("addressbook", "bfs", 1, &cfg).is_none());
+        store.save(&sample_report(1), &cfg);
+        assert!(store.load("addressbook", "bfs", 1, &cfg).is_some());
+        let kinds: Vec<&str> = cell.lock().unwrap().events().iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, vec!["CacheMiss", "CacheHit"]);
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -7,6 +7,7 @@
 //! locally-best strategy?), and reward statistics per action.
 
 use mak::framework::engine::{CrawlReport, TraceEntry};
+use mak_obs::event::Event;
 use std::collections::BTreeMap;
 
 /// Arm/action usage within one time slice of a crawl.
@@ -48,6 +49,25 @@ pub fn usage_over_time(trace: &[TraceEntry], horizon_secs: f64, slices: usize) -
         *out[idx].counts.entry(entry.action.clone()).or_insert(0) += 1;
     }
     out
+}
+
+/// Rebuilds a legacy [`TraceEntry`] log from an observability event
+/// stream: each [`Event::StepFinished`] becomes one entry. The engine
+/// emits `StepFinished` at the same virtual-clock instant it records the
+/// trace entry, and `t_ms / 1000.0` is exactly how the clock derives
+/// seconds, so the result is bit-identical to a `record_trace` run — which
+/// makes every analysis in this module available to sink users without
+/// re-running anything (enforced by `tests/observability.rs`).
+pub fn events_to_trace(events: &[Event]) -> Vec<TraceEntry> {
+    events
+        .iter()
+        .filter_map(|event| match event {
+            Event::StepFinished { t_ms, action, reward, .. } => {
+                Some(TraceEntry { secs: t_ms / 1000.0, action: action.clone(), reward: *reward })
+            }
+            _ => None,
+        })
+        .collect()
 }
 
 /// Mean reward per action label over a whole trace, for learning-signal
@@ -112,6 +132,25 @@ mod tests {
         let trace = vec![entry(250.0, "Head", None)];
         let usage = usage_over_time(&trace, 100.0, 4);
         assert_eq!(usage[3].counts["Head"], 1);
+    }
+
+    #[test]
+    fn events_to_trace_keeps_only_step_finished() {
+        let events = vec![
+            Event::StepStarted { step: 0, t_ms: 0.0, policy_ms: 1.0 },
+            Event::StepFinished {
+                step: 0,
+                t_ms: 1500.0,
+                action: "Head".to_owned(),
+                reward: Some(0.25),
+                interactions: 1,
+                lines: 10,
+                distinct_urls: 3,
+            },
+            Event::RunFinished { t_ms: 2000.0, steps: 1, interactions: 1, lines: 10 },
+        ];
+        let trace = events_to_trace(&events);
+        assert_eq!(trace, vec![entry(1.5, "Head", Some(0.25))]);
     }
 
     #[test]

@@ -1,0 +1,431 @@
+//! In-memory aggregation: counters, reward stats, histograms, and the
+//! virtual-budget profile.
+//!
+//! [`Aggregator`] is an [`EventSink`] that folds a stream into the
+//! summary the `mak-cli profile` command prints: steps per arm, reward
+//! distribution per arm, a fetch-cost histogram, deque depth over time,
+//! epoch trajectory, cache hit rate, and a [`BudgetProfile`] attributing
+//! virtual time to the cost-model buckets (`fetch` / `think` /
+//! `interact` / `policy`).
+
+use crate::event::Event;
+use crate::sink::EventSink;
+use std::collections::BTreeMap;
+
+/// A string-keyed counter with deterministic (sorted) iteration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    counts: BTreeMap<String, u64>,
+}
+
+impl Counter {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to `key`'s count.
+    pub fn add(&mut self, key: &str, n: u64) {
+        *self.counts.entry(key.to_owned()).or_insert(0) += n;
+    }
+
+    /// The count for `key` (0 when absent).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sum over all keys.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no key was ever counted.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// `(key, count)` pairs in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+/// Running min/max/mean of a stream of rewards (or any f64s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewardStats {
+    /// Number of samples folded in.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample seen.
+    pub min: f64,
+    /// Largest sample seen.
+    pub max: f64,
+}
+
+impl Default for RewardStats {
+    fn default() -> Self {
+        RewardStats { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl RewardStats {
+    /// Folds one sample in.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A fixed-bucket histogram over `f64` values.
+///
+/// `bounds` are upper edges; a value lands in the first bucket whose
+/// bound is `>=` it, or in the implicit overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending upper edges.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        let buckets = bounds.len() + 1;
+        Histogram { bounds, counts: vec![0; buckets] }
+    }
+
+    /// Folds one value in.
+    pub fn record(&mut self, value: f64) {
+        let idx = self.bounds.iter().position(|b| value <= *b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Total number of recorded values.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(label, count)` rows, e.g. `("<= 1500", 12)`, ending with the
+    /// overflow bucket `("> last", n)`.
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        let mut rows = Vec::with_capacity(self.counts.len());
+        for (i, count) in self.counts.iter().enumerate() {
+            let label = if i < self.bounds.len() {
+                format!("<= {}", self.bounds[i])
+            } else if let Some(last) = self.bounds.last() {
+                format!("> {last}")
+            } else {
+                "all".to_owned()
+            };
+            rows.push((label, *count));
+        }
+        rows
+    }
+}
+
+/// Where the virtual budget went, in cost-model buckets (all ms).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BudgetProfile {
+    /// Network cost: jittered base latency plus redirect hops.
+    pub fetch_ms: f64,
+    /// The fixed per-page think/parse charge.
+    pub think_ms: f64,
+    /// Per-element interaction cost.
+    pub interact_ms: f64,
+    /// Policy overhead charged before each step.
+    pub policy_ms: f64,
+}
+
+impl BudgetProfile {
+    /// Sum over all buckets.
+    pub fn total_ms(&self) -> f64 {
+        self.fetch_ms + self.think_ms + self.interact_ms + self.policy_ms
+    }
+
+    /// `(bucket, ms)` rows in a fixed order.
+    pub fn rows(&self) -> [(&'static str, f64); 4] {
+        [
+            ("fetch", self.fetch_ms),
+            ("think", self.think_ms),
+            ("interact", self.interact_ms),
+            ("policy", self.policy_ms),
+        ]
+    }
+}
+
+/// Default fetch-cost histogram edges (ms): the cost model charges
+/// roughly `latency × jitter + 1350 + 2·elements`, so pages cluster
+/// between ~1.4 s and a few seconds.
+fn fetch_cost_bounds() -> Vec<f64> {
+    vec![1400.0, 1500.0, 1600.0, 1800.0, 2000.0, 2500.0, 3000.0]
+}
+
+/// Folds an event stream into counters, histograms, and the budget
+/// profile.
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    /// Identity from `RunStarted` (empty until seen).
+    pub app: String,
+    /// Crawler name from `RunStarted`.
+    pub crawler: String,
+    /// Seed from `RunStarted`.
+    pub seed: u64,
+    /// Virtual budget from `RunStarted` (ms).
+    pub budget_ms: f64,
+    /// Completed steps (`StepFinished` count).
+    pub steps: u64,
+    /// Steps per chosen arm (`ActionChosen`).
+    pub steps_per_arm: Counter,
+    /// Reward distribution per acting arm (`RewardComputed`).
+    pub rewards_per_arm: BTreeMap<String, RewardStats>,
+    /// Reward distribution over all steps.
+    pub rewards: RewardStats,
+    /// Histogram of total page cost (fetch + think + interact, ms).
+    pub fetch_cost: Histogram,
+    /// Pages fetched (`PageFetched`).
+    pub pages: u64,
+    /// Redirect hops followed.
+    pub redirects: u64,
+    /// Deque depth after each reporting step, in order.
+    pub deque_depth: Vec<u64>,
+    /// Largest deque depth seen.
+    pub deque_peak: u64,
+    /// Highest Exp3.1 epoch seen.
+    pub max_epoch: u32,
+    /// Number of `EpochAdvanced` events.
+    pub epoch_advances: u64,
+    /// Cache hits (`CacheHit`).
+    pub cache_hits: u64,
+    /// Cache misses (`CacheMiss`).
+    pub cache_misses: u64,
+    /// Final covered lines (last `StepFinished` / `RunFinished`).
+    pub lines: u64,
+    /// Final interaction count.
+    pub interactions: u64,
+    /// Virtual clock at the end of the stream (ms).
+    pub elapsed_ms: f64,
+    /// Budget attribution.
+    pub profile: BudgetProfile,
+}
+
+impl Default for Aggregator {
+    fn default() -> Self {
+        Aggregator {
+            app: String::new(),
+            crawler: String::new(),
+            seed: 0,
+            budget_ms: 0.0,
+            steps: 0,
+            steps_per_arm: Counter::new(),
+            rewards_per_arm: BTreeMap::new(),
+            rewards: RewardStats::default(),
+            fetch_cost: Histogram::new(fetch_cost_bounds()),
+            pages: 0,
+            redirects: 0,
+            deque_depth: Vec::new(),
+            deque_peak: 0,
+            max_epoch: 0,
+            epoch_advances: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            lines: 0,
+            interactions: 0,
+            elapsed_ms: 0.0,
+            profile: BudgetProfile::default(),
+        }
+    }
+}
+
+impl Aggregator {
+    /// A fresh aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache hit rate in `[0, 1]` (0.0 when no cache events were seen).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Steps per virtual second (0.0 before any time passed).
+    pub fn steps_per_virtual_sec(&self) -> f64 {
+        if self.elapsed_ms <= 0.0 {
+            0.0
+        } else {
+            self.steps as f64 / (self.elapsed_ms / 1000.0)
+        }
+    }
+}
+
+impl EventSink for Aggregator {
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::RunStarted { app, crawler, seed, budget_ms } => {
+                self.app = app.clone();
+                self.crawler = crawler.clone();
+                self.seed = *seed;
+                self.budget_ms = *budget_ms;
+            }
+            Event::StepStarted { policy_ms, .. } => {
+                self.profile.policy_ms += policy_ms;
+            }
+            Event::ActionChosen { arm, .. } => {
+                self.steps_per_arm.add(arm, 1);
+            }
+            Event::PageFetched { fetch_ms, think_ms, interact_ms, .. } => {
+                self.pages += 1;
+                self.profile.fetch_ms += fetch_ms;
+                self.profile.think_ms += think_ms;
+                self.profile.interact_ms += interact_ms;
+                self.fetch_cost.record(fetch_ms + think_ms + interact_ms);
+            }
+            Event::RedirectFollowed { fetch_ms, .. } => {
+                self.redirects += 1;
+                self.profile.fetch_ms += fetch_ms;
+            }
+            Event::RewardComputed { action, reward, .. } => {
+                self.rewards.record(*reward);
+                self.rewards_per_arm.entry(action.clone()).or_default().record(*reward);
+            }
+            Event::PolicyUpdated { epoch, .. } => {
+                self.max_epoch = self.max_epoch.max(*epoch);
+            }
+            Event::EpochAdvanced { epoch, .. } => {
+                self.epoch_advances += 1;
+                self.max_epoch = self.max_epoch.max(*epoch);
+            }
+            Event::DequeDepth { len, .. } => {
+                self.deque_depth.push(*len);
+                self.deque_peak = self.deque_peak.max(*len);
+            }
+            Event::StepFinished { t_ms, interactions, lines, .. } => {
+                self.steps += 1;
+                self.elapsed_ms = *t_ms;
+                self.interactions = *interactions;
+                self.lines = *lines;
+            }
+            Event::RunFinished { t_ms, interactions, lines, .. } => {
+                self.elapsed_ms = *t_ms;
+                self.interactions = *interactions;
+                self.lines = *lines;
+            }
+            Event::CacheHit { .. } => self.cache_hits += 1,
+            Event::CacheMiss { .. } => self.cache_misses += 1,
+            Event::CoverageDelta { .. } | Event::CellFinished { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_sorted_and_totals() {
+        let mut c = Counter::new();
+        c.add("tail", 2);
+        c.add("head", 1);
+        c.add("tail", 1);
+        assert_eq!(c.get("tail"), 3);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.total(), 4);
+        let keys: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["head", "tail"]);
+    }
+
+    #[test]
+    fn reward_stats_track_extremes_and_mean() {
+        let mut s = RewardStats::default();
+        s.record(0.2);
+        s.record(0.8);
+        assert_eq!(s.count, 2);
+        assert!((s.mean() - 0.5).abs() < 1e-12);
+        assert_eq!(s.min, 0.2);
+        assert_eq!(s.max, 0.8);
+        assert_eq!(RewardStats::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_including_overflow() {
+        let mut h = Histogram::new(vec![10.0, 20.0]);
+        h.record(5.0);
+        h.record(15.0);
+        h.record(99.0);
+        assert_eq!(h.total(), 3);
+        let rows = h.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], ("<= 10".to_owned(), 1));
+        assert_eq!(rows[2], ("> 20".to_owned(), 1));
+    }
+
+    #[test]
+    fn aggregator_folds_a_synthetic_stream() {
+        let mut agg = Aggregator::new();
+        let events = [
+            Event::RunStarted {
+                app: "phpbb2".into(),
+                crawler: "mak".into(),
+                seed: 3,
+                budget_ms: 60_000.0,
+            },
+            Event::StepStarted { step: 0, t_ms: 0.0, policy_ms: 2.0 },
+            Event::ActionChosen { arm: "Head".into(), probs: vec![0.4, 0.3, 0.3] },
+            Event::PageFetched {
+                url: "http://a/".into(),
+                status: 200,
+                fetch_ms: 100.0,
+                think_ms: 1350.0,
+                interact_ms: 20.0,
+                elements: 10,
+            },
+            Event::RewardComputed { step: 0, action: "Head".into(), reward: 0.5 },
+            Event::DequeDepth { len: 7, levels: vec![3, 4] },
+            Event::StepFinished {
+                step: 0,
+                t_ms: 1472.0,
+                action: "Head".into(),
+                reward: Some(0.5),
+                interactions: 1,
+                lines: 40,
+                distinct_urls: 2,
+            },
+            Event::CacheHit { app: "phpbb2".into(), crawler: "mak".into(), seed: 3 },
+            Event::CacheMiss { app: "phpbb2".into(), crawler: "bfs".into(), seed: 3 },
+            Event::RunFinished { t_ms: 1472.0, steps: 1, interactions: 1, lines: 40 },
+        ];
+        for ev in &events {
+            agg.on_event(ev);
+        }
+        assert_eq!(agg.app, "phpbb2");
+        assert_eq!(agg.steps, 1);
+        assert_eq!(agg.steps_per_arm.get("Head"), 1);
+        assert_eq!(agg.pages, 1);
+        assert_eq!(agg.deque_peak, 7);
+        assert_eq!(agg.lines, 40);
+        assert!((agg.profile.total_ms() - 1472.0).abs() < 1e-9);
+        assert!((agg.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((agg.rewards_per_arm["Head"].mean() - 0.5).abs() < 1e-12);
+        assert!(agg.steps_per_virtual_sec() > 0.0);
+    }
+}

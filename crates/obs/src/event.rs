@@ -1,0 +1,176 @@
+//! The event taxonomy: one externally tagged enum, every variant a
+//! named-field struct so the vendored `serde_derive` (no attributes, no
+//! tuple variants) can round-trip it.
+//!
+//! Emission sites, in stack order:
+//!
+//! | variant | emitted by |
+//! |---|---|
+//! | `RunStarted` / `RunFinished` | `mak::framework::engine` |
+//! | `StepStarted` / `RewardComputed` / `StepFinished` | `mak::framework::engine` |
+//! | `ActionChosen` / `DequeDepth` | `mak::mak::{crawler,ensemble}` |
+//! | `PolicyUpdated` / `EpochAdvanced` | `mak_bandit::exp31` |
+//! | `PageFetched` / `RedirectFollowed` | `mak_browser::client` |
+//! | `CoverageDelta` | `mak_websim::server::AppHost` |
+//! | `CacheHit` / `CacheMiss` | `mak_metrics::store::RunStore` |
+//! | `CellFinished` | `mak_metrics::experiment` (bench-side) |
+//!
+//! All `t_ms` / `*_ms` fields inside a run are **virtual-clock**
+//! milliseconds. `CellFinished::wall_ms` is the one wall-clock field; it
+//! is emitted outside any crawl and never appears in a per-crawl trace.
+
+use serde::{Deserialize, Serialize};
+
+/// A structured observation from somewhere in the stack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A crawl began: identity of the cell plus the virtual budget.
+    RunStarted { app: String, crawler: String, seed: u64, budget_ms: f64 },
+    /// The engine is about to run step `step`; `policy_ms` is the
+    /// virtual policy-overhead charge made before the step.
+    StepStarted { step: u64, t_ms: f64, policy_ms: f64 },
+    /// A MAK-family crawler chose deque arm `arm` under the current
+    /// arm distribution `probs` (indexed Head, Tail, Random).
+    ActionChosen { arm: String, probs: Vec<f64> },
+    /// The browser fetched an HTML page. Cost is split into the three
+    /// cost-model buckets; their sum is exactly what the virtual clock
+    /// was charged.
+    PageFetched {
+        url: String,
+        status: u16,
+        fetch_ms: f64,
+        think_ms: f64,
+        interact_ms: f64,
+        elements: u64,
+    },
+    /// The browser followed one redirect hop toward `url`.
+    RedirectFollowed { url: String, fetch_ms: f64 },
+    /// Server-side line coverage grew to `lines` (by `delta`) while
+    /// handling request number `request`.
+    CoverageDelta { request: u64, lines: u64, delta: u64 },
+    /// The engine observed reward `reward` for `action` at step `step`.
+    RewardComputed { step: u64, action: String, reward: f64 },
+    /// Exp3.1 finished an importance-weighted update. `updates` counts
+    /// completed updates, `max_gain` is max Ĝᵢ, `bound` the
+    /// epoch-termination bound g_m − K/γ_m; weights are summarized by
+    /// their extremes so sinks can check finiteness/positivity.
+    PolicyUpdated {
+        probs: Vec<f64>,
+        gamma: f64,
+        epoch: u32,
+        updates: u64,
+        max_gain: f64,
+        bound: f64,
+        min_weight: f64,
+        max_weight: f64,
+    },
+    /// Exp3.1 advanced to `epoch` (new exploration rate `gamma`).
+    EpochAdvanced { epoch: u32, gamma: f64 },
+    /// Leveled-deque occupancy after a step: total and per-level.
+    DequeDepth { len: u64, levels: Vec<u64> },
+    /// A step completed. `t_ms` is the virtual clock after the step;
+    /// `lines` is server-side coverage, `distinct_urls` the crawler's
+    /// count. `reward` is `None` for steps that performed no rewarded
+    /// interaction.
+    StepFinished {
+        step: u64,
+        t_ms: f64,
+        action: String,
+        reward: Option<f64>,
+        interactions: u64,
+        lines: u64,
+        distinct_urls: u64,
+    },
+    /// The crawl ended (budget exhausted or crawler finished).
+    RunFinished { t_ms: f64, steps: u64, interactions: u64, lines: u64 },
+    /// The run cache served this cell without executing it.
+    CacheHit { app: String, crawler: String, seed: u64 },
+    /// The run cache had no entry (or was disabled) for this cell.
+    CacheMiss { app: String, crawler: String, seed: u64 },
+    /// Bench-side: one matrix cell finished. `wall_ms` is **wall-clock**
+    /// host time (the only non-virtual quantity in the taxonomy);
+    /// `virtual_secs` is the crawl's virtual duration.
+    CellFinished {
+        app: String,
+        crawler: String,
+        seed: u64,
+        wall_ms: f64,
+        virtual_secs: f64,
+        interactions: u64,
+        cached: bool,
+    },
+}
+
+impl Event {
+    /// The variant name, e.g. `"StepFinished"` — handy for counting and
+    /// for asserting on JSONL streams.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunStarted { .. } => "RunStarted",
+            Event::StepStarted { .. } => "StepStarted",
+            Event::ActionChosen { .. } => "ActionChosen",
+            Event::PageFetched { .. } => "PageFetched",
+            Event::RedirectFollowed { .. } => "RedirectFollowed",
+            Event::CoverageDelta { .. } => "CoverageDelta",
+            Event::RewardComputed { .. } => "RewardComputed",
+            Event::PolicyUpdated { .. } => "PolicyUpdated",
+            Event::EpochAdvanced { .. } => "EpochAdvanced",
+            Event::DequeDepth { .. } => "DequeDepth",
+            Event::StepFinished { .. } => "StepFinished",
+            Event::RunFinished { .. } => "RunFinished",
+            Event::CacheHit { .. } => "CacheHit",
+            Event::CacheMiss { .. } => "CacheMiss",
+            Event::CellFinished { .. } => "CellFinished",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            Event::RunStarted {
+                app: "phpbb2".into(),
+                crawler: "mak".into(),
+                seed: 7,
+                budget_ms: 1_800_000.0,
+            },
+            Event::ActionChosen { arm: "Head".into(), probs: vec![0.4, 0.3, 0.3] },
+            Event::StepFinished {
+                step: 3,
+                t_ms: 4_500.5,
+                action: "Head".into(),
+                reward: Some(0.25),
+                interactions: 4,
+                lines: 120,
+                distinct_urls: 9,
+            },
+            Event::StepFinished {
+                step: 4,
+                t_ms: 6_000.0,
+                action: "Tail".into(),
+                reward: None,
+                interactions: 4,
+                lines: 120,
+                distinct_urls: 9,
+            },
+            Event::CacheHit { app: "a".into(), crawler: "bfs".into(), seed: 0 },
+        ];
+        for ev in &events {
+            let json = serde_json::to_string(ev).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, ev, "round trip of {json}");
+        }
+    }
+
+    #[test]
+    fn kind_matches_serialized_tag() {
+        let ev = Event::EpochAdvanced { epoch: 2, gamma: 0.5 };
+        let json = serde_json::to_string(&ev).unwrap();
+        assert!(json.contains("\"EpochAdvanced\""), "{json}");
+        assert_eq!(ev.kind(), "EpochAdvanced");
+    }
+}

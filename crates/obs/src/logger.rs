@@ -1,0 +1,109 @@
+//! The `MAK_LOG` stderr logger.
+//!
+//! One environment variable controls every human-facing stderr line the
+//! workspace prints (bench banners, matrix progress, cache chatter):
+//!
+//! - `MAK_LOG=off` (or `0`, `none`, `quiet`) — silence everything.
+//! - `MAK_LOG=progress` — banners and progress lines (the default).
+//! - `MAK_LOG=debug` (or `verbose`, `trace`) — progress plus per-cell
+//!   diagnostics.
+//!
+//! The variable is read on every call, not latched, so tests can flip it
+//! with `std::env::set_var` and bench binaries pick it up without any
+//! init call. Log output is presentation only: it never carries crawl
+//! state and is allowed to include wall-clock quantities.
+
+use std::fmt;
+
+/// Verbosity levels, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// No stderr output at all.
+    Off,
+    /// Banners and progress lines (default).
+    Progress,
+    /// Progress plus per-cell diagnostics.
+    Debug,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Off => "off",
+            Level::Progress => "progress",
+            Level::Debug => "debug",
+        })
+    }
+}
+
+/// The current level from `MAK_LOG` (default [`Level::Progress`];
+/// unrecognized values also fall back to the default).
+pub fn level() -> Level {
+    match std::env::var("MAK_LOG") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" | "quiet" => Level::Off,
+            "debug" | "verbose" | "trace" => Level::Debug,
+            _ => Level::Progress,
+        },
+        Err(_) => Level::Progress,
+    }
+}
+
+/// Whether output at `wanted` is currently enabled.
+pub fn enabled(wanted: Level) -> bool {
+    level() >= wanted
+}
+
+/// Prints a line to stderr at [`Level::Progress`].
+#[macro_export]
+macro_rules! progress {
+    ($($arg:tt)*) => {
+        if $crate::logger::enabled($crate::logger::Level::Progress) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Prints a line to stderr at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::logger::enabled($crate::logger::Level::Debug) {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var mutation is process-global, so exercise all cases in one
+    // test to avoid cross-test races.
+    #[test]
+    fn level_parsing_and_ordering() {
+        assert!(Level::Off < Level::Progress && Level::Progress < Level::Debug);
+
+        std::env::set_var("MAK_LOG", "off");
+        assert_eq!(level(), Level::Off);
+        assert!(!enabled(Level::Progress));
+
+        std::env::set_var("MAK_LOG", "0");
+        assert_eq!(level(), Level::Off);
+
+        std::env::set_var("MAK_LOG", "debug");
+        assert_eq!(level(), Level::Debug);
+        assert!(enabled(Level::Progress));
+
+        std::env::set_var("MAK_LOG", "Progress");
+        assert_eq!(level(), Level::Progress);
+        assert!(!enabled(Level::Debug));
+
+        std::env::set_var("MAK_LOG", "definitely-not-a-level");
+        assert_eq!(level(), Level::Progress);
+
+        std::env::remove_var("MAK_LOG");
+        assert_eq!(level(), Level::Progress);
+        assert_eq!(level().to_string(), "progress");
+    }
+}

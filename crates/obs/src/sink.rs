@@ -1,0 +1,320 @@
+//! Sinks: where events go.
+//!
+//! Two handle types cover the two threading regimes in the workspace:
+//!
+//! - [`SinkHandle`] — `Rc<RefCell<_>>`-based, cloneable, for the
+//!   single-threaded per-run path (engine → browser → host → crawler →
+//!   policy all share one handle). Defaults to inert; `emit_with` is
+//!   lazy so an inert handle costs one `Option` check per call site.
+//! - [`SharedSink`] — `Arc<Mutex<_>>`-based, for cross-thread emitters
+//!   (the run cache and the bench matrix runner, which execute cells on
+//!   worker threads).
+//!
+//! Concrete sinks: [`JsonlSink`] (one event per line, deterministic
+//! because events carry only virtual time), [`VecSink`] (buffering, for
+//! tests and collectors), [`Fanout`] (duplicate a stream into several
+//! handles), plus [`crate::aggregate::Aggregator`].
+
+use crate::event::Event;
+use std::cell::RefCell;
+use std::fmt;
+use std::io::Write;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+/// A consumer of [`Event`]s. Implementations must not feed anything back
+/// into crawl state — sinks observe, they never steer.
+pub trait EventSink {
+    /// Consume one event.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// A cloneable, possibly-inert handle to a single-threaded sink.
+///
+/// The default handle is inert: `is_active()` is `false` and both emit
+/// methods are no-ops. All crawl-path emission sites go through
+/// [`SinkHandle::emit_with`] so that event construction is skipped when
+/// nobody listens.
+#[derive(Clone, Default)]
+pub struct SinkHandle {
+    inner: Option<Rc<RefCell<dyn EventSink>>>,
+}
+
+impl SinkHandle {
+    /// The inert handle: every emit is a no-op.
+    pub fn none() -> Self {
+        SinkHandle { inner: None }
+    }
+
+    /// Wraps a sink, consuming it. Use [`SinkHandle::shared`] when the
+    /// sink must be read back after the run.
+    pub fn new<S: EventSink + 'static>(sink: S) -> Self {
+        SinkHandle { inner: Some(Rc::new(RefCell::new(sink))) }
+    }
+
+    /// Wraps a sink and also returns the shared cell so the caller can
+    /// inspect it after the run (handles cloned into crawlers may
+    /// outlive the run, so sole-ownership unwrapping is not an option).
+    pub fn shared<S: EventSink + 'static>(sink: S) -> (Self, Rc<RefCell<S>>) {
+        let cell = Rc::new(RefCell::new(sink));
+        let dynamic: Rc<RefCell<dyn EventSink>> = cell.clone();
+        (SinkHandle { inner: Some(dynamic) }, cell)
+    }
+
+    /// Fans one stream out to every given handle (inert ones are
+    /// dropped; an all-inert fanout collapses to the inert handle).
+    pub fn fanout(handles: Vec<SinkHandle>) -> Self {
+        let live: Vec<SinkHandle> = handles.into_iter().filter(SinkHandle::is_active).collect();
+        match live.len() {
+            0 => SinkHandle::none(),
+            1 => live.into_iter().next().expect("len checked"),
+            _ => SinkHandle::new(Fanout { targets: live }),
+        }
+    }
+
+    /// Whether a sink is attached.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emits an already-built event.
+    pub fn emit(&self, event: Event) {
+        if let Some(sink) = &self.inner {
+            sink.borrow_mut().on_event(&event);
+        }
+    }
+
+    /// Emits lazily: `make` runs only when a sink is attached. This is
+    /// the form every crawl-path call site uses, so the no-sink cost is
+    /// a single branch.
+    pub fn emit_with<F: FnOnce() -> Event>(&self, make: F) {
+        if let Some(sink) = &self.inner {
+            let event = make();
+            sink.borrow_mut().on_event(&event);
+        }
+    }
+}
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_active() { "SinkHandle(active)" } else { "SinkHandle(inert)" })
+    }
+}
+
+/// A cloneable, possibly-inert handle to a sink shared across threads.
+///
+/// Used where the emitter itself is shared by `&self` across worker
+/// threads: the run cache (`CacheHit`/`CacheMiss`) and the bench matrix
+/// runner (`CellFinished`).
+#[derive(Clone, Default)]
+pub struct SharedSink {
+    inner: Option<Arc<Mutex<dyn EventSink + Send>>>,
+}
+
+impl SharedSink {
+    /// The inert handle.
+    pub fn none() -> Self {
+        SharedSink { inner: None }
+    }
+
+    /// Wraps a sink and returns both the handle and the shared cell for
+    /// post-run inspection.
+    pub fn shared<S: EventSink + Send + 'static>(sink: S) -> (Self, Arc<Mutex<S>>) {
+        let cell = Arc::new(Mutex::new(sink));
+        let dynamic: Arc<Mutex<dyn EventSink + Send>> = cell.clone();
+        (SharedSink { inner: Some(dynamic) }, cell)
+    }
+
+    /// Whether a sink is attached.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emits lazily; tolerant of a poisoned lock (a panicked worker must
+    /// not cascade into observability).
+    pub fn emit_with<F: FnOnce() -> Event>(&self, make: F) {
+        if let Some(sink) = &self.inner {
+            let event = make();
+            let mut guard = match sink.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.on_event(&event);
+        }
+    }
+}
+
+impl fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_active() { "SharedSink(active)" } else { "SharedSink(inert)" })
+    }
+}
+
+/// Duplicates every event into each target handle.
+struct Fanout {
+    targets: Vec<SinkHandle>,
+}
+
+impl EventSink for Fanout {
+    fn on_event(&mut self, event: &Event) {
+        for target in &self.targets {
+            if let Some(sink) = &target.inner {
+                sink.borrow_mut().on_event(event);
+            }
+        }
+    }
+}
+
+/// Writes one JSON object per line. Streams are bit-identical across
+/// reruns of the same `(app, crawler, seed, config)` because events
+/// carry only virtual-clock time.
+///
+/// I/O errors are latched (first one wins) rather than panicking
+/// mid-crawl; callers check [`JsonlSink::error`] after the run.
+pub struct JsonlSink<W: Write> {
+    out: W,
+    lines: u64,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps any writer (a `BufWriter<File>`, a `Vec<u8>`, …).
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, lines: 0, error: None }
+    }
+
+    /// Number of lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The first I/O error hit, if any.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the writer; the second element is the latched
+    /// error, if any.
+    pub fn finish(mut self) -> (W, Option<std::io::Error>) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+        (self.out, self.error)
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn on_event(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(event).expect("Event serializes");
+        let write = self.out.write_all(line.as_bytes()).and_then(|()| self.out.write_all(b"\n"));
+        match write {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// Buffers every event in order. The workhorse of the determinism tests
+/// and of bench-side collectors.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Vec<Event>,
+}
+
+impl VecSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events seen so far, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the buffer.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl EventSink for VecSink {
+    fn on_event(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(step: u64) -> Event {
+        Event::StepStarted { step, t_ms: step as f64 * 10.0, policy_ms: 2.0 }
+    }
+
+    #[test]
+    fn inert_handle_never_builds_the_event() {
+        let handle = SinkHandle::none();
+        assert!(!handle.is_active());
+        handle.emit_with(|| panic!("must not be called"));
+    }
+
+    #[test]
+    fn vec_sink_buffers_in_order() {
+        let (handle, cell) = SinkHandle::shared(VecSink::new());
+        for i in 0..3 {
+            handle.emit(step(i));
+        }
+        let events = cell.borrow().events().to_vec();
+        assert_eq!(events, vec![step(0), step(1), step(2)]);
+    }
+
+    #[test]
+    fn fanout_duplicates_and_collapses() {
+        let (a, cell_a) = SinkHandle::shared(VecSink::new());
+        let (b, cell_b) = SinkHandle::shared(VecSink::new());
+        let fan = SinkHandle::fanout(vec![a, SinkHandle::none(), b]);
+        fan.emit(step(1));
+        assert_eq!(cell_a.borrow().events().len(), 1);
+        assert_eq!(cell_b.borrow().events().len(), 1);
+        assert!(!SinkHandle::fanout(vec![SinkHandle::none()]).is_active());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.on_event(&step(0));
+        sink.on_event(&step(1));
+        assert_eq!(sink.lines(), 2);
+        let (bytes, err) = sink.finish();
+        assert!(err.is_none());
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            let _: Event = serde_json::from_str(line).expect("each line parses");
+        }
+    }
+
+    #[test]
+    fn shared_sink_emits_across_threads() {
+        let (shared, cell) = SharedSink::shared(VecSink::new());
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    shared.emit_with(|| Event::CacheMiss {
+                        app: format!("app{i}"),
+                        crawler: "mak".into(),
+                        seed: i,
+                    });
+                });
+            }
+        });
+        assert_eq!(cell.lock().unwrap().events().len(), 4);
+    }
+}

@@ -22,11 +22,12 @@
 use crate::generate::BlueprintSpec;
 use crate::oracle::{InvariantOracle, Violation};
 use mak::framework::crawler::Crawler;
-use mak::framework::engine::{run_crawl, run_crawl_observed, CrawlReport, EngineConfig};
+use mak::framework::engine::{run_crawl, run_crawl_with_sink, CrawlReport, EngineConfig};
 use mak::spec::build_crawler;
 use mak_metrics::store::{CacheMode, RunStore};
+use mak_obs::sink::SinkHandle;
 
-/// Runs one crawl under the step-level invariant oracle, returning both
+/// Runs one crawl under the event-level invariant oracle, returning both
 /// the report and any violations the oracle recorded.
 pub fn oracle_crawl(
     crawler: &mut dyn Crawler,
@@ -34,9 +35,12 @@ pub fn oracle_crawl(
     config: &EngineConfig,
     seed: u64,
 ) -> (CrawlReport, Vec<Violation>) {
-    let mut oracle = InvariantOracle::new();
-    let report = run_crawl_observed(crawler, Box::new(spec.build()), config, seed, &mut oracle);
-    (report, oracle.into_violations())
+    let (sink, cell) = SinkHandle::shared(InvariantOracle::new());
+    let report = run_crawl_with_sink(crawler, Box::new(spec.build()), config, seed, &sink);
+    // The crawler keeps a clone of the sink, so take the violations by
+    // value instead of unwrapping the cell.
+    let violations = cell.borrow().violations().to_vec();
+    (report, violations)
 }
 
 /// Canonical JSON form of a report, used for byte-exact comparison.

@@ -9,13 +9,12 @@
 //!    generated from a seed (aliased URLs, query-param dispatch,
 //!    DOM-mutation traps, stateful flows, …), built into a servable app,
 //!    and — crucially for shrinking — edited structurally.
-//! 2. [`oracle`] — [`oracle::InvariantOracle`], a
-//!    [`StepObserver`](mak::framework::engine::StepObserver) that checks
-//!    step-level invariants during a crawl: clock/coverage/URL-count
-//!    monotonicity, URL-normalization idempotence, leveled-deque
-//!    consistency, reward range, and Exp3.1 distribution validity
-//!    (simplex, exploration floor, finite weights, epoch-termination
-//!    bound).
+//! 2. [`oracle`] — [`oracle::InvariantOracle`], an observability
+//!    [`EventSink`](mak_obs::sink::EventSink) that checks invariants over
+//!    the event stream of a crawl: clock/coverage/URL-count monotonicity,
+//!    URL-normalization idempotence, leveled-deque consistency, reward
+//!    range, and Exp3.1 distribution validity (simplex, exploration
+//!    floor, finite weights, epoch-termination bound).
 //! 3. [`differential`] — cross-run oracles: bit-identical reruns per seed,
 //!    cached ≡ fresh through the [`RunStore`](mak_metrics::store::RunStore),
 //!    and parallel ≡ sequential execution.

@@ -1,40 +1,39 @@
-//! The step-level invariant oracle.
+//! The event-level invariant oracle.
 //!
-//! [`InvariantOracle`] implements the engine's feature-gated
-//! [`StepObserver`] hook and checks, after **every** successful crawl
-//! step:
+//! [`InvariantOracle`] implements [`EventSink`] and checks the
+//! observability event stream of a run (attach with
+//! [`run_crawl_with_sink`](mak::framework::engine::run_crawl_with_sink)):
 //!
 //! - **Monotonicity** — virtual clock, server-side covered lines,
 //!   browser interaction count, and the crawler's distinct-URL count never
-//!   decrease.
-//! - **URL-normalization idempotence** — the canonical form re-parses to
-//!   itself (the link-coverage accounting identity).
-//! - **Reward sanity** — rewards are finite; MAK rewards lie in `[0, 1]`
-//!   (the Exp3.1 precondition).
-//! - **Leveled-deque consistency** — `len()` equals the sum over
-//!   per-level lengths (downcast via [`Crawler::as_any`]).
+//!   decrease (from `StepStarted`/`StepFinished`).
+//! - **URL-normalization idempotence** — every fetched or redirected URL
+//!   (emitted in canonical form) re-parses to itself, the link-coverage
+//!   accounting identity (from `PageFetched`/`RedirectFollowed`).
+//! - **Reward sanity** — rewards are finite; bandit-crawler rewards lie
+//!   in `[0, 1]` (the Exp3.1 precondition; a run is known to be
+//!   bandit-driven once it emits `ActionChosen`).
+//! - **Leveled-deque consistency** — `DequeDepth::len` equals the sum of
+//!   its per-level lengths.
 //! - **Exp3.1 distribution validity** — the arm distribution is a simplex
 //!   (sums to 1, entries in `[0, 1]`), respects the `γ/K` exploration
 //!   floor, all weights stay finite and positive, and the maximum
 //!   estimated gain never exceeds the epoch-termination bound
-//!   `g_m − K/γ_m` (the invariant that breaks when epoch advancement is
-//!   broken).
+//!   `g_m − K/γ_m` (from `ActionChosen`/`PolicyUpdated`; the bound is
+//!   the invariant that breaks when epoch advancement is broken).
 //!
 //! Violations are recorded, not panicked, so the fuzz driver can shrink
 //! the failing case and write a replayable artifact.
-//!
-//! [`StepObserver`]: mak::framework::engine::StepObserver
-//! [`Crawler::as_any`]: mak::framework::crawler::Crawler
 
-use mak::framework::engine::{StepContext, StepObserver};
-use mak::mak::MakCrawler;
+use mak_obs::event::Event;
+use mak_obs::sink::EventSink;
 use mak_websim::url::Url;
 use serde::{Deserialize, Serialize};
 
 /// One detected invariant violation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Violation {
-    /// Zero-based index of the step after which the violation was seen
+    /// Zero-based index of the step during which the violation was seen
     /// (0 for violations detected outside a step, e.g. differential
     /// mismatches).
     pub step: u64,
@@ -54,13 +53,19 @@ impl std::fmt::Display for Violation {
 /// every subsequent step, and one witness per kind is all shrinking needs.
 const MAX_VIOLATIONS: usize = 16;
 
-/// The step-level invariant checker. Attach with
-/// [`run_crawl_observed`](mak::framework::engine::run_crawl_observed).
+/// The event-stream invariant checker. Attach one per run via
+/// [`SinkHandle::shared`](mak_obs::sink::SinkHandle::shared).
 #[derive(Debug, Default)]
 pub struct InvariantOracle {
-    last_secs: f64,
+    /// Current step index, tracked from `StepStarted` so every event in
+    /// between is attributed to the step it happened in.
+    step: u64,
+    /// Set once the run emits `ActionChosen`: the crawler is bandit-driven
+    /// and its rewards must satisfy the Exp3.1 `[0, 1]` precondition.
+    bandit_run: bool,
+    last_t_ms: f64,
     last_lines: u64,
-    last_urls: usize,
+    last_urls: u64,
     last_interactions: u64,
     violations: Vec<Violation>,
 }
@@ -81,156 +86,164 @@ impl InvariantOracle {
         self.violations
     }
 
-    fn fail(&mut self, step: u64, invariant: &str, details: String) {
+    fn fail(&mut self, invariant: &str, details: String) {
         if self.violations.len() < MAX_VIOLATIONS {
-            self.violations.push(Violation { step, invariant: invariant.to_owned(), details });
+            self.violations.push(Violation {
+                step: self.step,
+                invariant: invariant.to_owned(),
+                details,
+            });
         }
     }
 
-    fn check_mak(&mut self, mak: &MakCrawler, step_index: u64, reward: Option<f64>) {
-        // Leveled-deque consistency: the cached length must equal the sum
-        // of the per-level lengths.
-        let deque = mak.deque();
-        let summed: usize = (0..deque.level_count()).map(|l| deque.level_len(l)).sum();
-        if summed != deque.len() {
-            self.fail(
-                step_index,
-                "deque-consistency",
-                format!("len() = {} but levels sum to {summed}", deque.len()),
-            );
+    fn check_clock(&mut self, t_ms: f64) {
+        if t_ms < self.last_t_ms {
+            self.fail("clock-monotone", format!("elapsed {t_ms}ms after {}ms", self.last_t_ms));
         }
+        self.last_t_ms = t_ms;
+    }
 
-        // MAK rewards feed Exp3.1, whose analysis requires [0, 1].
-        if let Some(r) = reward {
-            if !(0.0..=1.0).contains(&r) {
-                self.fail(step_index, "mak-reward-range", format!("reward {r} outside [0, 1]"));
-            }
+    /// URL-normalization idempotence: the canonical form must re-parse to
+    /// itself, or link-coverage accounting would split one resource into
+    /// several.
+    fn check_url(&mut self, url: &str) {
+        match url.parse::<Url>() {
+            Ok(u) if u.normalized() == url => {}
+            Ok(u) => self.fail(
+                "url-normalization-idempotent",
+                format!("normalized({url}) reparses to {}", u.normalized()),
+            ),
+            Err(e) => self.fail(
+                "url-normalization-idempotent",
+                format!("normalized form {url} does not reparse: {e}"),
+            ),
         }
+    }
 
-        // The arm distribution must be a valid simplex.
-        let probs = mak.arm_probabilities();
+    /// The arm distribution must be a valid simplex.
+    fn check_simplex(&mut self, probs: &[f64]) {
         let sum: f64 = probs.iter().sum();
         if (sum - 1.0).abs() > 1e-9 {
-            self.fail(step_index, "arm-simplex-sum", format!("probabilities sum to {sum}"));
+            self.fail("arm-simplex-sum", format!("probabilities sum to {sum}"));
         }
         if probs.iter().any(|p| !p.is_finite() || *p < 0.0 || *p > 1.0 + 1e-12) {
-            self.fail(step_index, "arm-simplex-range", format!("probabilities {probs:?}"));
+            self.fail("arm-simplex-range", format!("probabilities {probs:?}"));
         }
+    }
 
-        if let Some(exp) = mak.policy().as_exp31() {
-            for (i, w) in exp.weights().iter().enumerate() {
-                if !w.is_finite() || *w <= 0.0 {
-                    self.fail(
-                        step_index,
-                        "exp31-weight-finite",
-                        format!("weight[{i}] = {w} (must be finite and positive)"),
-                    );
-                }
-            }
-            // γ-smoothing guarantees every arm at least γ/K probability.
-            let floor = exp.gamma() / probs.len() as f64;
-            for (i, p) in probs.iter().enumerate() {
-                if *p < floor - 1e-12 {
-                    self.fail(
-                        step_index,
-                        "exp31-exploration-floor",
-                        format!("p[{i}] = {p} below γ/K = {floor}"),
-                    );
-                }
-            }
-            // Line 9 of Algorithm 1: after every completed update the
-            // maximum estimated gain must sit at or below the
-            // epoch-termination bound, because `advance_epochs` runs until
-            // it does. Only meaningful once at least one update happened
-            // (fixed-arm baselines never touch the policy).
-            if exp.steps() > 0 {
-                let max_gain = exp.gains().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let bound = exp.epoch_termination_bound();
-                if max_gain > bound + 1e-9 {
-                    self.fail(
-                        step_index,
-                        "exp31-epoch-bound",
-                        format!(
-                            "max Ĝ = {max_gain} exceeds g_m − K/γ_m = {bound} \
-                             (epoch {}, {} updates)",
-                            exp.epoch(),
-                            exp.steps()
-                        ),
-                    );
-                }
-            }
+    fn check_reward(&mut self, reward: f64) {
+        if !reward.is_finite() {
+            self.fail("reward-finite", format!("reward {reward}"));
+        } else if self.bandit_run && !(0.0..=1.0).contains(&reward) {
+            // Bandit rewards feed Exp3.1, whose analysis requires [0, 1].
+            self.fail("mak-reward-range", format!("reward {reward} outside [0, 1]"));
         }
     }
 }
 
-impl StepObserver for InvariantOracle {
-    fn on_step(&mut self, ctx: &StepContext<'_>) {
-        let step = ctx.index;
-
-        let secs = ctx.browser.clock().elapsed_secs();
-        if secs < self.last_secs {
-            self.fail(step, "clock-monotone", format!("elapsed {secs}s after {}s", self.last_secs));
-        }
-        self.last_secs = secs;
-
-        let lines = ctx.browser.host().harness_lines_covered();
-        if lines < self.last_lines {
-            self.fail(
-                step,
-                "coverage-monotone",
-                format!("covered lines fell {} -> {lines}", self.last_lines),
-            );
-        }
-        self.last_lines = lines;
-
-        let interactions = ctx.browser.interaction_count();
-        if interactions < self.last_interactions {
-            self.fail(
-                step,
-                "interactions-monotone",
-                format!("interaction count fell {} -> {interactions}", self.last_interactions),
-            );
-        }
-        self.last_interactions = interactions;
-
-        let urls = ctx.crawler.distinct_urls();
-        if urls < self.last_urls {
-            self.fail(
-                step,
-                "distinct-urls-monotone",
-                format!("distinct URLs fell {} -> {urls}", self.last_urls),
-            );
-        }
-        self.last_urls = urls;
-
-        // URL-normalization idempotence on the crawl origin: the
-        // canonical form must re-parse to itself, or link-coverage
-        // accounting would split one resource into several.
-        let norm = ctx.browser.origin().normalized();
-        match norm.parse::<Url>() {
-            Ok(u) if u.normalized() == norm => {}
-            Ok(u) => self.fail(
-                step,
-                "url-normalization-idempotent",
-                format!("normalized({norm}) reparses to {}", u.normalized()),
-            ),
-            Err(e) => self.fail(
-                step,
-                "url-normalization-idempotent",
-                format!("normalized form {norm} does not reparse: {e}"),
-            ),
-        }
-
-        if let Some(r) = ctx.step.reward {
-            if !r.is_finite() {
-                self.fail(step, "reward-finite", format!("reward {r}"));
+impl EventSink for InvariantOracle {
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::StepStarted { step, t_ms, .. } => {
+                self.step = *step;
+                self.check_clock(*t_ms);
             }
-        }
-
-        if let Some(any) = ctx.crawler.as_any() {
-            if let Some(mak) = any.downcast_ref::<MakCrawler>() {
-                self.check_mak(mak, step, ctx.step.reward);
+            Event::ActionChosen { probs, .. } => {
+                self.bandit_run = true;
+                self.check_simplex(probs);
             }
+            Event::PageFetched { url, .. } | Event::RedirectFollowed { url, .. } => {
+                self.check_url(url);
+            }
+            Event::RewardComputed { reward, .. } => self.check_reward(*reward),
+            Event::DequeDepth { len, levels } => {
+                // Leveled-deque consistency: the cached length must equal
+                // the sum of the per-level lengths.
+                let summed: u64 = levels.iter().sum();
+                if summed != *len {
+                    self.fail(
+                        "deque-consistency",
+                        format!("len() = {len} but levels sum to {summed}"),
+                    );
+                }
+            }
+            Event::PolicyUpdated {
+                probs,
+                gamma,
+                updates,
+                max_gain,
+                bound,
+                min_weight,
+                max_weight,
+                epoch,
+            } => {
+                let (gamma, updates, epoch) = (*gamma, *updates, *epoch);
+                let (max_gain, bound) = (*max_gain, *bound);
+                let (min_weight, max_weight) = (*min_weight, *max_weight);
+                let floor = gamma / probs.len() as f64;
+                let low = probs.iter().cloned().fold(f64::INFINITY, f64::min);
+                // γ-smoothing guarantees every arm at least γ/K probability.
+                if low < floor - 1e-12 {
+                    self.fail(
+                        "exp31-exploration-floor",
+                        format!("min p = {low} below γ/K = {floor}"),
+                    );
+                }
+                if !min_weight.is_finite() || !max_weight.is_finite() || min_weight <= 0.0 {
+                    self.fail(
+                        "exp31-weight-finite",
+                        format!(
+                            "weights span [{min_weight}, {max_weight}] \
+                             (must be finite and positive)"
+                        ),
+                    );
+                }
+                // Line 9 of Algorithm 1: after every completed update the
+                // maximum estimated gain must sit at or below the
+                // epoch-termination bound, because `advance_epochs` runs
+                // until it does. Only meaningful once at least one update
+                // happened (fixed-arm baselines never touch the policy).
+                if updates > 0 && max_gain > bound + 1e-9 {
+                    self.fail(
+                        "exp31-epoch-bound",
+                        format!(
+                            "max Ĝ = {max_gain} exceeds g_m − K/γ_m = {bound} \
+                             (epoch {epoch}, {updates} updates)"
+                        ),
+                    );
+                }
+            }
+            Event::StepFinished { t_ms, reward, interactions, lines, distinct_urls, .. } => {
+                self.check_clock(*t_ms);
+                if let Some(r) = reward {
+                    self.check_reward(*r);
+                }
+                if *lines < self.last_lines {
+                    self.fail(
+                        "coverage-monotone",
+                        format!("covered lines fell {} -> {lines}", self.last_lines),
+                    );
+                }
+                self.last_lines = *lines;
+                if *interactions < self.last_interactions {
+                    self.fail(
+                        "interactions-monotone",
+                        format!(
+                            "interaction count fell {} -> {interactions}",
+                            self.last_interactions
+                        ),
+                    );
+                }
+                self.last_interactions = *interactions;
+                if *distinct_urls < self.last_urls {
+                    self.fail(
+                        "distinct-urls-monotone",
+                        format!("distinct URLs fell {} -> {distinct_urls}", self.last_urls),
+                    );
+                }
+                self.last_urls = *distinct_urls;
+            }
+            _ => {}
         }
     }
 }
@@ -239,8 +252,9 @@ impl StepObserver for InvariantOracle {
 mod tests {
     use super::*;
     use crate::generate::BlueprintSpec;
-    use mak::framework::engine::{run_crawl_observed, EngineConfig};
+    use mak::framework::engine::{run_crawl_with_sink, EngineConfig};
     use mak::spec::build_crawler;
+    use mak_obs::sink::SinkHandle;
 
     #[test]
     fn clean_crawlers_produce_no_violations() {
@@ -248,10 +262,10 @@ mod tests {
         let config = EngineConfig::with_budget_minutes(0.5);
         for crawler in ["mak", "bfs", "random", "webexplor"] {
             let mut c = build_crawler(crawler, 1).unwrap();
-            let mut oracle = InvariantOracle::new();
-            let report =
-                run_crawl_observed(&mut *c, Box::new(spec.build()), &config, 1, &mut oracle);
+            let (sink, cell) = SinkHandle::shared(InvariantOracle::new());
+            let report = run_crawl_with_sink(&mut *c, Box::new(spec.build()), &config, 1, &sink);
             assert!(report.interactions > 0, "{crawler} did something");
+            let oracle = cell.borrow();
             assert!(oracle.violations().is_empty(), "{crawler}: {:?}", oracle.violations());
         }
     }
@@ -262,14 +276,15 @@ mod tests {
         let spec = BlueprintSpec::generate(3);
         let mut c = MakCrawler::new(1);
         c.policy_mut().as_exp31_mut().expect("mak uses Exp3.1").testing_disable_epoch_advance();
-        let mut oracle = InvariantOracle::new();
-        run_crawl_observed(
+        let (sink, cell) = SinkHandle::shared(InvariantOracle::new());
+        run_crawl_with_sink(
             &mut c,
             Box::new(spec.build()),
             &EngineConfig::with_budget_minutes(0.5),
             1,
-            &mut oracle,
+            &sink,
         );
+        let oracle = cell.borrow();
         assert!(
             oracle.violations().iter().any(|v| v.invariant == "exp31-epoch-bound"),
             "epoch-advance bug must trip the bound invariant: {:?}",
@@ -283,15 +298,32 @@ mod tests {
         let spec = BlueprintSpec::generate(3);
         let mut c = MakCrawler::new(1);
         c.policy_mut().as_exp31_mut().unwrap().testing_disable_epoch_advance();
-        let mut oracle = InvariantOracle::new();
-        run_crawl_observed(
+        let (sink, cell) = SinkHandle::shared(InvariantOracle::new());
+        run_crawl_with_sink(
             &mut c,
             Box::new(spec.build()),
             &EngineConfig::with_budget_minutes(2.0),
             1,
-            &mut oracle,
+            &sink,
         );
+        let oracle = cell.borrow();
         assert!(!oracle.violations().is_empty());
         assert!(oracle.violations().len() <= MAX_VIOLATIONS);
+    }
+
+    #[test]
+    fn oracle_flags_bad_synthetic_events() {
+        let mut oracle = InvariantOracle::new();
+        oracle.on_event(&Event::StepStarted { step: 0, t_ms: 100.0, policy_ms: 1.0 });
+        oracle.on_event(&Event::StepStarted { step: 1, t_ms: 50.0, policy_ms: 1.0 });
+        oracle.on_event(&Event::ActionChosen { arm: "Head".into(), probs: vec![0.9, 0.2] });
+        oracle.on_event(&Event::DequeDepth { len: 5, levels: vec![1, 2] });
+        oracle.on_event(&Event::RewardComputed { step: 1, action: "Head".into(), reward: 2.0 });
+        let kinds: Vec<&str> = oracle.violations().iter().map(|v| v.invariant.as_str()).collect();
+        assert_eq!(
+            kinds,
+            vec!["clock-monotone", "arm-simplex-sum", "deque-consistency", "mak-reward-range"]
+        );
+        assert!(oracle.violations().iter().skip(1).all(|v| v.step == 1), "attributed to step 1");
     }
 }

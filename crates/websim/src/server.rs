@@ -10,6 +10,8 @@ use crate::coverage::{Block, CodeModel, CoverageMode, CoverageTracker};
 use crate::http::{Request, Response};
 use crate::session::{Session, SessionStore};
 use crate::url::Url;
+use mak_obs::event::Event;
+use mak_obs::sink::SinkHandle;
 
 /// Per-request context handed to [`WebApp::handle`]: the requester's session
 /// and the coverage recorder.
@@ -84,6 +86,7 @@ pub struct AppHost {
     tracker: CoverageTracker,
     sessions: SessionStore,
     requests: u64,
+    sink: SinkHandle,
 }
 
 impl std::fmt::Debug for AppHost {
@@ -99,7 +102,21 @@ impl AppHost {
     /// Deploys `app` with a fresh coverage tracker and session store.
     pub fn new(app: Box<dyn WebApp>) -> Self {
         let tracker = CoverageTracker::new(app.code_model(), app.coverage_mode());
-        AppHost { app, tracker, sessions: SessionStore::new(), requests: 0 }
+        AppHost {
+            app,
+            tracker,
+            sessions: SessionStore::new(),
+            requests: 0,
+            sink: SinkHandle::none(),
+        }
+    }
+
+    /// Attaches an event sink; the host emits [`Event::CoverageDelta`]
+    /// whenever a request grows server-side line coverage. Purely
+    /// observational — responses and coverage accounting are identical
+    /// with or without a sink.
+    pub fn set_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     /// The hosted application.
@@ -117,11 +134,23 @@ impl AppHost {
         if !req.url.same_origin(&self.app.seed_url()) {
             return Response::not_found();
         }
+        let lines_before =
+            if self.sink.is_active() { self.tracker.lines_covered_unchecked() } else { 0 };
         let (sid, session) = self.sessions.get_or_create(req.session);
         let mut ctx =
             RequestCtx { session, coverage: &mut self.tracker, request_index: self.requests };
         let mut resp = self.app.handle(req, &mut ctx);
         resp.session = Some(sid);
+        if self.sink.is_active() {
+            let lines_after = self.tracker.lines_covered_unchecked();
+            if lines_after > lines_before {
+                self.sink.emit(Event::CoverageDelta {
+                    request: self.requests,
+                    lines: lines_after,
+                    delta: lines_after - lines_before,
+                });
+            }
+        }
         resp
     }
 

@@ -5,6 +5,8 @@
 //! mak-cli crawlers                   list the registered crawlers
 //! mak-cli crawl <app> [options]      run one crawl and print a report
 //! mak-cli compare <app> [options]    run every crawler on one app
+//! mak-cli profile <app> <crawler>    run one instrumented crawl and print where
+//!                                    the virtual budget went
 //! mak-cli scan <app> [options]       crawl then probe for reflected inputs
 //! mak-cli fuzz [options]             fuzz generated apps under the invariant oracles
 //! mak-cli fuzz --replay <file>       re-run a saved failure artifact
@@ -18,20 +20,24 @@
 //!   --seeds <u64>       repetitions for `compare`, crawl seeds for `fuzz` (default: 3)
 //!   --apps <u64>        generated applications for `fuzz` (default: 25)
 //!   --replay <file>     replay a fuzz failure artifact instead of fuzzing
-//!   --trace             print the per-step action trace (crawl only)
+//!   --trace <file>      write the run's observability event stream as JSONL
+//!                       (crawl only; also prints the per-step action trace)
 //!
 //! `crawl` and `compare` consult the run cache under `results/cache/`
 //! (`MAK_CACHE=off|rw|ro` to control, `MAK_CACHE_DIR` to relocate).
 //! `fuzz` writes shrunk failure artifacts to `results/fuzz/`.
+//! `MAK_LOG=off|progress|debug` controls stderr logging (default: progress).
 //! ```
 
-use mak::framework::engine::EngineConfig;
+use mak::framework::engine::{run_crawl_with_sink, EngineConfig};
 use mak::spec::{build_crawler, CRAWLER_NAMES, MAK_VARIANTS};
 use mak_metrics::experiment::{run_matrix_cached, run_one_cached, RunMatrix};
 use mak_metrics::ground_truth::UnionCoverage;
 use mak_metrics::report::markdown_table;
 use mak_metrics::stats::mean;
 use mak_metrics::store::RunStore;
+use mak_obs::aggregate::Aggregator;
+use mak_obs::sink::{JsonlSink, SinkHandle};
 use mak_websim::apps;
 use std::process::ExitCode;
 
@@ -44,7 +50,8 @@ struct Options {
     seeds: u64,
     apps: u64,
     replay: Option<String>,
-    trace: bool,
+    /// Target JSONL file for the observability event stream.
+    trace: Option<String>,
 }
 
 impl Default for Options {
@@ -56,7 +63,7 @@ impl Default for Options {
             seeds: 3,
             apps: 25,
             replay: None,
-            trace: false,
+            trace: None,
         }
     }
 }
@@ -101,7 +108,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--replay" => {
                 opts.replay = Some(it.next().ok_or("--replay needs a file path")?.clone());
             }
-            "--trace" => opts.trace = true,
+            "--trace" => {
+                opts.trace = Some(it.next().ok_or("--trace needs a file path")?.clone());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -119,9 +128,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mak-cli <apps|crawlers|crawl <app>|compare <app>|scan <app>|fuzz|\
-         cache <stats|clear>> [--crawler NAME] [--minutes F] [--seed N] [--seeds N] \
-         [--apps N] [--replay FILE] [--trace]"
+        "usage: mak-cli <apps|crawlers|crawl <app>|compare <app>|profile <app> <crawler>|\
+         scan <app>|fuzz|cache <stats|clear>> [--crawler NAME] [--minutes F] [--seed N] \
+         [--seeds N] [--apps N] [--replay FILE] [--trace FILE]"
     );
     ExitCode::FAILURE
 }
@@ -134,12 +143,20 @@ fn cmd_cache_stats() -> ExitCode {
     println!("fingerprint : {:016x}", store.fingerprint());
     println!("entries     : {}", stats.entries);
     println!("size        : {:.1} MiB", stats.bytes as f64 / (1024.0 * 1024.0));
-    if !stats.per_app.is_empty() {
-        let fmt = |counts: &std::collections::BTreeMap<String, usize>| {
+    if !stats.per_pair.is_empty() {
+        let fmt = |counts: &mak_obs::aggregate::Counter| {
             counts.iter().map(|(k, n)| format!("{k} ({n})")).collect::<Vec<_>>().join(", ")
         };
-        println!("per app     : {}", fmt(&stats.per_app));
-        println!("per crawler : {}", fmt(&stats.per_crawler));
+        println!("per app     : {}", fmt(&stats.per_app()));
+        println!("per crawler : {}", fmt(&stats.per_crawler()));
+        println!("per (app, crawler):");
+        for ((app, crawler), pair) in &stats.per_pair {
+            println!(
+                "  {app:<14} {crawler:<12} {:>5} entries  {:>9.1} KiB",
+                pair.entries,
+                pair.bytes as f64 / 1024.0
+            );
+        }
     }
     ExitCode::SUCCESS
 }
@@ -223,9 +240,48 @@ fn cmd_crawl(app: &str, opts: &Options) -> ExitCode {
     }
     let total = app_model.code_model().total_lines();
     let mut config = EngineConfig::with_budget_minutes(opts.minutes.unwrap_or(30.0));
-    config.record_trace = opts.trace;
+    config.record_trace = opts.trace.is_some();
 
-    let report = run_one_cached(app, &opts.crawler, opts.seed, &config, &RunStore::from_env());
+    let store = RunStore::from_env();
+    let report = match &opts.trace {
+        // A trace wants the event stream, so the run must execute rather
+        // than load from the cache (the report is still saved, and it is
+        // byte-identical to what a cached rerun would return).
+        Some(path) => {
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot create trace file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let sink = JsonlSink::new(std::io::BufWriter::new(file));
+            let (handle, cell) = SinkHandle::shared(sink);
+            let mut crawler =
+                build_crawler(&opts.crawler, opts.seed).expect("existence checked above");
+            let report = run_crawl_with_sink(&mut *crawler, app_model, &config, opts.seed, &handle);
+            // Dropping the crawler and our handle releases every clone of
+            // the sink, so the cell unwraps and the writer can be flushed.
+            drop(crawler);
+            drop(handle);
+            match std::rc::Rc::try_unwrap(cell) {
+                Ok(refcell) => {
+                    let (_, error) = refcell.into_inner().finish();
+                    if let Some(e) = error {
+                        eprintln!("trace write to {path} failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("[trace written to {path}]");
+                }
+                Err(_) => {
+                    eprintln!("trace file {path} may be unflushed (sink still shared)");
+                }
+            }
+            store.save(&report, &config);
+            report
+        }
+        None => run_one_cached(app, &opts.crawler, opts.seed, &config, &store),
+    };
     println!(
         "{} on {}: {}/{} lines ({:.1}%), {} interactions, {} URLs, {:.0}s virtual",
         report.crawler,
@@ -240,7 +296,7 @@ fn cmd_crawl(app: &str, opts: &Options) -> ExitCode {
     if let Some(states) = report.state_count {
         println!("states created: {states}");
     }
-    if opts.trace {
+    if opts.trace.is_some() {
         for entry in &report.trace {
             match entry.reward {
                 Some(r) => println!("{:8.1}s  {:<60}  r={r:.3}", entry.secs, entry.action),
@@ -251,6 +307,65 @@ fn cmd_crawl(app: &str, opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_profile(app: &str, crawler_name: &str, opts: &Options) -> ExitCode {
+    let Some(app_model) = apps::build(app) else {
+        eprintln!("unknown app `{app}`; run `mak-cli apps`");
+        return ExitCode::FAILURE;
+    };
+    let Some(mut crawler) = build_crawler(crawler_name, opts.seed) else {
+        eprintln!("unknown crawler `{crawler_name}`; run `mak-cli crawlers`");
+        return ExitCode::FAILURE;
+    };
+    let config = EngineConfig::with_budget_minutes(opts.minutes.unwrap_or(30.0));
+    let started = std::time::Instant::now();
+    let (handle, cell) = SinkHandle::shared(Aggregator::new());
+    run_crawl_with_sink(&mut *crawler, app_model, &config, opts.seed, &handle);
+    let wall = started.elapsed();
+    let agg = cell.borrow();
+
+    println!(
+        "{} on {} (seed {}): {} steps, {} pages (+{} redirects), {} lines, {:.0}s virtual",
+        agg.crawler,
+        agg.app,
+        agg.seed,
+        agg.steps,
+        agg.pages,
+        agg.redirects,
+        agg.lines,
+        agg.elapsed_ms / 1000.0,
+    );
+    println!("\nvirtual budget breakdown:");
+    let elapsed = agg.elapsed_ms.max(1.0);
+    for (bucket, ms) in agg.profile.rows() {
+        println!("  {bucket:<9} {:>9.1}s  {:>5.1}%", ms / 1000.0, 100.0 * ms / elapsed);
+    }
+    if !agg.steps_per_arm.is_empty() {
+        println!("\nper-arm usage:");
+        for (arm, count) in agg.steps_per_arm.iter() {
+            let mean = agg.rewards_per_arm.get(arm).map(|s| s.mean()).unwrap_or(0.0);
+            println!("  {arm:<24} {count:>5} steps  mean reward {mean:.3}");
+        }
+    }
+    println!("\npage cost histogram (ms):");
+    for (label, count) in agg.fetch_cost.rows() {
+        if count > 0 {
+            println!("  {label:<9} {count:>5}");
+        }
+    }
+    println!("\npeak deque depth : {}", agg.deque_peak);
+    println!("exp3.1 epochs    : max {} ({} advances)", agg.max_epoch, agg.epoch_advances);
+    println!("throughput       : {:.1} steps / virtual s", agg.steps_per_virtual_sec());
+    println!("wall time        : {:.3}s ({:.0}x real time)", wall.as_secs_f64(), {
+        let w = wall.as_secs_f64();
+        if w > 0.0 {
+            (agg.elapsed_ms / 1000.0) / w
+        } else {
+            f64::INFINITY
+        }
+    });
+    ExitCode::SUCCESS
+}
+
 fn cmd_compare(app: &str, opts: &Options) -> ExitCode {
     if apps::build(app).is_none() {
         eprintln!("unknown app `{app}`; run `mak-cli apps`");
@@ -258,7 +373,7 @@ fn cmd_compare(app: &str, opts: &Options) -> ExitCode {
     }
     let matrix = RunMatrix::new([app], CRAWLER_NAMES.iter().copied(), opts.seeds)
         .with_config(EngineConfig::with_budget_minutes(opts.minutes.unwrap_or(30.0)));
-    eprintln!("running {} crawls…", matrix.run_count());
+    mak_obs::progress!("running {} crawls…", matrix.run_count());
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let reports = run_matrix_cached(&matrix, threads, &RunStore::from_env());
 
@@ -369,6 +484,19 @@ fn main() -> ExitCode {
                 usage()
             }
         },
+        "profile" => {
+            let (Some(app), Some(crawler)) = (args.get(1), args.get(2)) else {
+                eprintln!("`profile` needs an application and a crawler name");
+                return usage();
+            };
+            match parse_options(&args[3..]) {
+                Ok(opts) => cmd_profile(app, crawler, &opts),
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage()
+                }
+            }
+        }
         "crawl" | "compare" | "scan" => {
             let Some(app) = args.get(1) else {
                 eprintln!("`{command}` needs an application name");

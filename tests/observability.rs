@@ -1,0 +1,124 @@
+//! Workspace-level observability guarantees:
+//!
+//! - attaching a sink never changes the [`CrawlReport`] — sinks observe,
+//!   they never steer;
+//! - the JSONL event stream is byte-identical across reruns and across
+//!   thread counts, because events carry only virtual-clock time;
+//! - the legacy `record_trace` analyses (`usage_over_time`,
+//!   `mean_reward_per_action`) computed from the event stream agree with
+//!   the ones computed from the recorded trace, for every crawler.
+
+use mak::framework::engine::{run_crawl, run_crawl_with_sink, CrawlReport, EngineConfig};
+use mak::spec::{build_crawler, CRAWLER_NAMES};
+use mak_metrics::trace::{events_to_trace, mean_reward_per_action, usage_over_time};
+use mak_obs::event::Event;
+use mak_obs::sink::{JsonlSink, SinkHandle, VecSink};
+use mak_websim::apps;
+
+const APP: &str = "addressbook";
+const MINUTES: f64 = 2.0;
+
+fn config() -> EngineConfig {
+    EngineConfig::with_budget_minutes(MINUTES)
+}
+
+/// Runs one fully instrumented crawl, returning the report and the JSONL
+/// byte stream.
+fn traced_crawl(crawler: &str, seed: u64) -> (CrawlReport, Vec<u8>) {
+    let (handle, cell) = SinkHandle::shared(JsonlSink::new(Vec::new()));
+    let mut c = build_crawler(crawler, seed).expect("known crawler");
+    let report = run_crawl_with_sink(&mut *c, apps::build(APP).unwrap(), &config(), seed, &handle);
+    drop(c);
+    drop(handle);
+    let Ok(sink) = std::rc::Rc::try_unwrap(cell) else { panic!("all clones dropped") };
+    let (bytes, error) = sink.into_inner().finish();
+    assert!(error.is_none(), "in-memory writer cannot fail");
+    (report, bytes)
+}
+
+/// Runs one crawl with a buffering sink, returning the report and events.
+fn event_crawl(crawler: &str, seed: u64, record_trace: bool) -> (CrawlReport, Vec<Event>) {
+    let mut cfg = config();
+    cfg.record_trace = record_trace;
+    let (handle, cell) = SinkHandle::shared(VecSink::new());
+    let mut c = build_crawler(crawler, seed).expect("known crawler");
+    let report = run_crawl_with_sink(&mut *c, apps::build(APP).unwrap(), &cfg, seed, &handle);
+    let events = cell.borrow().events().to_vec();
+    (report, events)
+}
+
+#[test]
+fn report_is_identical_with_and_without_a_sink() {
+    for crawler in CRAWLER_NAMES {
+        let mut plain = build_crawler(crawler, 5).unwrap();
+        let baseline = run_crawl(&mut *plain, apps::build(APP).unwrap(), &config(), 5);
+        let (observed, events) = event_crawl(crawler, 5, false);
+        assert_eq!(baseline, observed, "{crawler}: sink must not alter the report");
+        assert!(
+            events.iter().any(|e| matches!(e, Event::RunFinished { .. })),
+            "{crawler}: instrumented run emitted a stream"
+        );
+    }
+}
+
+#[test]
+fn jsonl_stream_is_byte_identical_across_reruns() {
+    let (report_a, bytes_a) = traced_crawl("mak", 7);
+    let (report_b, bytes_b) = traced_crawl("mak", 7);
+    assert_eq!(report_a, report_b);
+    assert!(!bytes_a.is_empty());
+    assert_eq!(bytes_a, bytes_b, "rerun must reproduce the stream byte-for-byte");
+}
+
+#[test]
+fn jsonl_stream_is_byte_identical_across_thread_counts() {
+    // The MAK_THREADS analogue: the same cells crawled concurrently on
+    // worker threads must produce the same per-run streams as crawling
+    // them one after another on this thread.
+    let cells: Vec<(&str, u64)> = vec![("mak", 1), ("mak", 2), ("bfs", 1), ("random", 3)];
+    let sequential: Vec<Vec<u8>> = cells.iter().map(|(c, s)| traced_crawl(c, *s).1).collect();
+    let parallel: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            cells.iter().map(|(c, s)| scope.spawn(move || traced_crawl(c, *s).1)).collect();
+        handles.into_iter().map(|h| h.join().expect("crawl thread")).collect()
+    });
+    assert_eq!(sequential, parallel, "thread schedule must not change any stream");
+}
+
+#[test]
+fn event_stream_reproduces_the_legacy_trace_analyses() {
+    for crawler in CRAWLER_NAMES {
+        let (report, events) = event_crawl(crawler, 3, true);
+        let from_events = events_to_trace(&events);
+        assert_eq!(
+            report.trace, from_events,
+            "{crawler}: StepFinished events must rebuild the recorded trace exactly"
+        );
+        let horizon = MINUTES * 60.0;
+        assert_eq!(
+            usage_over_time(&report.trace, horizon, 4),
+            usage_over_time(&from_events, horizon, 4),
+            "{crawler}: usage_over_time agrees"
+        );
+        assert_eq!(
+            mean_reward_per_action(&report.trace),
+            mean_reward_per_action(&from_events),
+            "{crawler}: mean_reward_per_action agrees"
+        );
+    }
+}
+
+#[test]
+fn stream_carries_only_virtual_time() {
+    // Every event's times are derived from the virtual clock, so the
+    // stream's final timestamp matches the report's virtual elapsed time
+    // and nothing resembles a wall-clock epoch.
+    let (report, events) = event_crawl("mak", 11, false);
+    let last = events.iter().rev().find_map(|e| match e {
+        Event::RunFinished { t_ms, .. } => Some(*t_ms),
+        _ => None,
+    });
+    // `elapsed_secs` is exactly `t_ms / 1000.0`, so compare in seconds to
+    // avoid the non-associative `x / 1000 * 1000` round trip.
+    assert_eq!(last.map(|t| t / 1000.0), Some(report.elapsed_secs));
+}
