@@ -12,6 +12,7 @@
 //! | `ablation2`| extension     | design-choice ablations (policies, rewards, pool) |
 //! | `perf`    | §V-D           | mean interacted elements per run |
 //! | `sweep`   | extension      | coverage vs crawl budget |
+//! | `regress` | —              | coverage/regret gate vs `results/baselines.json` |
 //! | `report`  | —              | assemble `results/index.html` |
 //!
 //! All binaries honor these environment variables:
@@ -29,6 +30,8 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod gate;
 
 use mak::framework::engine::EngineConfig;
 use mak_metrics::experiment::RunMatrix;

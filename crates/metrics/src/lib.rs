@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiment;
+pub mod flight;
 pub mod ground_truth;
 pub mod plot;
 pub mod regret;

@@ -496,6 +496,15 @@ fn escape(s: &str) -> String {
     s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
 }
 
+/// The attribute head (everything before the closing `>`) of every
+/// `<text` element in an SVG fragment, in document order. Fragments with
+/// no closing `>` — truncated or malformed markup — are skipped rather
+/// than panicking, so assertions built on this helper degrade gracefully
+/// when fed partial output.
+pub fn text_tag_heads(svg: &str) -> Vec<&str> {
+    svg.split("<text").skip(1).filter_map(|part| part.find('>').map(|i| &part[..i])).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -540,14 +549,25 @@ mod tests {
     #[test]
     fn text_wears_ink_not_series_color() {
         let svg = sample().to_svg();
+        let heads = text_tag_heads(&svg);
+        assert!(!heads.is_empty(), "chart has text elements");
         // Every <text> element is filled with an ink token.
-        for part in svg.split("<text").skip(1) {
-            let tag = &part[..part.find('>').unwrap()];
+        for tag in heads {
             assert!(
                 tag.contains(TEXT_PRIMARY) || tag.contains(TEXT_SECONDARY),
                 "text must wear ink tokens: {tag}"
             );
         }
+    }
+
+    #[test]
+    fn text_tag_heads_tolerates_malformed_fragments() {
+        // A truncated final element (no closing '>') must be skipped, not
+        // panic — this input previously crashed the unwrap-based scan.
+        let svg = r##"<svg><text fill="#111">ok</text><text fill="#222"##;
+        assert_eq!(text_tag_heads(svg), vec![r##" fill="#111""##]);
+        assert!(text_tag_heads("").is_empty());
+        assert!(text_tag_heads("<text").is_empty());
     }
 
     #[test]

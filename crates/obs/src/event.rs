@@ -102,6 +102,89 @@ pub enum Event {
 }
 
 impl Event {
+    /// Every variant name, in declaration order. Paired with
+    /// [`Event::samples`] and the wildcard-free matches in
+    /// [`Event::kind`] and `flight::FlightRecorder`, this is the
+    /// exhaustiveness contract: a variant added without analyzer support
+    /// fails to compile (the matches) or fails the workspace
+    /// observability tests (this list).
+    pub const ALL_KINDS: [&'static str; 15] = [
+        "RunStarted",
+        "StepStarted",
+        "ActionChosen",
+        "PageFetched",
+        "RedirectFollowed",
+        "CoverageDelta",
+        "RewardComputed",
+        "PolicyUpdated",
+        "EpochAdvanced",
+        "DequeDepth",
+        "StepFinished",
+        "RunFinished",
+        "CacheHit",
+        "CacheMiss",
+        "CellFinished",
+    ];
+
+    /// One synthetic sample of every variant, in [`Event::ALL_KINDS`]
+    /// order — test scaffolding for exhaustiveness guards and sink tests.
+    pub fn samples() -> Vec<Event> {
+        vec![
+            Event::RunStarted {
+                app: "app".into(),
+                crawler: "mak".into(),
+                seed: 1,
+                budget_ms: 60_000.0,
+            },
+            Event::StepStarted { step: 0, t_ms: 0.0, policy_ms: 2.0 },
+            Event::ActionChosen { arm: "Head".into(), probs: vec![0.4, 0.3, 0.3] },
+            Event::PageFetched {
+                url: "http://a/".into(),
+                status: 200,
+                fetch_ms: 100.0,
+                think_ms: 1_350.0,
+                interact_ms: 20.0,
+                elements: 10,
+            },
+            Event::RedirectFollowed { url: "http://a/b".into(), fetch_ms: 50.0 },
+            Event::CoverageDelta { request: 1, lines: 40, delta: 40 },
+            Event::RewardComputed { step: 0, action: "Head".into(), reward: 0.5 },
+            Event::PolicyUpdated {
+                probs: vec![0.4, 0.3, 0.3],
+                gamma: 0.5,
+                epoch: 1,
+                updates: 1,
+                max_gain: 1.0,
+                bound: 10.0,
+                min_weight: 1.0,
+                max_weight: 2.0,
+            },
+            Event::EpochAdvanced { epoch: 2, gamma: 0.25 },
+            Event::DequeDepth { len: 7, levels: vec![3, 4] },
+            Event::StepFinished {
+                step: 0,
+                t_ms: 1_500.0,
+                action: "Head".into(),
+                reward: Some(0.5),
+                interactions: 1,
+                lines: 40,
+                distinct_urls: 2,
+            },
+            Event::RunFinished { t_ms: 1_500.0, steps: 1, interactions: 1, lines: 40 },
+            Event::CacheHit { app: "app".into(), crawler: "mak".into(), seed: 1 },
+            Event::CacheMiss { app: "app".into(), crawler: "bfs".into(), seed: 1 },
+            Event::CellFinished {
+                app: "app".into(),
+                crawler: "mak".into(),
+                seed: 1,
+                wall_ms: 12.0,
+                virtual_secs: 60.0,
+                interactions: 1,
+                cached: false,
+            },
+        ]
+    }
+
     /// The variant name, e.g. `"StepFinished"` — handy for counting and
     /// for asserting on JSONL streams.
     pub fn kind(&self) -> &'static str {
@@ -163,6 +246,17 @@ mod tests {
             let json = serde_json::to_string(ev).unwrap();
             let back: Event = serde_json::from_str(&json).unwrap();
             assert_eq!(&back, ev, "round trip of {json}");
+        }
+    }
+
+    #[test]
+    fn samples_cover_every_kind_in_order() {
+        let kinds: Vec<&str> = Event::samples().iter().map(Event::kind).collect();
+        assert_eq!(kinds, Event::ALL_KINDS, "one sample per variant, declaration order");
+        for ev in Event::samples() {
+            let json = serde_json::to_string(&ev).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, ev, "sample round trip of {json}");
         }
     }
 

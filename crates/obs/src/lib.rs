@@ -24,8 +24,9 @@
 //!
 //! Modules: [`event`] (the taxonomy), [`sink`] (the trait, handles, and
 //! JSONL/Vec sinks), [`aggregate`] (counters, histograms, and the
-//! budget-attribution profile), [`logger`] (the `MAK_LOG` stderr
-//! logger).
+//! budget-attribution profile), [`trace`] (streaming JSONL readback and
+//! stream diffing), [`flight`] (the flight-recorder analyzer), [`logger`]
+//! (the `MAK_LOG` stderr logger).
 //!
 //! [`Event`]: event::Event
 //! [`EventSink`]: sink::EventSink
@@ -33,9 +34,13 @@
 
 pub mod aggregate;
 pub mod event;
+pub mod flight;
 pub mod logger;
 pub mod sink;
+pub mod trace;
 
 pub use aggregate::Aggregator;
 pub use event::Event;
+pub use flight::{FlightRecorder, FlightReport};
 pub use sink::{EventSink, JsonlSink, SharedSink, SinkHandle, VecSink};
+pub use trace::{first_divergence, Divergence, TraceIter};

@@ -36,15 +36,38 @@ impl fmt::Display for Level {
     }
 }
 
-/// The current level from `MAK_LOG` (default [`Level::Progress`];
-/// unrecognized values also fall back to the default).
+impl Level {
+    /// Parses one `MAK_LOG` value (case-insensitive, surrounding
+    /// whitespace ignored). `None` means the value is not recognized.
+    pub fn parse(value: &str) -> Option<Level> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "none" | "quiet" => Some(Level::Off),
+            "progress" => Some(Level::Progress),
+            "debug" | "verbose" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// The warning printed once when `MAK_LOG` holds an unrecognized value —
+/// without it a typo (`MAK_LOG=quite`) silently degrades to the default.
+pub fn unrecognized_warning(value: &str) -> String {
+    format!(
+        "warning: unrecognized MAK_LOG value `{value}` — accepted values are \
+         off|0|none|quiet, progress, debug|verbose|trace; using the default (progress)"
+    )
+}
+
+/// The current level from `MAK_LOG` (default [`Level::Progress`]). An
+/// unrecognized value falls back to the default and warns once per
+/// process on stderr, naming the accepted values.
 pub fn level() -> Level {
     match std::env::var("MAK_LOG") {
-        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-            "off" | "0" | "none" | "quiet" => Level::Off,
-            "debug" | "verbose" | "trace" => Level::Debug,
-            _ => Level::Progress,
-        },
+        Ok(v) => Level::parse(&v).unwrap_or_else(|| {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| eprintln!("{}", unrecognized_warning(&v)));
+            Level::Progress
+        }),
         Err(_) => Level::Progress,
     }
 }
@@ -105,5 +128,30 @@ mod tests {
         std::env::remove_var("MAK_LOG");
         assert_eq!(level(), Level::Progress);
         assert_eq!(level().to_string(), "progress");
+    }
+
+    #[test]
+    fn parse_recognizes_every_documented_value() {
+        for v in ["off", "0", "none", "quiet", " OFF "] {
+            assert_eq!(Level::parse(v), Some(Level::Off), "{v}");
+        }
+        assert_eq!(Level::parse("progress"), Some(Level::Progress));
+        assert_eq!(Level::parse("Progress"), Some(Level::Progress));
+        for v in ["debug", "verbose", "trace"] {
+            assert_eq!(Level::parse(v), Some(Level::Debug), "{v}");
+        }
+        for v in ["quite", "loud", "2", ""] {
+            assert_eq!(Level::parse(v), None, "`{v}` must not be silently accepted");
+        }
+    }
+
+    #[test]
+    fn unrecognized_value_warning_names_the_accepted_values() {
+        let msg = unrecognized_warning("quite");
+        assert!(msg.contains("`quite`"), "offending value echoed: {msg}");
+        for accepted in ["off", "progress", "debug"] {
+            assert!(msg.contains(accepted), "accepted value `{accepted}` named: {msg}");
+        }
+        assert!(!msg.contains('\n'), "one-line warning");
     }
 }

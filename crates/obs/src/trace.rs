@@ -1,0 +1,307 @@
+//! Reading recorded JSONL traces back, and comparing two of them.
+//!
+//! A trace file is what [`JsonlSink`](crate::sink::JsonlSink) writes: one
+//! [`Event`] as JSON per line, in emission order, carrying only
+//! virtual-clock time. [`TraceIter`] streams such a file back one event at
+//! a time — it never loads the whole file — so multi-hundred-megabyte
+//! traces of long crawls analyze in constant memory.
+//!
+//! [`first_divergence`] is the debugging half: given two event streams it
+//! finds the first index at which they disagree and reports both payloads
+//! plus the step the streams were in. Every "reports differ" determinism
+//! failure becomes a pinpointed diagnosis: *which* event, at *which* step,
+//! changed first.
+
+use crate::event::Event;
+use std::fmt;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// Why reading a trace line failed.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The underlying reader failed.
+    Io {
+        /// 1-based line number at which the failure happened.
+        line: u64,
+        /// The I/O error.
+        source: std::io::Error,
+    },
+    /// A line was not a valid serialized [`Event`].
+    Parse {
+        /// 1-based line number of the malformed line.
+        line: u64,
+        /// Parser message.
+        message: String,
+        /// The offending line, truncated to a printable length.
+        content: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io { line, source } => write!(f, "line {line}: I/O error: {source}"),
+            TraceError::Parse { line, message, content } => {
+                write!(f, "line {line}: not a valid event ({message}): {content}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Truncation bound for malformed-line echoes in [`TraceError::Parse`].
+const MAX_ECHO: usize = 120;
+
+/// A streaming reader over a JSONL event trace.
+///
+/// Yields one `Result<Event, TraceError>` per line; blank lines are
+/// skipped (a trailing newline is normal). The iterator holds only the
+/// current line in memory.
+pub struct TraceIter<R: BufRead> {
+    reader: R,
+    line: u64,
+    buf: String,
+}
+
+impl<R: BufRead> TraceIter<R> {
+    /// Wraps any buffered reader.
+    pub fn new(reader: R) -> Self {
+        TraceIter { reader, line: 0, buf: String::new() }
+    }
+
+    /// The 1-based number of the most recently read line.
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+}
+
+impl<R: BufRead> Iterator for TraceIter<R> {
+    type Item = Result<Event, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            self.buf.clear();
+            self.line += 1;
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {
+                    let text = self.buf.trim();
+                    if text.is_empty() {
+                        continue;
+                    }
+                    return Some(serde_json::from_str(text).map_err(|e| TraceError::Parse {
+                        line: self.line,
+                        message: e.to_string(),
+                        content: if text.len() > MAX_ECHO {
+                            let mut cut = MAX_ECHO;
+                            while !text.is_char_boundary(cut) {
+                                cut -= 1;
+                            }
+                            format!("{}…", &text[..cut])
+                        } else {
+                            text.to_owned()
+                        },
+                    }));
+                }
+                Err(source) => return Some(Err(TraceError::Io { line: self.line, source })),
+            }
+        }
+    }
+}
+
+/// Opens `path` as a streaming trace.
+///
+/// # Errors
+///
+/// Returns the I/O error if the file cannot be opened.
+pub fn read(path: impl AsRef<Path>) -> std::io::Result<TraceIter<BufReader<std::fs::File>>> {
+    Ok(TraceIter::new(BufReader::new(std::fs::File::open(path)?)))
+}
+
+/// The first point at which two event streams disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// 0-based index of the first differing event.
+    pub index: u64,
+    /// The engine step both streams were in when they diverged (the step
+    /// of the last `StepStarted` at or before the divergence), if any
+    /// step had started.
+    pub step: Option<u64>,
+    /// The left stream's event at `index`; `None` if it ended first.
+    pub left: Option<Event>,
+    /// The right stream's event at `index`; `None` if it ended first.
+    pub right: Option<Event>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let render = |e: &Option<Event>| match e {
+            Some(ev) => serde_json::to_string(ev).expect("Event serializes"),
+            None => "<stream ended>".to_owned(),
+        };
+        let step = match self.step {
+            Some(s) => format!("step {s}"),
+            None => "before the first step".to_owned(),
+        };
+        write!(
+            f,
+            "first divergence at event #{} ({step}):\n  left : {}\n  right: {}",
+            self.index,
+            render(&self.left),
+            render(&self.right),
+        )
+    }
+}
+
+/// Compares two event streams and returns the first divergence, or `None`
+/// when the streams are identical (same events, same length).
+///
+/// Both iterators are consumed only up to the divergence, so comparing two
+/// on-disk traces via [`read`] stays streaming.
+pub fn first_divergence<L, R>(left: L, right: R) -> Option<Divergence>
+where
+    L: IntoIterator<Item = Event>,
+    R: IntoIterator<Item = Event>,
+{
+    let mut left = left.into_iter();
+    let mut right = right.into_iter();
+    let mut index: u64 = 0;
+    let mut step: Option<u64> = None;
+    loop {
+        let (a, b) = (left.next(), right.next());
+        match (a, b) {
+            (None, None) => return None,
+            (a, b) => {
+                if a != b {
+                    return Some(Divergence { index, step, left: a, right: b });
+                }
+                // Streams agree here; track the step we are in so the next
+                // divergence can be attributed.
+                if let Some(Event::StepStarted { step: s, .. }) = &a {
+                    step = Some(*s);
+                }
+            }
+        }
+        index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{EventSink, JsonlSink};
+
+    fn sample_stream() -> Vec<Event> {
+        vec![
+            Event::RunStarted {
+                app: "addressbook".into(),
+                crawler: "mak".into(),
+                seed: 1,
+                budget_ms: 60_000.0,
+            },
+            Event::StepStarted { step: 0, t_ms: 0.0, policy_ms: 2.0 },
+            Event::ActionChosen { arm: "Head".into(), probs: vec![0.5, 0.25, 0.25] },
+            Event::StepFinished {
+                step: 0,
+                t_ms: 1_500.0,
+                action: "Head".into(),
+                reward: Some(0.5),
+                interactions: 1,
+                lines: 40,
+                distinct_urls: 2,
+            },
+            Event::RunFinished { t_ms: 1_500.0, steps: 1, interactions: 1, lines: 40 },
+        ]
+    }
+
+    fn jsonl_bytes(events: &[Event]) -> Vec<u8> {
+        let mut sink = JsonlSink::new(Vec::new());
+        for e in events {
+            sink.on_event(e);
+        }
+        let (bytes, err) = sink.finish();
+        assert!(err.is_none());
+        bytes
+    }
+
+    #[test]
+    fn round_trips_a_jsonl_stream() {
+        let events = sample_stream();
+        let bytes = jsonl_bytes(&events);
+        let back: Vec<Event> =
+            TraceIter::new(bytes.as_slice()).collect::<Result<_, _>>().expect("every line parses");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn skips_blank_lines_and_reports_line_numbers() {
+        let text = "\n{\"EpochAdvanced\":{\"epoch\":1,\"gamma\":0.5}}\n\nnot json\n";
+        let mut it = TraceIter::new(text.as_bytes());
+        assert!(matches!(it.next(), Some(Ok(Event::EpochAdvanced { epoch: 1, .. }))));
+        assert_eq!(it.line(), 2);
+        match it.next() {
+            Some(Err(TraceError::Parse { line: 4, content, .. })) => {
+                assert_eq!(content, "not json");
+            }
+            other => panic!("expected a parse error on line 4, got {other:?}"),
+        }
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn malformed_line_echo_is_truncated() {
+        let long = format!("{{\"bogus\": \"{}\"}}", "x".repeat(500));
+        let mut it = TraceIter::new(long.as_bytes());
+        match it.next() {
+            Some(Err(TraceError::Parse { content, .. })) => {
+                assert!(content.chars().count() <= MAX_ECHO + 1, "echo is bounded");
+                assert!(content.ends_with('…'));
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_streams_have_no_divergence() {
+        assert_eq!(first_divergence(sample_stream(), sample_stream()), None);
+    }
+
+    #[test]
+    fn perturbed_event_is_pinpointed_with_step() {
+        let left = sample_stream();
+        let mut right = sample_stream();
+        let Event::StepFinished { lines, .. } = &mut right[3] else { panic!("fixture") };
+        *lines += 1;
+        let d = first_divergence(left.clone(), right.clone()).expect("streams differ");
+        assert_eq!(d.index, 3);
+        assert_eq!(d.step, Some(0), "divergence attributed to the running step");
+        assert_eq!(d.left.as_ref(), Some(&left[3]));
+        assert_eq!(d.right.as_ref(), Some(&right[3]));
+        let shown = d.to_string();
+        assert!(shown.contains("event #3") && shown.contains("step 0"), "{shown}");
+    }
+
+    #[test]
+    fn truncated_stream_diverges_at_the_missing_event() {
+        let left = sample_stream();
+        let right = left[..4].to_vec();
+        let d = first_divergence(left.clone(), right).expect("lengths differ");
+        assert_eq!(d.index, 4);
+        assert_eq!(d.left.as_ref(), Some(&left[4]));
+        assert_eq!(d.right, None);
+        assert!(d.to_string().contains("<stream ended>"));
+    }
+
+    #[test]
+    fn divergence_before_any_step_has_no_step() {
+        let left = sample_stream();
+        let mut right = sample_stream();
+        let Event::RunStarted { seed, .. } = &mut right[0] else { panic!("fixture") };
+        *seed = 2;
+        let d = first_divergence(left, right).expect("streams differ");
+        assert_eq!((d.index, d.step), (0, None));
+        assert!(d.to_string().contains("before the first step"));
+    }
+}

@@ -25,7 +25,8 @@ use mak::framework::crawler::Crawler;
 use mak::framework::engine::{run_crawl, run_crawl_with_sink, CrawlReport, EngineConfig};
 use mak::spec::build_crawler;
 use mak_metrics::store::{CacheMode, RunStore};
-use mak_obs::sink::SinkHandle;
+use mak_obs::sink::{SinkHandle, VecSink};
+use mak_obs::trace::first_divergence;
 
 /// Runs one crawl under the event-level invariant oracle, returning both
 /// the report and any violations the oracle recorded.
@@ -67,6 +68,41 @@ fn summarize_mismatch(context: &str, a: &CrawlReport, b: &CrawlReport) -> String
     )
 }
 
+/// Replays one cell with a recording sink and returns its event stream.
+fn recorded_crawl(
+    spec: &BlueprintSpec,
+    crawler_name: &str,
+    seed: u64,
+    config: &EngineConfig,
+) -> Vec<mak_obs::Event> {
+    let (sink, cell) = SinkHandle::shared(VecSink::new());
+    let mut crawler = build_crawler(crawler_name, seed)
+        .unwrap_or_else(|| panic!("unknown crawler {crawler_name}"));
+    run_crawl_with_sink(&mut *crawler, Box::new(spec.build()), config, seed, &sink);
+    let events = cell.borrow().events().to_vec();
+    events
+}
+
+/// On a rerun mismatch, replays the cell twice under event recording and
+/// names the first divergent event — turning a bare "reports differ" into
+/// a witness with an exact step and payload pair.
+fn pinpoint_rerun_divergence(
+    spec: &BlueprintSpec,
+    crawler_name: &str,
+    seed: u64,
+    config: &EngineConfig,
+) -> String {
+    let a = recorded_crawl(spec, crawler_name, seed, config);
+    let b = recorded_crawl(spec, crawler_name, seed, config);
+    match first_divergence(a, b) {
+        Some(div) => format!("; {div}"),
+        // The reports differ but two instrumented replays agree: the
+        // nondeterminism is outside the event taxonomy (or was triggered
+        // by the original, uninstrumented execution path).
+        None => "; instrumented replays agree — divergence is outside the event stream".to_owned(),
+    }
+}
+
 /// Checks that rebuilding everything from the spec and re-crawling yields
 /// a byte-identical report.
 pub fn check_rerun_identical(
@@ -82,10 +118,10 @@ pub fn check_rerun_identical(
     if report_json(first) == report_json(&rerun) {
         Ok(())
     } else {
-        Err(diff_violation(
-            "rerun-identical",
-            summarize_mismatch(&format!("{crawler_name} seed {seed} rerun"), first, &rerun),
-        ))
+        let mut details =
+            summarize_mismatch(&format!("{crawler_name} seed {seed} rerun"), first, &rerun);
+        details.push_str(&pinpoint_rerun_divergence(spec, crawler_name, seed, config));
+        Err(diff_violation("rerun-identical", details))
     }
 }
 
@@ -195,6 +231,17 @@ mod tests {
             .collect();
         let violations = check_parallel_sequential(&spec, &crawlers, 4, &config, &sequential);
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn pinpoint_on_a_deterministic_cell_reports_agreement() {
+        let spec = BlueprintSpec::generate(3);
+        let config = small_config();
+        // The workspace is deterministic, so two instrumented replays
+        // agree and the pinpointer says so instead of inventing a
+        // divergence.
+        let msg = pinpoint_rerun_divergence(&spec, "mak", 1, &config);
+        assert!(msg.contains("instrumented replays agree"), "{msg}");
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! mak-cli fuzz --replay <file>       re-run a saved failure artifact
 //! mak-cli cache stats                summarize the on-disk run cache
 //! mak-cli cache clear                delete every cached run
+//! mak-cli trace summarize <file>     fold a recorded JSONL trace into a flight
+//!                                    report (markdown + SVGs under results/)
+//! mak-cli trace diff <a> <b>         compare two traces; print the first
+//!                                    divergent event (exit 1 when they differ)
+//! mak-cli trace check <file>         replay a trace through the invariant
+//!                                    oracle offline (exit 1 on violations)
 //!
 //! options:
 //!   --crawler <name>    crawler for `crawl` (default: mak)
@@ -129,10 +135,138 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mak-cli <apps|crawlers|crawl <app>|compare <app>|profile <app> <crawler>|\
-         scan <app>|fuzz|cache <stats|clear>> [--crawler NAME] [--minutes F] [--seed N] \
+         scan <app>|fuzz|cache <stats|clear>|trace <summarize FILE|diff A B|check FILE>> \
+         [--crawler NAME] [--minutes F] [--seed N] \
          [--seeds N] [--apps N] [--replay FILE] [--trace FILE]"
     );
     ExitCode::FAILURE
+}
+
+/// Reads a whole JSONL trace into memory, failing on the first
+/// unreadable or unparseable line.
+fn load_trace(path: &str) -> Result<Vec<mak_obs::Event>, String> {
+    let iter = mak_obs::trace::read(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut events = Vec::new();
+    for ev in iter {
+        events.push(ev.map_err(|e| format!("{path}: {e}"))?);
+    }
+    Ok(events)
+}
+
+fn cmd_trace_summarize(path: &str) -> ExitCode {
+    // Stream the trace straight into the recorder; only the report is
+    // held in memory.
+    let iter = match mak_obs::trace::read(path) {
+        Ok(it) => it,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut recorder = mak_obs::FlightRecorder::new();
+    for ev in iter {
+        match ev {
+            Ok(ev) => mak_obs::EventSink::on_event(&mut recorder, &ev),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = recorder.into_report();
+    if report.events == 0 {
+        eprintln!("{path}: empty trace");
+        return ExitCode::FAILURE;
+    }
+    let rendered = mak_metrics::flight::render(&report);
+
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "trace".to_owned());
+    let out_dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let md_path = out_dir.join(format!("trace_{stem}.md"));
+    if let Err(e) = std::fs::write(&md_path, &rendered.markdown) {
+        eprintln!("cannot write {}: {e}", md_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} on {} (seed {}): {} events, {} steps, {} lines covered",
+        report.crawler, report.app, report.seed, report.events, report.steps, report.lines
+    );
+    println!("[wrote {}]", md_path.display());
+    for (suffix, svg) in &rendered.svgs {
+        let svg_path = out_dir.join(format!("trace_{stem}_{suffix}.svg"));
+        if let Err(e) = std::fs::write(&svg_path, svg) {
+            eprintln!("cannot write {}: {e}", svg_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("[wrote {}]", svg_path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_trace_diff(left: &str, right: &str) -> ExitCode {
+    let (a, b) = match (load_trace(left), load_trace(right)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (na, nb) = (a.len(), b.len());
+    match mak_obs::first_divergence(a, b) {
+        None => {
+            println!("traces are identical ({na} events)");
+            ExitCode::SUCCESS
+        }
+        Some(div) => {
+            println!("{left} ({na} events) vs {right} ({nb} events)");
+            println!("{div}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_trace_check(path: &str) -> ExitCode {
+    use mak_obs::sink::EventSink;
+    use mak_testkit::oracle::InvariantOracle;
+    let iter = match mak_obs::trace::read(path) {
+        Ok(it) => it,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut oracle = InvariantOracle::new();
+    let mut events = 0u64;
+    for ev in iter {
+        match ev {
+            Ok(ev) => {
+                oracle.on_event(&ev);
+                events += 1;
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let violations = oracle.violations();
+    if violations.is_empty() {
+        println!("{path}: no invariant violations in {events} events");
+        ExitCode::SUCCESS
+    } else {
+        println!("{path}: {} invariant violations in {events} events", violations.len());
+        for v in violations {
+            println!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_cache_stats() -> ExitCode {
@@ -481,6 +615,17 @@ fn main() -> ExitCode {
             Some("clear") => cmd_cache_clear(),
             _ => {
                 eprintln!("`cache` needs a subcommand: stats or clear");
+                usage()
+            }
+        },
+        "trace" => match (args.get(1).map(String::as_str), args.get(2), args.get(3)) {
+            (Some("summarize"), Some(file), None) => cmd_trace_summarize(file),
+            (Some("diff"), Some(a), Some(b)) => cmd_trace_diff(a, b),
+            (Some("check"), Some(file), None) => cmd_trace_check(file),
+            _ => {
+                eprintln!(
+                    "`trace` needs a subcommand: summarize <file>, diff <a> <b>, or check <file>"
+                );
                 usage()
             }
         },

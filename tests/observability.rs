@@ -6,13 +6,20 @@
 //!   thread counts, because events carry only virtual-clock time;
 //! - the legacy `record_trace` analyses (`usage_over_time`,
 //!   `mean_reward_per_action`) computed from the event stream agree with
-//!   the ones computed from the recorded trace, for every crawler.
+//!   the ones computed from the recorded trace, for every crawler;
+//! - the trace tooling round-trips: a recorded stream reads back
+//!   losslessly, `first_divergence` finds nothing between identical-seed
+//!   runs and pinpoints an injected perturbation at its exact index, the
+//!   flight-recorder rendering is byte-identical across reruns, and every
+//!   `Event` variant is covered by the analyzer.
 
 use mak::framework::engine::{run_crawl, run_crawl_with_sink, CrawlReport, EngineConfig};
 use mak::spec::{build_crawler, CRAWLER_NAMES};
 use mak_metrics::trace::{events_to_trace, mean_reward_per_action, usage_over_time};
 use mak_obs::event::Event;
-use mak_obs::sink::{JsonlSink, SinkHandle, VecSink};
+use mak_obs::flight::FlightRecorder;
+use mak_obs::sink::{EventSink, JsonlSink, SinkHandle, VecSink};
+use mak_obs::trace::{first_divergence, TraceIter};
 use mak_websim::apps;
 
 const APP: &str = "addressbook";
@@ -106,6 +113,88 @@ fn event_stream_reproduces_the_legacy_trace_analyses() {
             "{crawler}: mean_reward_per_action agrees"
         );
     }
+}
+
+/// Parses a JSONL byte stream back into events, panicking on any error.
+fn parse_stream(bytes: &[u8]) -> Vec<Event> {
+    TraceIter::new(std::io::BufReader::new(bytes))
+        .map(|r| r.expect("recorded stream parses"))
+        .collect()
+}
+
+#[test]
+fn recorded_stream_reads_back_losslessly() {
+    let (_, events) = event_crawl("mak", 7, false);
+    let (_, bytes) = traced_crawl("mak", 7);
+    assert_eq!(parse_stream(&bytes), events, "JSONL round trip is lossless");
+}
+
+#[test]
+fn identical_seed_runs_have_no_divergence() {
+    let (_, bytes_a) = traced_crawl("mak", 9);
+    let (_, bytes_b) = traced_crawl("mak", 9);
+    assert_eq!(first_divergence(parse_stream(&bytes_a), parse_stream(&bytes_b)), None);
+}
+
+#[test]
+fn injected_perturbation_is_reported_at_its_exact_index() {
+    let (_, events) = event_crawl("mak", 9, false);
+    // Perturb one event deep in the stream; diff must name that exact
+    // index and echo both payloads.
+    let index = events.len() / 2;
+    let mut perturbed = events.clone();
+    perturbed[index] = Event::EpochAdvanced { epoch: 99, gamma: 0.125 };
+    let div = first_divergence(events.clone(), perturbed).expect("streams differ");
+    assert_eq!(div.index as usize, index);
+    assert_eq!(div.left.as_ref(), Some(&events[index]));
+    assert_eq!(div.right, Some(Event::EpochAdvanced { epoch: 99, gamma: 0.125 }));
+    let shown = div.to_string();
+    assert!(shown.contains(&format!("event #{index}")), "{shown}");
+    assert!(shown.contains("\"epoch\":99"), "right payload echoed: {shown}");
+
+    // A truncated stream diverges at the first missing event.
+    let div = first_divergence(events.clone(), events[..index].to_vec()).expect("lengths differ");
+    assert_eq!(div.index as usize, index);
+    assert_eq!(div.right, None, "right stream ended");
+}
+
+#[test]
+fn flight_rendering_is_byte_identical_across_reruns() {
+    let render_of = |bytes: &[u8]| {
+        let mut rec = FlightRecorder::new();
+        for ev in parse_stream(bytes) {
+            rec.on_event(&ev);
+        }
+        mak_metrics::flight::render(&rec.into_report())
+    };
+    let (_, bytes_a) = traced_crawl("mak", 13);
+    let (_, bytes_b) = traced_crawl("mak", 13);
+    let (a, b) = (render_of(&bytes_a), render_of(&bytes_b));
+    assert_eq!(a.markdown, b.markdown, "markdown summary must be rerun-identical");
+    assert_eq!(a.svgs, b.svgs, "SVG charts must be rerun-identical");
+    assert!(!a.markdown.is_empty() && !a.svgs.is_empty());
+}
+
+#[test]
+fn flight_recorder_covers_every_event_variant() {
+    // The exhaustiveness contract: `Event::samples` yields one event per
+    // variant (enforced against `ALL_KINDS` in mak-obs), the recorder's
+    // wildcard-free match breaks the build if a variant is added without
+    // analyzer support, and this test fails if the census misses a kind.
+    let mut rec = FlightRecorder::new();
+    for ev in Event::samples() {
+        rec.on_event(&ev);
+    }
+    let report = rec.into_report();
+    assert_eq!(report.events as usize, Event::ALL_KINDS.len());
+    for kind in Event::ALL_KINDS {
+        assert_eq!(
+            report.events_per_kind.get(kind),
+            Some(&1),
+            "variant {kind} must be counted by the flight recorder"
+        );
+    }
+    assert_eq!(report.events_per_kind.len(), Event::ALL_KINDS.len(), "no unknown kinds");
 }
 
 #[test]
