@@ -1,0 +1,133 @@
+//! Fault-rate ablation (extension): coverage and resilience as a function
+//! of the injected fault rate, 0–20% of requests.
+//!
+//! The paper's testbed is a well-behaved lab deployment; production crawls
+//! face flaky networks, rate limits, and expiring sessions. This ablation
+//! sweeps the deterministic fault plan's uniform rate over every paper
+//! crawler and asks two questions: does anyone *abort* (wedge before the
+//! budget ends — a resilience bug, asserted here), and how gracefully does
+//! coverage degrade as the web gets flakier?
+
+use mak::spec::CRAWLER_NAMES;
+use mak_bench::{budget_minutes, seeds, store, threads, write_result};
+use mak_browser::fault::FaultPlan;
+use mak_metrics::experiment::{run_matrix_cached, RunMatrix};
+use mak_metrics::plot::{LineChart, Series};
+use mak_metrics::report::{csv, markdown_table};
+use mak_metrics::stats::mean;
+use std::fmt::Write as _;
+
+/// Uniform per-request fault rates swept (0 = the paper's clean testbed).
+const RATES: &[f64] = &[0.0, 0.02, 0.05, 0.10, 0.20];
+const APPS: &[&str] = &["phpbb2", "addressbook"];
+
+fn main() {
+    mak_obs::progress!(
+        "faults: {} rates x {} apps x {} crawlers x {} seeds, {} threads",
+        RATES.len(),
+        APPS.len(),
+        CRAWLER_NAMES.len(),
+        seeds(),
+        threads()
+    );
+
+    let cache = store();
+    let budget_secs = budget_minutes() * 60.0;
+    let mut coverage_rows = Vec::new();
+    let mut stats_rows = Vec::new();
+    let mut chart_series: Vec<(String, Vec<(f64, f64)>)> =
+        CRAWLER_NAMES.iter().map(|c| ((*c).to_owned(), Vec::new())).collect();
+
+    for &rate in RATES {
+        let mut config = mak_bench::engine_config();
+        config.faults = FaultPlan::uniform(rate);
+        let matrix = RunMatrix::new(APPS.iter().copied(), CRAWLER_NAMES.iter().copied(), seeds())
+            .with_config(config);
+        let reports = run_matrix_cached(&matrix, threads(), &cache);
+
+        // Resilience gate: every cell must use its whole budget — a crawl
+        // that ends early wedged on faults instead of degrading gracefully.
+        for r in &reports {
+            assert!(
+                r.elapsed_secs >= 0.9 * budget_secs,
+                "{} on {} (seed {}) aborted at {:.0}s of {budget_secs:.0}s under rate {rate}",
+                r.crawler,
+                r.app,
+                r.seed,
+                r.elapsed_secs,
+            );
+        }
+
+        let mut row = vec![format!("{:.0}%", 100.0 * rate)];
+        for (i, crawler) in CRAWLER_NAMES.iter().enumerate() {
+            let lines: Vec<f64> = reports
+                .iter()
+                .filter(|r| &r.crawler == crawler)
+                .map(|r| r.final_lines_covered as f64)
+                .collect();
+            let m = mean(&lines);
+            row.push(format!("{m:.0}"));
+            chart_series[i].1.push((100.0 * rate, m));
+        }
+        coverage_rows.push(row);
+
+        let cells = reports.len() as f64;
+        let sum = |f: &dyn Fn(&mak_browser::fault::FaultStats) -> u64| -> f64 {
+            reports.iter().map(|r| f(&r.faults) as f64).sum::<f64>() / cells
+        };
+        stats_rows.push(vec![
+            format!("{:.0}%", 100.0 * rate),
+            format!("{}", reports.len()),
+            format!("{:.1}", sum(&|s| s.injected)),
+            format!("{:.1}", sum(&|s| s.retries)),
+            format!("{:.1}", sum(&|s| s.recoveries)),
+            format!("{:.1}", sum(&|s| s.exhausted)),
+            format!("{:.1}", sum(&|s| s.session_expiries)),
+        ]);
+    }
+
+    let mut headers = vec!["fault rate"];
+    headers.extend(CRAWLER_NAMES);
+    let coverage_table = markdown_table(&headers, &coverage_rows);
+    let stats_table = markdown_table(
+        &[
+            "fault rate",
+            "completed cells",
+            "injected/run",
+            "retries/run",
+            "recoveries/run",
+            "exhausted/run",
+            "expiries/run",
+        ],
+        &stats_rows,
+    );
+
+    let mut chart = LineChart::new(
+        format!("Coverage vs fault rate — {} ({} seeds)", APPS.join("+"), seeds()),
+        "uniform fault rate (%)",
+        "mean server-side lines covered",
+    );
+    for (name, points) in chart_series {
+        chart = chart.series(Series { name, points, band: vec![] });
+    }
+    write_result("faults.svg", &chart.to_svg());
+    write_result("faults.csv", &csv(&headers, &coverage_rows));
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fault-rate ablation on {} ({} seeds per cell, {:.0}-minute budget):\n",
+        APPS.join(" + "),
+        seeds(),
+        budget_minutes()
+    );
+    let _ = writeln!(out, "Mean final coverage (lines) per crawler:\n\n{coverage_table}");
+    let _ =
+        writeln!(out, "Fault-layer activity, averaged over all cells of a rate:\n\n{stats_table}");
+    let _ = writeln!(
+        out,
+        "Every cell above completed its full virtual budget (asserted at run time):\nno crawler aborts under any swept fault rate — coverage degrades, resilience does not."
+    );
+    println!("{out}");
+    write_result("faults.md", &out);
+}

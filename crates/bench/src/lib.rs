@@ -12,6 +12,7 @@
 //! | `ablation2`| extension     | design-choice ablations (policies, rewards, pool) |
 //! | `perf`    | §V-D           | mean interacted elements per run |
 //! | `sweep`   | extension      | coverage vs crawl budget |
+//! | `faults`  | extension      | coverage + resilience vs injected fault rate |
 //! | `regress` | —              | coverage/regret gate vs `results/baselines.json` |
 //! | `report`  | —              | assemble `results/index.html` |
 //!

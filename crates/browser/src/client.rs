@@ -7,6 +7,7 @@
 
 use crate::clock::VirtualClock;
 use crate::cost::CostModel;
+use crate::fault::{self, FaultKind, FaultPlan, FaultStats};
 use crate::page::Page;
 use mak_obs::event::Event;
 use mak_obs::sink::SinkHandle;
@@ -29,6 +30,21 @@ pub enum BrowseError {
     /// The target URL leaves the application's origin; the action is
     /// invalid per §V-A assumption ii.
     ExternalDomain(Url),
+    /// A same-origin redirect chain exceeded [`MAX_REDIRECTS`] hops — a
+    /// redirect loop, surfaced as a typed error instead of a silently
+    /// truncated error page.
+    TooManyRedirects(Url),
+    /// An injected transient fault survived every retry (see
+    /// [`crate::fault::FaultPlan`]); the navigation was abandoned.
+    Transient {
+        /// The fault kind that kept firing.
+        kind: FaultKind,
+        /// Failed attempts made before giving up.
+        attempts: u32,
+    },
+    /// The targeted interactable went stale before execution (injected;
+    /// see [`crate::fault::FaultPlan::stale_element`]).
+    StaleElement,
 }
 
 impl fmt::Display for BrowseError {
@@ -36,6 +52,11 @@ impl fmt::Display for BrowseError {
         match self {
             BrowseError::BudgetExhausted => write!(f, "virtual time budget exhausted"),
             BrowseError::ExternalDomain(url) => write!(f, "external domain: {url}"),
+            BrowseError::TooManyRedirects(url) => write!(f, "redirect loop at: {url}"),
+            BrowseError::Transient { kind, attempts } => {
+                write!(f, "transient {kind} fault persisted across {attempts} attempts")
+            }
+            BrowseError::StaleElement => write!(f, "stale element reference"),
         }
     }
 }
@@ -58,6 +79,13 @@ pub struct Browser {
     fill_counter: u64,
     observer: Option<PageObserver>,
     sink: SinkHandle,
+    faults: FaultPlan,
+    /// Seed of the fault-decision stream: `plan.fault_seed ^ run seed`.
+    fault_stream_seed: u64,
+    /// Monotonic decision counter; each injection decision consumes one
+    /// index of the stream and never touches `rng`.
+    fault_counter: u64,
+    fault_stats: FaultStats,
 }
 
 impl std::fmt::Debug for Browser {
@@ -77,9 +105,23 @@ impl Browser {
         Self::with_cost_model(host, clock, seed, CostModel::default())
     }
 
-    /// Opens a browser with an explicit cost model.
+    /// Opens a browser with an explicit cost model and no fault plan.
     pub fn with_cost_model(host: AppHost, clock: VirtualClock, seed: u64, cost: CostModel) -> Self {
+        Self::with_faults(host, clock, seed, cost, FaultPlan::none())
+    }
+
+    /// Opens a browser with an explicit cost model and fault plan. With
+    /// [`FaultPlan::none`] this is exactly [`Self::with_cost_model`]: the
+    /// fault layer is never consulted and behaviour is bit-identical.
+    pub fn with_faults(
+        host: AppHost,
+        clock: VirtualClock,
+        seed: u64,
+        cost: CostModel,
+        faults: FaultPlan,
+    ) -> Self {
         let origin = host.app().seed_url();
+        let fault_stream_seed = faults.fault_seed ^ seed;
         Browser {
             host,
             origin,
@@ -91,6 +133,10 @@ impl Browser {
             fill_counter: 0,
             observer: None,
             sink: SinkHandle::none(),
+            faults,
+            fault_stream_seed,
+            fault_counter: 0,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -128,6 +174,11 @@ impl Browser {
     /// Number of element interactions executed so far — the §V-D metric.
     pub fn interaction_count(&self) -> u64 {
         self.interactions
+    }
+
+    /// What the fault layer did so far (all zeros without a fault plan).
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
     }
 
     /// The hosted application (measurement side).
@@ -185,6 +236,31 @@ impl Browser {
     ///
     /// Same conditions as [`navigate`](Self::navigate).
     pub fn execute(&mut self, action: &Interactable) -> Result<Page, BrowseError> {
+        if !self.faults.is_none() {
+            if self.clock.expired() {
+                return Err(BrowseError::BudgetExhausted);
+            }
+            let roll = self.next_fault_roll();
+            if self.faults.element_stale(roll) {
+                // The element reference died before any request went out:
+                // charge the aborted round trip, no interaction counted.
+                let kind = FaultKind::StaleElement;
+                let wait = self.cost.fault_wait_ms(
+                    self.host.app().base_latency_ms(),
+                    kind.round_trips(&self.faults),
+                );
+                self.clock.advance(wait);
+                self.fault_stats.injected += 1;
+                self.fault_stats.stale_elements += 1;
+                let url = action_target(action).normalized();
+                self.sink.emit_with(|| Event::FaultInjected {
+                    kind: kind.name().to_owned(),
+                    url,
+                    wait_ms: wait,
+                });
+                return Err(BrowseError::StaleElement);
+            }
+        }
         let result = match action {
             Interactable::Link { href, .. } => self.request(Request::get(href.clone())),
             Interactable::Button { target, .. } => {
@@ -235,13 +311,92 @@ impl Browser {
         data
     }
 
-    fn request(&mut self, mut req: Request) -> Result<Page, BrowseError> {
+    /// The next draw of the fault-decision stream — a pure function of
+    /// `(fault_stream_seed, counter)`, deliberately separate from `rng`
+    /// so injection never shifts the cost-model jitter sequence.
+    fn next_fault_roll(&mut self) -> f64 {
+        let index = self.fault_counter;
+        self.fault_counter += 1;
+        fault::roll(self.fault_stream_seed, index)
+    }
+
+    fn request(&mut self, req: Request) -> Result<Page, BrowseError> {
         if self.clock.expired() {
             return Err(BrowseError::BudgetExhausted);
         }
         if !req.url.same_origin(&self.origin) {
             return Err(BrowseError::ExternalDomain(req.url));
         }
+        if self.faults.is_none() {
+            // Zero-fault fast path: no decision stream, bit-identical to
+            // the pre-fault-injection browser.
+            return self.perform(req);
+        }
+        let mut attempts: u32 = 0;
+        loop {
+            let roll = self.next_fault_roll();
+            if let Some(kind) = self.faults.transient_fault(roll) {
+                if kind == FaultKind::SessionExpiry {
+                    // The server forgot us: drop the cookie and proceed as
+                    // an anonymous visitor — a recoverable reset, not an
+                    // error (MAK's statelessness is motivated by exactly
+                    // this, §II).
+                    self.cookie = None;
+                    self.fault_stats.injected += 1;
+                    self.fault_stats.session_expiries += 1;
+                    let url = req.url.normalized();
+                    self.sink.emit_with(|| Event::FaultInjected {
+                        kind: kind.name().to_owned(),
+                        url,
+                        wait_ms: 0.0,
+                    });
+                } else {
+                    let wait = self.cost.fault_wait_ms(
+                        self.host.app().base_latency_ms(),
+                        kind.round_trips(&self.faults),
+                    );
+                    self.clock.advance(wait);
+                    self.fault_stats.injected += 1;
+                    attempts += 1;
+                    let url = req.url.normalized();
+                    self.sink.emit_with(|| Event::FaultInjected {
+                        kind: kind.name().to_owned(),
+                        url,
+                        wait_ms: wait,
+                    });
+                    if self.clock.expired() {
+                        return Err(BrowseError::BudgetExhausted);
+                    }
+                    if attempts >= self.faults.retry.max_attempts {
+                        self.fault_stats.exhausted += 1;
+                        return Err(BrowseError::Transient { kind, attempts });
+                    }
+                    let backoff = self.faults.retry.backoff_ms(attempts);
+                    self.clock.advance(backoff);
+                    self.fault_stats.retries += 1;
+                    self.sink.emit_with(|| Event::RetryScheduled {
+                        attempt: attempts as u64,
+                        backoff_ms: backoff,
+                    });
+                    if self.clock.expired() {
+                        return Err(BrowseError::BudgetExhausted);
+                    }
+                    continue;
+                }
+            }
+            let page = self.perform(req.clone())?;
+            if attempts > 0 {
+                self.fault_stats.recoveries += 1;
+                let recovered_after = attempts as u64;
+                self.sink.emit_with(|| Event::FaultRecovered { attempts: recovered_after });
+            }
+            return Ok(page);
+        }
+    }
+
+    /// One actual navigation (no injection): fetch, follow redirects,
+    /// charge the cost model, render the page.
+    fn perform(&mut self, mut req: Request) -> Result<Page, BrowseError> {
         let mut hops = 0;
         loop {
             req.session = self.cookie;
@@ -260,8 +415,17 @@ impl Browser {
                         fetch_ms: hop_ms,
                     });
                     hops += 1;
-                    if hops > MAX_REDIRECTS || !location.same_origin(&self.origin) {
+                    if !location.same_origin(&self.origin) {
+                        // Off-origin redirect: not followed, rendered as an
+                        // error page (the crawler sees a dead end, not a
+                        // failure).
                         return Ok(Page::empty(Status::ServerError, location));
+                    }
+                    if hops > MAX_REDIRECTS {
+                        // A same-origin redirect loop is a navigation
+                        // failure, surfaced as a typed error rather than a
+                        // silently truncated error page.
+                        return Err(BrowseError::TooManyRedirects(location));
                     }
                     req = Request::get(location);
                 }
@@ -305,6 +469,15 @@ impl Browser {
                 }
             }
         }
+    }
+}
+
+/// The URL an interactable resolves to — used to label fault events.
+fn action_target(action: &Interactable) -> &Url {
+    match action {
+        Interactable::Link { href, .. } => href,
+        Interactable::Button { target, .. } => target,
+        Interactable::Form(form) => &form.action,
     }
 }
 
@@ -398,6 +571,129 @@ mod tests {
         let r1 = b.execute(&form).unwrap();
         let r2 = b.execute(&form).unwrap();
         assert_ne!(r1.url(), r2.url(), "distinct generated queries yield distinct URLs");
+    }
+
+    fn faulty_browser(app: &str, plan: FaultPlan, seed: u64) -> Browser {
+        let host = AppHost::new(apps::build(app).expect("known app"));
+        Browser::with_faults(
+            host,
+            VirtualClock::with_budget_minutes(30.0),
+            seed,
+            CostModel::default(),
+            plan,
+        )
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_default_browser() {
+        let crawl = |mut b: Browser| {
+            let page = b.open_seed().unwrap();
+            let origin = b.origin().clone();
+            if let Some(link) = page
+                .valid_interactables(&origin)
+                .find(|i| matches!(i, Interactable::Link { .. }))
+                .cloned()
+            {
+                b.execute(&link).unwrap();
+            }
+            (b.clock().elapsed_ms().to_bits(), b.interaction_count())
+        };
+        let plain = crawl(browser("addressbook", 30.0));
+        let none = crawl(faulty_browser("addressbook", FaultPlan::none(), 7));
+        assert_eq!(plain, none, "FaultPlan::none() changes nothing, bit for bit");
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_across_reruns() {
+        let crawl = |seed| {
+            let mut b = faulty_browser("addressbook", FaultPlan::uniform(0.3), seed);
+            for _ in 0..30 {
+                let _ = b.open_seed();
+            }
+            (b.clock().elapsed_ms().to_bits(), b.fault_stats().clone())
+        };
+        let (t1, s1) = crawl(5);
+        let (t2, s2) = crawl(5);
+        assert_eq!(t1, t2, "same seed, same virtual timeline");
+        assert_eq!(s1, s2, "same seed, same fault schedule");
+        assert!(s1.injected > 0, "a 30% plan fires over 30 navigations");
+        let (_, other) = crawl(6);
+        assert_ne!(s1, other, "a different seed reschedules the faults");
+    }
+
+    #[test]
+    fn retryable_faults_recover_and_are_counted() {
+        let mut b = faulty_browser("addressbook", FaultPlan::uniform(0.4), 11);
+        let mut pages = 0;
+        for _ in 0..40 {
+            if b.open_seed().is_ok() {
+                pages += 1;
+            }
+        }
+        let stats = b.fault_stats();
+        assert!(pages > 0, "the crawl survives a 40% fault rate");
+        assert!(stats.injected > 0);
+        assert!(stats.retries > 0, "retryable faults schedule retries");
+        assert!(stats.recoveries > 0, "some navigations succeed after faults");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_typed_transient_error() {
+        let plan = FaultPlan { http_5xx: 1.0, ..FaultPlan::none() };
+        let max = plan.retry.max_attempts;
+        let mut b = faulty_browser("addressbook", plan, 1);
+        let err = b.open_seed().unwrap_err();
+        assert_eq!(err, BrowseError::Transient { kind: FaultKind::Http5xx, attempts: max });
+        let stats = b.fault_stats();
+        assert_eq!(stats.injected, max as u64);
+        assert_eq!(stats.retries, (max - 1) as u64);
+        assert_eq!(stats.exhausted, 1);
+        assert_eq!(stats.recoveries, 0);
+        assert!(b.clock().elapsed_ms() > 0.0, "failed attempts and backoffs were charged");
+    }
+
+    #[test]
+    fn session_expiry_drops_the_cookie_and_mints_a_new_session() {
+        let plan = FaultPlan { session_expiry: 1.0, ..FaultPlan::none() };
+        let mut b = faulty_browser("oscommerce2", plan, 3);
+        b.open_seed().unwrap();
+        b.navigate(&"http://oscommerce.local/cart".parse().unwrap()).unwrap();
+        b.navigate(&"http://oscommerce.local/cart".parse().unwrap()).unwrap();
+        assert!(b.host().session_count() >= 3, "every navigation re-logs-in");
+        assert_eq!(b.fault_stats().session_expiries, b.fault_stats().injected);
+    }
+
+    #[test]
+    fn stale_elements_fail_fast_without_counting_an_interaction() {
+        let plan = FaultPlan { stale_element: 1.0, ..FaultPlan::none() };
+        let mut b = faulty_browser("addressbook", plan, 2);
+        let page = b.open_seed().unwrap();
+        let origin = b.origin().clone();
+        let link = page.valid_interactables(&origin).next().cloned().unwrap();
+        let before = b.clock().elapsed_ms();
+        assert_eq!(b.execute(&link).unwrap_err(), BrowseError::StaleElement);
+        assert_eq!(b.interaction_count(), 0, "a stale element is not an interaction");
+        assert!(b.clock().elapsed_ms() > before, "the aborted attempt still costs time");
+        assert_eq!(b.fault_stats().stale_elements, 1);
+    }
+
+    #[test]
+    fn heavy_faults_never_outlive_the_budget() {
+        let plan = FaultPlan { timeout: 1.0, ..FaultPlan::none() };
+        let host = AppHost::new(apps::build("addressbook").unwrap());
+        let mut b = Browser::with_faults(
+            host,
+            VirtualClock::with_budget_minutes(0.05),
+            9,
+            CostModel::default(),
+            plan,
+        );
+        loop {
+            if let Err(BrowseError::BudgetExhausted) = b.open_seed() {
+                break;
+            }
+        }
+        assert!(b.clock().expired());
     }
 
     #[test]

@@ -87,6 +87,15 @@ impl CostModel {
         }
     }
 
+    /// The virtual time wasted by one failed request attempt:
+    /// `round_trips` headers-only round trips at the application's base
+    /// latency (a timeout waits several, a reset burns half). No jitter
+    /// sample is drawn — fault waits are deterministic and leave the
+    /// page-load RNG stream untouched.
+    pub fn fault_wait_ms(&self, base_latency_ms: f64, round_trips: f64) -> f64 {
+        base_latency_ms * round_trips
+    }
+
     /// The policy-decision overhead for a *stateless* policy (MAK): constant.
     pub fn stateless_policy_cost(&self) -> f64 {
         2.0

@@ -9,6 +9,9 @@
 //!   simulated milliseconds, making runs deterministic and fast;
 //! - [`cost`] — the latency model charging page loads, client-side think
 //!   time, and per-crawler policy overhead;
+//! - [`fault`] — seeded, fully deterministic fault injection (transient
+//!   5xx, rate limits, timeouts, connection resets, session expiry, stale
+//!   elements) with capped exponential retry/backoff in virtual time;
 //! - [`page`] — the crawler-visible snapshot of a fetched page;
 //! - [`client`] — the [`Browser`](client::Browser): navigation, link
 //!   following, button clicks, form filling, redirect handling, and
@@ -36,4 +39,5 @@
 pub mod client;
 pub mod clock;
 pub mod cost;
+pub mod fault;
 pub mod page;

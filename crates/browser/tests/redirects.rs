@@ -2,7 +2,7 @@
 //! the cap are followed transparently; loops and external redirects are
 //! cut off rather than followed forever.
 
-use mak_browser::client::Browser;
+use mak_browser::client::{BrowseError, Browser};
 use mak_browser::clock::VirtualClock;
 use mak_websim::coverage::{Block, CodeModel, CoverageMode};
 use mak_websim::dom::{Document, Element, Tag};
@@ -93,11 +93,16 @@ fn short_chains_are_followed_to_the_end() {
 fn redirect_loops_are_cut_off() {
     let mut b = browser();
     let before = b.clock().elapsed_ms();
-    let page = b.navigate(&"http://maze.local/loop".parse().unwrap()).unwrap();
-    assert_eq!(page.status(), Status::ServerError, "loop surfaces as an error page");
-    assert!(page.interactables().is_empty());
+    let err = b.navigate(&"http://maze.local/loop".parse().unwrap()).unwrap_err();
+    match err {
+        BrowseError::TooManyRedirects(url) => {
+            assert_eq!(url.path(), "/loop", "the looping location is named");
+        }
+        other => panic!("loop surfaces as a typed error, got {other:?}"),
+    }
     // Each followed hop was charged, so the loop consumed bounded time.
     let spent = b.clock().elapsed_ms() - before;
+    assert!(spent > 0.0, "the followed hops were still charged");
     assert!(spent < 10_000.0, "bounded hops: {spent}ms");
 }
 

@@ -10,6 +10,7 @@ use crate::framework::crawler::{CrawlEnd, Crawler};
 use mak_browser::client::Browser;
 use mak_browser::clock::VirtualClock;
 use mak_browser::cost::CostModel;
+use mak_browser::fault::{FaultPlan, FaultStats};
 use mak_obs::event::Event;
 use mak_obs::sink::SinkHandle;
 use mak_websim::coverage::CoverageMode;
@@ -32,6 +33,10 @@ pub struct EngineConfig {
     /// [`CrawlReport::trace`] — useful for debugging crawler behaviour,
     /// at some memory cost.
     pub record_trace: bool,
+    /// The deterministic fault schedule (default: no faults). Part of
+    /// the config — and therefore of the run-cache key — so a faulty run
+    /// can never be served from a clean run's cache entry.
+    pub faults: FaultPlan,
 }
 
 impl Default for EngineConfig {
@@ -41,6 +46,7 @@ impl Default for EngineConfig {
             sample_interval_secs: 30.0,
             cost: CostModel::default(),
             record_trace: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -73,7 +79,12 @@ pub struct CoverageSample {
 }
 
 /// The measurable outcome of one crawl run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serde impls are manual (matching the derive's field order exactly):
+/// the `faults` field is emitted only when a fault actually fired, so
+/// zero-fault reports — golden snapshots, cache entries, baselines —
+/// keep their pre-fault-injection byte layout.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrawlReport {
     /// Crawler identifier.
     pub crawler: String,
@@ -101,6 +112,58 @@ pub struct CrawlReport {
     pub elapsed_secs: f64,
     /// Per-step trace, populated only under [`EngineConfig::record_trace`].
     pub trace: Vec<TraceEntry>,
+    /// Fault/retry/recovery counts (all zeros without a fault plan).
+    pub faults: FaultStats,
+}
+
+impl Serialize for CrawlReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("crawler".to_owned(), self.crawler.to_value()),
+            ("app".to_owned(), self.app.to_value()),
+            ("seed".to_owned(), self.seed.to_value()),
+            ("interactions".to_owned(), self.interactions.to_value()),
+            ("final_lines_covered".to_owned(), self.final_lines_covered.to_value()),
+            ("total_declared_lines".to_owned(), self.total_declared_lines.to_value()),
+            ("coverage_series".to_owned(), self.coverage_series.to_value()),
+            ("covered_lines".to_owned(), self.covered_lines.to_value()),
+            ("distinct_urls".to_owned(), self.distinct_urls.to_value()),
+            ("state_count".to_owned(), self.state_count.to_value()),
+            ("elapsed_secs".to_owned(), self.elapsed_secs.to_value()),
+            ("trace".to_owned(), self.trace.to_value()),
+        ];
+        if self.faults != FaultStats::default() {
+            fields.push(("faults".to_owned(), self.faults.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for CrawlReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries =
+            v.as_object().ok_or_else(|| serde::Error::custom("expected CrawlReport object"))?;
+        Ok(CrawlReport {
+            crawler: serde::__field(entries, "crawler")?,
+            app: serde::__field(entries, "app")?,
+            seed: serde::__field(entries, "seed")?,
+            interactions: serde::__field(entries, "interactions")?,
+            final_lines_covered: serde::__field(entries, "final_lines_covered")?,
+            total_declared_lines: serde::__field(entries, "total_declared_lines")?,
+            coverage_series: serde::__field(entries, "coverage_series")?,
+            covered_lines: serde::__field(entries, "covered_lines")?,
+            distinct_urls: serde::__field(entries, "distinct_urls")?,
+            state_count: serde::__field(entries, "state_count")?,
+            elapsed_secs: serde::__field(entries, "elapsed_secs")?,
+            trace: serde::__field(entries, "trace")?,
+            // Absent in zero-fault reports (and in every pre-fault-layer
+            // report): all-zero stats.
+            faults: match v.get("faults") {
+                Some(stats) => FaultStats::from_value(stats)?,
+                None => FaultStats::default(),
+            },
+        })
+    }
 }
 
 /// Runs `crawler` on `app` for the configured budget.
@@ -152,7 +215,8 @@ pub fn run_crawl_with_sink(
     host.set_sink(sink.clone());
     let clock = VirtualClock::with_budget_minutes(config.budget_minutes);
     let budget_ms = clock.budget_ms();
-    let mut browser = Browser::with_cost_model(host, clock, seed, config.cost.clone());
+    let mut browser =
+        Browser::with_faults(host, clock, seed, config.cost.clone(), config.faults.clone());
     browser.set_sink(sink.clone());
     crawler.attach_sink(sink.clone());
 
@@ -245,6 +309,7 @@ pub fn run_crawl_with_sink(
         interactions,
         lines: browser.host().harness_lines_covered(),
     });
+    let fault_stats = browser.fault_stats().clone();
     let host = browser.finish();
     let tracker = host.tracker();
     let covered_lines: Vec<(u32, u32)> =
@@ -263,6 +328,7 @@ pub fn run_crawl_with_sink(
         state_count: crawler.state_count(),
         elapsed_secs,
         trace,
+        faults: fault_stats,
     }
 }
 

@@ -152,16 +152,24 @@ impl<S: StateAbstraction> QCrawler<S> {
         &self.q
     }
 
-    fn open_seed(&mut self, browser: &mut Browser) -> Result<(u64, Page), CrawlEnd> {
+    /// Re-opens the seed. `Ok(None)` means a transient fault spoiled the
+    /// fetch: the attempt's time is charged and the caller should retry on
+    /// the next step.
+    fn open_seed(&mut self, browser: &mut Browser) -> Result<Option<(u64, Page)>, CrawlEnd> {
         let page = match browser.open_seed() {
             Ok(p) => p,
             Err(BrowseError::BudgetExhausted) => return Err(CrawlEnd::BudgetExhausted),
             Err(BrowseError::ExternalDomain(_)) => unreachable!("seed is same-origin"),
+            Err(
+                BrowseError::TooManyRedirects(_)
+                | BrowseError::Transient { .. }
+                | BrowseError::StaleElement,
+            ) => return Ok(None),
         };
         let origin = browser.origin().clone();
         self.links.absorb_page(&page, &origin);
         let state = self.states.state_of(&page);
-        Ok((state, page))
+        Ok(Some((state, page)))
     }
 
     fn actions_of(page: &Page, browser: &Browser) -> Vec<Interactable> {
@@ -178,7 +186,10 @@ impl<S: StateAbstraction> Crawler for QCrawler<S> {
         // GET_STATE: establish the current position, restarting if needed.
         let (state, page) = match self.current.take() {
             Some(cur) => cur,
-            None => self.open_seed(browser)?,
+            None => match self.open_seed(browser)? {
+                Some(sp) => sp,
+                None => return Ok(StepReport { action: "SeedRetry".to_owned(), reward: None }),
+            },
         };
 
         // GET_ACTIONS: the interactable elements of the current page.
@@ -187,7 +198,9 @@ impl<S: StateAbstraction> Crawler for QCrawler<S> {
         if actions.is_empty() {
             // Dead end (e.g. a body-less error response): restart.
             self.restarts += 1;
-            let (s, p) = self.open_seed(browser)?;
+            let Some((s, p)) = self.open_seed(browser)? else {
+                return Ok(StepReport { action: "SeedRetry".to_owned(), reward: None });
+            };
             actions = Self::actions_of(&p, browser);
             state = s;
             if actions.is_empty() {
@@ -219,6 +232,17 @@ impl<S: StateAbstraction> Crawler for QCrawler<S> {
             Err(BrowseError::ExternalDomain(_)) => {
                 // Valid-action filtering makes this unreachable; restart
                 // defensively.
+                self.current = None;
+                return Ok(StepReport { action: chosen.signature(), reward: None });
+            }
+            Err(
+                BrowseError::TooManyRedirects(_)
+                | BrowseError::Transient { .. }
+                | BrowseError::StaleElement,
+            ) => {
+                // Graceful degradation: the trajectory dead-ends on the
+                // fault, so restart from the seed next step. No reward, no
+                // Q-update — the fault is noise, not signal.
                 self.current = None;
                 return Ok(StepReport { action: chosen.signature(), reward: None });
             }

@@ -138,20 +138,28 @@ impl MakCrawler {
         increment
     }
 
-    fn ensure_started(&mut self, browser: &mut Browser) -> Result<(), CrawlEnd> {
+    /// Opens the seed page if not yet started. `Ok(false)` means a
+    /// transient fault spoiled the seed fetch: the failed attempt's time
+    /// is already charged, and the next step retries.
+    fn ensure_started(&mut self, browser: &mut Browser) -> Result<bool, CrawlEnd> {
         if self.started {
-            return Ok(());
+            return Ok(true);
         }
         let page = match browser.open_seed() {
             Ok(p) => p,
             Err(BrowseError::BudgetExhausted) => return Err(CrawlEnd::BudgetExhausted),
             Err(BrowseError::ExternalDomain(_)) => unreachable!("seed is same-origin"),
+            Err(
+                BrowseError::TooManyRedirects(_)
+                | BrowseError::Transient { .. }
+                | BrowseError::StaleElement,
+            ) => return Ok(false),
         };
         // The seed page's links seed both the pool and the link log; they
         // predate any action, so no reward is granted for them.
         self.ingest(&page, browser);
         self.started = true;
-        Ok(())
+        Ok(true)
     }
 
     fn compute_reward(&mut self, increment: u64, level: usize) -> f64 {
@@ -169,7 +177,11 @@ impl Crawler for MakCrawler {
     }
 
     fn step(&mut self, browser: &mut Browser) -> Result<StepReport, CrawlEnd> {
-        self.ensure_started(browser)?;
+        if !self.ensure_started(browser)? {
+            // Transient fault on the seed fetch; its cost is charged, the
+            // next step retries from scratch.
+            return Ok(StepReport { action: "SeedRetry".to_owned(), reward: None });
+        }
 
         let arm = match self.fixed_arm {
             Some(arm) => arm,
@@ -194,6 +206,28 @@ impl Crawler for MakCrawler {
                 // Ingest filters external targets, so this is unreachable in
                 // practice; drop the element defensively.
                 return Ok(StepReport { action: arm.to_string(), reward: None });
+            }
+            Err(
+                BrowseError::TooManyRedirects(_)
+                | BrowseError::Transient { .. }
+                | BrowseError::StaleElement,
+            ) => {
+                // Graceful degradation: the action failed but the crawl
+                // goes on. The arm is penalized with a zero reward and the
+                // element demoted a level — never blacklisted, so a
+                // transiently flaky element stays reachable.
+                if self.fixed_arm.is_none() {
+                    self.policy.update(arm.index(), 0.0);
+                }
+                let next_level = if self.leveled { level + 1 } else { 0 };
+                self.deque.reinsert(element, next_level);
+                self.sink.emit_with(|| Event::DequeDepth {
+                    len: self.deque.len() as u64,
+                    levels: (0..self.deque.level_count())
+                        .map(|l| self.deque.level_len(l) as u64)
+                        .collect(),
+                });
+                return Ok(StepReport { action: arm.to_string(), reward: Some(0.0) });
             }
         };
 

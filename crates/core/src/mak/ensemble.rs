@@ -92,6 +92,15 @@ impl Crawler for EnsembleCrawler {
                 Ok(p) => p,
                 Err(BrowseError::BudgetExhausted) => return Err(CrawlEnd::BudgetExhausted),
                 Err(BrowseError::ExternalDomain(_)) => unreachable!("seed is same-origin"),
+                Err(
+                    BrowseError::TooManyRedirects(_)
+                    | BrowseError::Transient { .. }
+                    | BrowseError::StaleElement,
+                ) => {
+                    // Transient fault on the seed fetch; its cost is
+                    // charged, the next step retries from scratch.
+                    return Ok(StepReport { action: "SeedRetry".to_owned(), reward: None });
+                }
             };
             self.ingest(&page, browser);
             self.started = true;
@@ -117,6 +126,17 @@ impl Crawler for EnsembleCrawler {
             }
             Err(BrowseError::ExternalDomain(_)) => {
                 return Ok(StepReport { action: arm.to_string(), reward: None });
+            }
+            Err(
+                BrowseError::TooManyRedirects(_)
+                | BrowseError::Transient { .. }
+                | BrowseError::StaleElement,
+            ) => {
+                // Graceful degradation: penalize the acting agent with a
+                // zero reward and demote the element — never blacklist it.
+                self.policies[agent].update(arm.index(), 0.0);
+                self.deque.reinsert(element, level + 1);
+                return Ok(StepReport { action: format!("agent{agent}:{arm}"), reward: Some(0.0) });
             }
         };
 

@@ -1,0 +1,125 @@
+//! Fault-injection resilience across all crawler implementations: every
+//! crawler must finish its full budget under a flaky web, chaos runs must
+//! stay bit-deterministic, and a zero-fault plan must be indistinguishable
+//! from no fault layer at all.
+
+use mak::framework::engine::{run_crawl, EngineConfig};
+use mak::spec::{build_crawler, CRAWLER_NAMES};
+use mak_browser::fault::{FaultPlan, FaultStats};
+use mak_websim::apps;
+
+fn faulty_config(minutes: f64, plan: FaultPlan) -> EngineConfig {
+    let mut cfg = EngineConfig::with_budget_minutes(minutes);
+    cfg.faults = plan;
+    cfg
+}
+
+/// Every crawler finishes its full virtual budget under the heavy fault
+/// profile (20% of requests fail at least once): no crawl aborts early, no
+/// crawler wedges, and everyone still covers code.
+#[test]
+fn every_crawler_survives_heavy_faults() {
+    let budget_minutes = 3.0;
+    let cfg = faulty_config(budget_minutes, FaultPlan::profile("heavy").unwrap());
+    for name in CRAWLER_NAMES {
+        let mut c = build_crawler(name, 11).unwrap();
+        let report = run_crawl(&mut *c, apps::build("phpbb2").unwrap(), &cfg, 11);
+        assert!(
+            report.elapsed_secs >= 0.9 * budget_minutes * 60.0,
+            "{name} aborted early: {}s of {}s",
+            report.elapsed_secs,
+            budget_minutes * 60.0
+        );
+        assert!(report.faults.injected > 0, "{name} saw faults");
+        assert!(report.faults.recoveries > 0, "{name} recovered from retries");
+        assert!(report.final_lines_covered > 0, "{name} still covered code");
+    }
+}
+
+/// Chaos runs are a pure function of `(app, crawler, seed, config)` like
+/// everything else: the same faulty config twice yields field-for-field
+/// identical reports, traces included.
+#[test]
+fn chaos_runs_are_deterministic() {
+    let mut cfg = faulty_config(2.0, FaultPlan::profile("moderate").unwrap());
+    cfg.record_trace = true;
+    for name in CRAWLER_NAMES {
+        let mut a = build_crawler(name, 12).unwrap();
+        let ra = run_crawl(&mut *a, apps::build("addressbook").unwrap(), &cfg, 12);
+        let mut b = build_crawler(name, 12).unwrap();
+        let rb = run_crawl(&mut *b, apps::build("addressbook").unwrap(), &cfg, 12);
+        assert_eq!(ra, rb, "{name} chaos rerun diverged");
+        assert!(ra.faults.injected > 0, "{name} fixture actually faulted");
+    }
+}
+
+/// The fault seed is part of the schedule: changing only `fault_seed`
+/// produces a different run, while the crawl remains internally valid.
+#[test]
+fn fault_seed_reshuffles_the_schedule() {
+    let base = faulty_config(2.0, FaultPlan::profile("moderate").unwrap());
+    let mut reseeded = base.clone();
+    reseeded.faults.fault_seed = 0xDEAD_BEEF;
+    let mut a = build_crawler("mak", 13).unwrap();
+    let ra = run_crawl(&mut *a, apps::build("phpbb2").unwrap(), &base, 13);
+    let mut b = build_crawler("mak", 13).unwrap();
+    let rb = run_crawl(&mut *b, apps::build("phpbb2").unwrap(), &reseeded, 13);
+    assert_ne!(
+        (ra.interactions, ra.final_lines_covered, ra.faults.injected),
+        (rb.interactions, rb.final_lines_covered, rb.faults.injected),
+        "a different fault seed is a different flaky web"
+    );
+}
+
+/// With the default (empty) plan the fault layer is inert: the report
+/// carries all-zero fault stats and — because the browser takes the
+/// fault-free fast path — the run equals the pre-fault-layer behavior
+/// byte-for-byte (the golden-report snapshots enforce the same property
+/// against committed artifacts).
+#[test]
+fn zero_fault_plan_reports_zero_stats() {
+    let cfg = EngineConfig::with_budget_minutes(2.0);
+    let mut c = build_crawler("mak", 14).unwrap();
+    let report = run_crawl(&mut *c, apps::build("addressbook").unwrap(), &cfg, 14);
+    assert_eq!(report.faults, FaultStats::default());
+}
+
+/// Forced session expiry mid-crawl: the browser drops its cookie, the app
+/// mints a fresh session on the next request, and coverage keeps growing —
+/// the crawler re-authenticates through the ordinary login forms.
+#[test]
+fn session_expiry_does_not_stall_authenticated_crawls() {
+    let mut plan = FaultPlan::none();
+    plan.session_expiry = 0.05;
+    let cfg = faulty_config(5.0, plan);
+    for app in ["phpbb2", "hotcrp"] {
+        let mut c = build_crawler("mak", 15).unwrap();
+        let report = run_crawl(&mut *c, apps::build(app).unwrap(), &cfg, 15);
+        assert!(report.faults.session_expiries > 0, "{app}: sessions expired");
+        assert_eq!(report.faults.injected, report.faults.session_expiries, "{app}: only expiry");
+
+        let mut clean = build_crawler("mak", 15).unwrap();
+        let clean_report = run_crawl(
+            &mut *clean,
+            apps::build(app).unwrap(),
+            &EngineConfig::with_budget_minutes(5.0),
+            15,
+        );
+        let ratio = report.final_lines_covered as f64 / clean_report.final_lines_covered as f64;
+        assert!(ratio > 0.6, "{app}: expiry costs some coverage but not the crawl: {ratio}");
+    }
+}
+
+/// Stale elements surface as failed (uncounted) interactions: the element
+/// is retried later, the arm takes a zero reward, and the crawl goes on.
+#[test]
+fn stale_elements_degrade_gracefully() {
+    let mut plan = FaultPlan::none();
+    plan.stale_element = 0.15;
+    let cfg = faulty_config(3.0, plan);
+    let mut c = build_crawler("mak", 16).unwrap();
+    let report = run_crawl(&mut *c, apps::build("oscommerce2").unwrap(), &cfg, 16);
+    assert!(report.faults.stale_elements > 0);
+    assert_eq!(report.faults.retries, 0, "stale elements fail fast, no retry loop");
+    assert!(report.final_lines_covered > 1_000, "the crawl still covers the app");
+}

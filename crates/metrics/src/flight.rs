@@ -217,6 +217,15 @@ fn markdown(report: &FlightReport, svgs: &[(String, String)]) -> String {
         );
     }
 
+    if report.faults_injected > 0 || report.retries > 0 {
+        let _ = writeln!(out, "## Faults\n");
+        let _ = writeln!(
+            out,
+            "{} faults injected, {} retries scheduled, {} recovered requests.\n",
+            report.faults_injected, report.retries, report.fault_recoveries,
+        );
+    }
+
     let _ = writeln!(out, "## Event census\n");
     let rows: Vec<Vec<String>> = report
         .events_per_kind
@@ -280,6 +289,18 @@ mod tests {
     }
 
     #[test]
+    fn fault_counters_render_only_when_faults_occurred() {
+        // The sample fixture carries one FaultInjected / RetryScheduled /
+        // FaultRecovered event each.
+        let rendered = render(&mak_report());
+        assert!(rendered.markdown.contains("## Faults"));
+        assert!(rendered
+            .markdown
+            .contains("1 faults injected, 1 retries scheduled, 1 recovered requests."));
+        assert!(rendered.markdown.contains("| FaultInjected | 1 |"), "census includes faults");
+    }
+
+    #[test]
     fn coverage_chart_is_annotated_with_epoch_advances() {
         let report = mak_report();
         assert!(!report.epoch_advances.is_empty(), "fixture has an advance");
@@ -311,6 +332,7 @@ mod tests {
         assert_eq!(suffixes, vec!["coverage"]);
         assert!(!rendered.markdown.contains("## Reward distribution"));
         assert!(!rendered.markdown.contains("## Exp3.1 epoch advances"));
+        assert!(!rendered.markdown.contains("## Faults"), "fault-free traces skip the section");
     }
 
     #[test]

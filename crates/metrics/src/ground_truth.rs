@@ -87,6 +87,7 @@ mod tests {
             state_count: None,
             elapsed_secs: 1.0,
             trace: vec![],
+            faults: Default::default(),
         }
     }
 

@@ -470,6 +470,7 @@ mod tests {
             state_count: None,
             elapsed_secs: 59.5,
             trace: vec![],
+            faults: Default::default(),
         }
     }
 
@@ -485,6 +486,34 @@ mod tests {
         assert_ne!(store.key("a", "bfs", 0, &cfg), store.key("a", "bfs", 0, &cfg2));
         let fp = RunStore::at(store.root(), CacheMode::Off).with_fingerprint(123);
         assert_ne!(store.key("a", "bfs", 0, &cfg), fp.key("a", "bfs", 0, &cfg));
+    }
+
+    #[test]
+    fn fault_plans_partition_the_cache() {
+        use mak_browser::fault::FaultPlan;
+        let clean = EngineConfig::with_budget_minutes(1.0);
+        let mut faulty = clean.clone();
+        faulty.faults = FaultPlan::profile("moderate").unwrap();
+
+        // The fault plan is part of the cache key…
+        let keyed = RunStore::at(tmp_root("fault-keys"), CacheMode::Off);
+        assert_ne!(keyed.key("a", "bfs", 0, &clean), keyed.key("a", "bfs", 0, &faulty));
+        let mut seeded = clean.clone();
+        seeded.faults = FaultPlan::profile("moderate").unwrap();
+        seeded.faults.fault_seed = 99;
+        assert_ne!(keyed.key("a", "bfs", 0, &faulty), keyed.key("a", "bfs", 0, &seeded));
+
+        // …so a clean-run entry is never served for a faulty config…
+        let store = RunStore::at(tmp_root("fault-clean"), CacheMode::ReadWrite);
+        store.save(&sample_report(3), &clean);
+        assert!(store.load("addressbook", "bfs", 3, &faulty).is_none());
+        assert!(store.load("addressbook", "bfs", 3, &clean).is_some());
+
+        // …and a faulty-run entry is never served for a clean config.
+        let store = RunStore::at(tmp_root("fault-dirty"), CacheMode::ReadWrite);
+        store.save(&sample_report(3), &faulty);
+        assert!(store.load("addressbook", "bfs", 3, &clean).is_none());
+        assert!(store.load("addressbook", "bfs", 3, &faulty).is_some());
     }
 
     #[test]

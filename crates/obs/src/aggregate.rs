@@ -214,6 +214,12 @@ pub struct Aggregator {
     pub cache_hits: u64,
     /// Cache misses (`CacheMiss`).
     pub cache_misses: u64,
+    /// Faults injected (`FaultInjected`).
+    pub faults_injected: u64,
+    /// Retries scheduled (`RetryScheduled`).
+    pub retries: u64,
+    /// Recovered navigations (`FaultRecovered`).
+    pub fault_recoveries: u64,
     /// Final covered lines (last `StepFinished` / `RunFinished`).
     pub lines: u64,
     /// Final interaction count.
@@ -244,6 +250,9 @@ impl Default for Aggregator {
             epoch_advances: 0,
             cache_hits: 0,
             cache_misses: 0,
+            faults_injected: 0,
+            retries: 0,
+            fault_recoveries: 0,
             lines: 0,
             interactions: 0,
             elapsed_ms: 0.0,
@@ -332,6 +341,15 @@ impl EventSink for Aggregator {
             }
             Event::CacheHit { .. } => self.cache_hits += 1,
             Event::CacheMiss { .. } => self.cache_misses += 1,
+            Event::FaultInjected { wait_ms, .. } => {
+                self.faults_injected += 1;
+                self.profile.fetch_ms += wait_ms;
+            }
+            Event::RetryScheduled { backoff_ms, .. } => {
+                self.retries += 1;
+                self.profile.fetch_ms += backoff_ms;
+            }
+            Event::FaultRecovered { .. } => self.fault_recoveries += 1,
             Event::CoverageDelta { .. } | Event::CellFinished { .. } => {}
         }
     }

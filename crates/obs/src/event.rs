@@ -14,6 +14,7 @@
 //! | `CoverageDelta` | `mak_websim::server::AppHost` |
 //! | `CacheHit` / `CacheMiss` | `mak_metrics::store::RunStore` |
 //! | `CellFinished` | `mak_metrics::experiment` (bench-side) |
+//! | `FaultInjected` / `RetryScheduled` / `FaultRecovered` | `mak_browser::client` (fault layer) |
 //!
 //! All `t_ms` / `*_ms` fields inside a run are **virtual-clock**
 //! milliseconds. `CellFinished::wall_ms` is the one wall-clock field; it
@@ -99,6 +100,15 @@ pub enum Event {
         interactions: u64,
         cached: bool,
     },
+    /// The fault layer injected a fault of `kind` while handling `url`;
+    /// `wait_ms` is the virtual time the failed attempt wasted (0 for
+    /// session expiry, which proceeds anonymously).
+    FaultInjected { kind: String, url: String, wait_ms: f64 },
+    /// A retryable fault scheduled retry number `attempt` after a
+    /// capped-exponential backoff of `backoff_ms` virtual milliseconds.
+    RetryScheduled { attempt: u64, backoff_ms: f64 },
+    /// A navigation succeeded after `attempts` failed attempts.
+    FaultRecovered { attempts: u64 },
 }
 
 impl Event {
@@ -108,7 +118,7 @@ impl Event {
     /// exhaustiveness contract: a variant added without analyzer support
     /// fails to compile (the matches) or fails the workspace
     /// observability tests (this list).
-    pub const ALL_KINDS: [&'static str; 15] = [
+    pub const ALL_KINDS: [&'static str; 18] = [
         "RunStarted",
         "StepStarted",
         "ActionChosen",
@@ -124,6 +134,9 @@ impl Event {
         "CacheHit",
         "CacheMiss",
         "CellFinished",
+        "FaultInjected",
+        "RetryScheduled",
+        "FaultRecovered",
     ];
 
     /// One synthetic sample of every variant, in [`Event::ALL_KINDS`]
@@ -182,6 +195,13 @@ impl Event {
                 interactions: 1,
                 cached: false,
             },
+            Event::FaultInjected {
+                kind: "Timeout".into(),
+                url: "http://a/slow".into(),
+                wait_ms: 2_200.0,
+            },
+            Event::RetryScheduled { attempt: 1, backoff_ms: 500.0 },
+            Event::FaultRecovered { attempts: 1 },
         ]
     }
 
@@ -204,6 +224,9 @@ impl Event {
             Event::CacheHit { .. } => "CacheHit",
             Event::CacheMiss { .. } => "CacheMiss",
             Event::CellFinished { .. } => "CellFinished",
+            Event::FaultInjected { .. } => "FaultInjected",
+            Event::RetryScheduled { .. } => "RetryScheduled",
+            Event::FaultRecovered { .. } => "FaultRecovered",
         }
     }
 }

@@ -103,6 +103,12 @@ pub struct FlightReport {
     pub cache_misses: u64,
     /// Bench-side `CellFinished` events seen (never in per-crawl traces).
     pub cells_finished: u64,
+    /// Faults injected by the fault layer (0 on zero-fault traces).
+    pub faults_injected: u64,
+    /// Retries scheduled after retryable faults.
+    pub retries: u64,
+    /// Navigations that recovered after at least one fault.
+    pub fault_recoveries: u64,
     /// Exp3.1 policy updates completed.
     pub policy_updates: u64,
     /// Virtual-budget attribution per cost bucket.
@@ -268,6 +274,17 @@ impl EventSink for FlightRecorder {
             Event::CacheHit { .. } => r.cache_hits += 1,
             Event::CacheMiss { .. } => r.cache_misses += 1,
             Event::CellFinished { .. } => r.cells_finished += 1,
+            Event::FaultInjected { wait_ms, .. } => {
+                r.faults_injected += 1;
+                // A failed attempt's wait is network time down the drain:
+                // attribute it to the fetch bucket.
+                r.cost.fetch_ms += wait_ms;
+            }
+            Event::RetryScheduled { backoff_ms, .. } => {
+                r.retries += 1;
+                r.cost.fetch_ms += backoff_ms;
+            }
+            Event::FaultRecovered { .. } => r.fault_recoveries += 1,
         }
     }
 }

@@ -62,7 +62,9 @@ pub fn probe_surface(browser: &mut Browser, surface: &AttackSurface) -> Vec<Find
                 }
             }
             Err(BrowseError::BudgetExhausted) => return findings,
-            Err(BrowseError::ExternalDomain(_)) => {}
+            // A flaky endpoint that outlived its retries is simply not
+            // probed further — skip to the next target.
+            Err(_) => {}
         }
     }
 
@@ -115,7 +117,7 @@ pub fn probe_surface(browser: &mut Browser, surface: &AttackSurface) -> Vec<Find
                 }
                 Ok(_) => {}
                 Err(BrowseError::BudgetExhausted) => return findings,
-                Err(BrowseError::ExternalDomain(_)) => {}
+                Err(_) => {}
             }
         }
     }

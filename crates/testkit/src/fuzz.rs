@@ -20,6 +20,7 @@ use crate::oracle::Violation;
 use crate::shrink::shrink;
 use mak::framework::engine::{run_crawl, CrawlReport, EngineConfig};
 use mak::spec::{build_crawler, CRAWLER_NAMES, MAK_VARIANTS};
+use mak_browser::fault::FaultPlan;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
@@ -40,6 +41,9 @@ pub struct FuzzConfig {
     pub out_dir: PathBuf,
     /// Print per-app progress to stdout.
     pub progress: bool,
+    /// Fault plan injected into every crawl (chaos mode); the empty plan
+    /// fuzzes the fault-free browser.
+    pub faults: FaultPlan,
 }
 
 impl Default for FuzzConfig {
@@ -52,6 +56,7 @@ impl Default for FuzzConfig {
             budget_minutes: 1.0,
             out_dir: PathBuf::from("results/fuzz"),
             progress: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -71,6 +76,9 @@ pub struct FailureArtifact {
     pub violation: Violation,
     /// Candidate specs evaluated while shrinking.
     pub shrink_attempts: u64,
+    /// The fault plan active during the failing crawl. Deserializes to the
+    /// empty plan when absent, so pre-chaos artifacts stay replayable.
+    pub faults: FaultPlan,
 }
 
 /// Summary of a fuzz campaign.
@@ -92,16 +100,25 @@ impl FuzzOutcome {
     }
 }
 
+/// The engine config shared by every detection path: the budget plus the
+/// campaign's fault plan.
+fn engine_config(budget_minutes: f64, faults: &FaultPlan) -> EngineConfig {
+    let mut config = EngineConfig::with_budget_minutes(budget_minutes);
+    config.faults = faults.clone();
+    config
+}
+
 /// Step-level + rerun detection for one `(spec, crawler, seed, budget)`
 /// cell: first oracle violation, else first rerun mismatch, else `None`.
 /// This is both the fuzz check and the shrink predicate for such failures.
 pub fn detect_step_failure(
     spec: &BlueprintSpec,
     budget_minutes: f64,
+    faults: &FaultPlan,
     crawler: &str,
     seed: u64,
 ) -> Option<Violation> {
-    let config = EngineConfig::with_budget_minutes(budget_minutes);
+    let config = engine_config(budget_minutes, faults);
     let mut c = build_crawler(crawler, seed).unwrap_or_else(|| panic!("unknown {crawler}"));
     let (report, violations) = oracle_crawl(&mut *c, spec, &config, seed);
     if let Some(v) = violations.into_iter().next() {
@@ -113,10 +130,11 @@ pub fn detect_step_failure(
 fn detect_parallel_failure(
     spec: &BlueprintSpec,
     budget_minutes: f64,
+    faults: &FaultPlan,
     crawlers: &[String],
     seed: u64,
 ) -> Option<Violation> {
-    let config = EngineConfig::with_budget_minutes(budget_minutes);
+    let config = engine_config(budget_minutes, faults);
     let sequential: Vec<CrawlReport> = crawlers
         .iter()
         .map(|name| {
@@ -130,10 +148,11 @@ fn detect_parallel_failure(
 fn detect_cache_failure(
     spec: &BlueprintSpec,
     budget_minutes: f64,
+    faults: &FaultPlan,
     crawler: &str,
     seed: u64,
 ) -> Option<Violation> {
-    let config = EngineConfig::with_budget_minutes(budget_minutes);
+    let config = engine_config(budget_minutes, faults);
     let mut c = build_crawler(crawler, seed).unwrap_or_else(|| panic!("unknown {crawler}"));
     let report = run_crawl(&mut *c, Box::new(spec.build()), &config, seed);
     check_cache_roundtrip(spec, crawler, seed, &config, &report).err()
@@ -162,9 +181,11 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> std::io::Result<FuzzOutcome> {
         for s in 0..cfg.seeds {
             for crawler in &cfg.crawlers {
                 outcome.runs += 1;
-                if let Some(v) = detect_step_failure(&spec, cfg.budget_minutes, crawler, s) {
+                if let Some(v) =
+                    detect_step_failure(&spec, cfg.budget_minutes, &cfg.faults, crawler, s)
+                {
                     record_failure(cfg, &mut outcome, &spec, crawler, s, v, &mut |sp, b| {
-                        detect_step_failure(sp, b, crawler, s)
+                        detect_step_failure(sp, b, &cfg.faults, crawler, s)
                     })?;
                 }
             }
@@ -173,17 +194,20 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> std::io::Result<FuzzOutcome> {
         // Differential sweeps once per app, on the first seed: every
         // crawler in one parallel batch, plus a cache round-trip of the
         // first crawler's report.
-        if let Some(v) = detect_parallel_failure(&spec, cfg.budget_minutes, &cfg.crawlers, 0) {
+        if let Some(v) =
+            detect_parallel_failure(&spec, cfg.budget_minutes, &cfg.faults, &cfg.crawlers, 0)
+        {
             let crawlers = cfg.crawlers.clone();
             record_failure(cfg, &mut outcome, &spec, "parallel-batch", 0, v, &mut |sp, b| {
-                detect_parallel_failure(sp, b, &crawlers, 0)
+                detect_parallel_failure(sp, b, &cfg.faults, &crawlers, 0)
             })?;
         }
         if let Some(first) = cfg.crawlers.first() {
-            if let Some(v) = detect_cache_failure(&spec, cfg.budget_minutes, first, 0) {
+            if let Some(v) = detect_cache_failure(&spec, cfg.budget_minutes, &cfg.faults, first, 0)
+            {
                 let name = first.clone();
                 record_failure(cfg, &mut outcome, &spec, first, 0, v, &mut |sp, b| {
-                    detect_cache_failure(sp, b, &name, 0)
+                    detect_cache_failure(sp, b, &cfg.faults, &name, 0)
                 })?;
             }
         }
@@ -211,6 +235,7 @@ fn record_failure(
         budget_minutes: shrunk.budget_minutes,
         violation: shrunk.violation,
         shrink_attempts: shrunk.attempts,
+        faults: cfg.faults.clone(),
     };
     let path = cfg.out_dir.join(format!("failure-{}-{crawler}.json", outcome.failures.len()));
     std::fs::write(&path, serde_json::to_string_pretty(&artifact).expect("artifact serializes"))?;
@@ -248,18 +273,21 @@ pub fn replay(path: &std::path::Path) -> Result<ReplayOutcome, String> {
         "parallel-sequential" => detect_parallel_failure(
             &artifact.spec,
             artifact.budget_minutes,
+            &artifact.faults,
             std::slice::from_ref(&artifact.crawler),
             artifact.seed,
         ),
         "cache-roundtrip" => detect_cache_failure(
             &artifact.spec,
             artifact.budget_minutes,
+            &artifact.faults,
             &artifact.crawler,
             artifact.seed,
         ),
         _ => detect_step_failure(
             &artifact.spec,
             artifact.budget_minutes,
+            &artifact.faults,
             &artifact.crawler,
             artifact.seed,
         ),
@@ -306,6 +334,7 @@ mod tests {
                 details: "synthetic".into(),
             },
             shrink_attempts: 0,
+            faults: FaultPlan::none(),
         };
         let dir = temp_out("replay");
         std::fs::create_dir_all(&dir).unwrap();
@@ -315,6 +344,49 @@ mod tests {
         assert_eq!(outcome.artifact, artifact);
         assert!(outcome.reproduced.is_none(), "{:?}", outcome.reproduced);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_smoke_run_is_clean() {
+        let out = temp_out("chaos");
+        let cfg = FuzzConfig {
+            apps: 3,
+            seeds: 1,
+            crawlers: vec!["mak".into(), "bfs".into()],
+            budget_minutes: 0.5,
+            out_dir: out.clone(),
+            faults: FaultPlan::profile("moderate").unwrap(),
+            ..FuzzConfig::default()
+        };
+        let outcome = run_fuzz(&cfg).unwrap();
+        assert!(outcome.clean(), "chaos mode violates no invariant: {:?}", outcome.failures);
+        assert_eq!(outcome.runs, 3 * 2);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn pre_chaos_artifacts_parse_with_the_empty_plan() {
+        use serde::{Deserialize, Serialize, Value};
+        let artifact = FailureArtifact {
+            spec: BlueprintSpec::generate(2),
+            crawler: "mak".into(),
+            seed: 1,
+            budget_minutes: 0.5,
+            violation: Violation {
+                step: 3,
+                invariant: "exp31-epoch-bound".into(),
+                details: "synthetic".into(),
+            },
+            shrink_attempts: 0,
+            faults: FaultPlan::profile("heavy").unwrap(),
+        };
+        // Simulate an artifact written before the fault layer existed by
+        // stripping the `faults` field from the serialized form.
+        let Value::Object(mut entries) = artifact.to_value() else { panic!("object") };
+        entries.retain(|(k, _)| k != "faults");
+        let parsed = FailureArtifact::from_value(&Value::Object(entries)).unwrap();
+        assert_eq!(parsed.faults, FaultPlan::none(), "missing plan defaults to empty");
+        assert_eq!(parsed.spec, artifact.spec);
     }
 
     #[test]

@@ -78,6 +78,7 @@ fn injected_bug_artifact_replays_clean_on_fixed_code() {
         budget_minutes: 1.0,
         violation,
         shrink_attempts: 0,
+        faults: mak_browser::fault::FaultPlan::none(),
     };
     let dir = std::env::temp_dir().join(format!("mak-testkit-selftest-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -107,6 +107,83 @@ fn session_allocation_is_deterministic() {
     }
 }
 
+/// A forced logout mid-crawl (the fault layer's session-expiry fault drops
+/// the cookie, here simulated as a cookie-less request mid-sequence) is
+/// survivable at the websim level: a fresh session is minted, the crawl
+/// sequence continues, and harness coverage stays monotone non-decreasing
+/// across the expiry — losing a session never loses coverage.
+#[test]
+fn forced_logout_mid_sequence_keeps_coverage_monotone() {
+    for app in ["phpbb2", "hotcrp"] {
+        let mut host = AppHost::new(apps::build(app).unwrap());
+        let origin = host.app().seed_url();
+        let paths = ["/", "/search", "/", "/search", "/", "/search", "/", "/"];
+        let mut cookie: Option<SessionId> = None;
+        let mut covered = 0u64;
+        let mut cookies_seen = std::collections::BTreeSet::new();
+        for (i, path) in paths.iter().enumerate() {
+            let mut req = Request::get(origin.join(path).unwrap());
+            // The forced logout: half-way through, the cookie vanishes.
+            if i == paths.len() / 2 {
+                cookie = None;
+            }
+            req.session = cookie;
+            let resp = host.fetch(&req);
+            cookie = Some(resp.session.expect("a session is always established"));
+            cookies_seen.insert(cookie.unwrap());
+            let now = host.harness_lines_covered();
+            assert!(now >= covered, "{app}: coverage regressed across the logout");
+            covered = now;
+        }
+        assert!(cookies_seen.len() >= 2, "{app}: the logout minted a fresh session");
+        assert_eq!(host.session_count(), cookies_seen.len(), "{app}: sessions accounted for");
+    }
+}
+
+/// HotCRP's login-gated PC area after a forced logout: the fresh session is
+/// locked out again, re-login through the same form re-opens the area, and
+/// coverage keeps growing through the second visit.
+#[test]
+fn hotcrp_relogin_reopens_the_gated_area() {
+    use mak_websim::http::Status;
+
+    let mut host = AppHost::new(apps::build("hotcrp").unwrap());
+    let login = |host: &mut AppHost, sid: SessionId| {
+        let mut req = Request::post(
+            "http://hotcrp.local/pc/p0".parse().unwrap(),
+            vec![("user".into(), "demo".into()), ("password".into(), "password123".into())],
+        );
+        req.session = Some(sid);
+        host.fetch(&req)
+    };
+    let gated = |host: &mut AppHost, sid: SessionId| {
+        let mut req = Request::get("http://hotcrp.local/pc/p2".parse().unwrap());
+        req.session = Some(sid);
+        host.fetch(&req)
+    };
+
+    // First session: bounce, login, enter.
+    let a = host.fetch(&Request::get("http://hotcrp.local/".parse().unwrap())).session.unwrap();
+    assert_eq!(gated(&mut host, a).status, Status::Found, "locked out before login");
+    login(&mut host, a);
+    assert_eq!(gated(&mut host, a).status, Status::Ok, "gated area opens after login");
+    let covered_after_first = host.harness_lines_covered();
+
+    // Forced logout: a cookie-less request mints session B, which is gated
+    // again — authentication is per-session state, not global.
+    let b = host.fetch(&Request::get("http://hotcrp.local/".parse().unwrap())).session.unwrap();
+    assert_ne!(a, b);
+    assert_eq!(gated(&mut host, b).status, Status::Found, "fresh session is locked out");
+
+    // Re-login re-opens the area and coverage stays monotone.
+    login(&mut host, b);
+    assert_eq!(gated(&mut host, b).status, Status::Ok, "re-login re-opens the area");
+    assert!(
+        host.harness_lines_covered() >= covered_after_first,
+        "coverage is monotone across logout and re-login"
+    );
+}
+
 /// A reset (cookie-less request) always mints a fresh session rather than
 /// resurrecting an old one, and never disturbs existing sessions.
 #[test]

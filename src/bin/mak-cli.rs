@@ -28,6 +28,9 @@
 //!   --replay <file>     replay a fuzz failure artifact instead of fuzzing
 //!   --trace <file>      write the run's observability event stream as JSONL
 //!                       (crawl only; also prints the per-step action trace)
+//!   --faults <profile>  inject deterministic faults: none, light, moderate,
+//!                       or heavy (crawl only; part of the cache key)
+//!   --chaos             fuzz under the moderate fault profile (fuzz only)
 //!
 //! `crawl` and `compare` consult the run cache under `results/cache/`
 //! (`MAK_CACHE=off|rw|ro` to control, `MAK_CACHE_DIR` to relocate).
@@ -58,6 +61,10 @@ struct Options {
     replay: Option<String>,
     /// Target JSONL file for the observability event stream.
     trace: Option<String>,
+    /// Fault plan for `crawl` (named profile) — `None` means fault-free.
+    faults: Option<mak_browser::fault::FaultPlan>,
+    /// `fuzz --chaos`: run the campaign under the moderate fault profile.
+    chaos: bool,
 }
 
 impl Default for Options {
@@ -70,6 +77,8 @@ impl Default for Options {
             apps: 25,
             replay: None,
             trace: None,
+            faults: None,
+            chaos: false,
         }
     }
 }
@@ -117,6 +126,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--trace" => {
                 opts.trace = Some(it.next().ok_or("--trace needs a file path")?.clone());
             }
+            "--faults" => {
+                let name = it.next().ok_or("--faults needs a profile name")?;
+                opts.faults = Some(mak_browser::fault::FaultPlan::profile(name).ok_or(format!(
+                    "unknown fault profile `{name}` (try none, light, moderate, heavy)"
+                ))?);
+            }
+            "--chaos" => {
+                opts.chaos = true;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -137,7 +155,8 @@ fn usage() -> ExitCode {
         "usage: mak-cli <apps|crawlers|crawl <app>|compare <app>|profile <app> <crawler>|\
          scan <app>|fuzz|cache <stats|clear>|trace <summarize FILE|diff A B|check FILE>> \
          [--crawler NAME] [--minutes F] [--seed N] \
-         [--seeds N] [--apps N] [--replay FILE] [--trace FILE]"
+         [--seeds N] [--apps N] [--replay FILE] [--trace FILE] \
+         [--faults PROFILE] [--chaos]"
     );
     ExitCode::FAILURE
 }
@@ -375,6 +394,9 @@ fn cmd_crawl(app: &str, opts: &Options) -> ExitCode {
     let total = app_model.code_model().total_lines();
     let mut config = EngineConfig::with_budget_minutes(opts.minutes.unwrap_or(30.0));
     config.record_trace = opts.trace.is_some();
+    if let Some(plan) = &opts.faults {
+        config.faults = plan.clone();
+    }
 
     let store = RunStore::from_env();
     let report = match &opts.trace {
@@ -429,6 +451,14 @@ fn cmd_crawl(app: &str, opts: &Options) -> ExitCode {
     );
     if let Some(states) = report.state_count {
         println!("states created: {states}");
+    }
+    if opts.faults.is_some() {
+        let f = &report.faults;
+        println!(
+            "faults: {} injected ({} session expiries, {} stale elements), \
+             {} retries, {} recoveries, {} exhausted",
+            f.injected, f.session_expiries, f.stale_elements, f.retries, f.recoveries, f.exhausted,
+        );
     }
     if opts.trace.is_some() {
         for entry in &report.trace {
@@ -567,14 +597,20 @@ fn cmd_fuzz(opts: &Options) -> ExitCode {
         base_seed: opts.seed,
         budget_minutes: opts.minutes.unwrap_or(1.0),
         progress: true,
+        faults: if opts.chaos {
+            mak_browser::fault::FaultPlan::profile("moderate").expect("registered profile")
+        } else {
+            mak_browser::fault::FaultPlan::none()
+        },
         ..FuzzConfig::default()
     };
     println!(
-        "fuzzing {} generated apps x {} seeds x {} crawlers ({} min budget each)",
+        "fuzzing {} generated apps x {} seeds x {} crawlers ({} min budget each{})",
         cfg.apps,
         cfg.seeds,
         cfg.crawlers.len(),
-        cfg.budget_minutes
+        cfg.budget_minutes,
+        if opts.chaos { ", chaos: moderate faults" } else { "" },
     );
     let outcome = match run_fuzz(&cfg) {
         Ok(o) => o,
