@@ -14,8 +14,11 @@
 //! `MAK_SEEDS` defaults to **2** and `MAK_BUDGET_MINUTES` to **5** here,
 //! so an uncached pass stays in the seconds range. Baselines embed the
 //! knobs they were blessed under; a mismatched run refuses to compare
-//! instead of reporting phantom drift. The wall-clock envelope is
-//! reported on stderr only — it is not deterministic and never gates.
+//! instead of reporting phantom drift. The aggregate wall-clock envelope
+//! is reported on stderr only — it is not deterministic and never gates —
+//! but per-app steps/sec is held to the blessed floors at a generous
+//! fractional tolerance (apps whose cells all came from the cache are
+//! skipped: cached cells carry no wall-clock signal).
 
 use mak::framework::engine::EngineConfig;
 use mak::spec::CRAWLER_NAMES;
@@ -87,9 +90,11 @@ fn main() -> ExitCode {
             &serde_json::to_string_pretty(&base).expect("baselines serialize"),
         );
         println!(
-            "blessed {} pairs and {} crawler regrets (seeds={}, budget={} min)",
+            "blessed {} pairs, {} crawler regrets, {} steps/sec floors \
+             (seeds={}, budget={} min)",
             base.pairs.len(),
             base.regret.len(),
+            base.perf_floors.len(),
             base.config.seeds,
             base.config.budget_minutes
         );
@@ -121,10 +126,18 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
         Ok(findings) if findings.is_empty() => {
+            let checked_floors = bench
+                .app_perf
+                .iter()
+                .filter(|p| base.perf_floors.iter().any(|f| f.app == p.app))
+                .count();
             println!(
-                "regression gate passed: {} pairs and {} crawler regrets within tolerance",
+                "regression gate passed: {} pairs, {} crawler regrets, and {} of {} \
+                 steps/sec floors within tolerance",
                 base.pairs.len(),
-                base.regret.len()
+                base.regret.len(),
+                checked_floors,
+                base.perf_floors.len()
             );
             ExitCode::SUCCESS
         }

@@ -10,8 +10,12 @@
 //!
 //! Determinism split: coverage, interactions and regret are pure
 //! functions of `(app, crawler, seed, config)` and gate hard. Wall-clock
-//! throughput is run-dependent, so the perf envelope is recorded in
-//! `results/BENCH_coverage.json` for inspection but never gated.
+//! time is run-dependent, so the perf envelope is recorded in
+//! `results/BENCH_coverage.json` for inspection but never gated on its
+//! own; per-app steps/sec is gated *softly* against blessed floors with a
+//! generous fractional tolerance (default 0.5×), so only an
+//! order-of-magnitude slowdown — a lost optimization, not scheduler noise
+//! — trips the gate.
 //!
 //! The vendored serde derives neither attributes nor map types, so every
 //! persisted collection here is a `Vec` of named-field structs sorted on
@@ -99,6 +103,17 @@ pub struct PerfEnvelope {
     pub mean_steps_per_sec: f64,
 }
 
+/// Mean throughput of one application's fresh cells, in steps
+/// (interactions) per wall-clock second. Apps with no fresh cells in a
+/// run have no entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppPerf {
+    /// Application name.
+    pub app: String,
+    /// Mean interactions per wall-clock second over the app's fresh cells.
+    pub mean_steps_per_sec: f64,
+}
+
 /// The `results/BENCH_coverage.json` document: one bench matrix folded
 /// into gateable metrics plus the advisory perf envelope.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -111,6 +126,9 @@ pub struct CoverageBench {
     pub regret: Vec<CrawlerRegret>,
     /// Advisory wall-clock envelope.
     pub perf: PerfEnvelope,
+    /// Per-app fresh-cell throughput, sorted by app; compared against the
+    /// blessed [`Baselines::perf_floors`].
+    pub app_perf: Vec<AppPerf>,
 }
 
 /// Per-metric slack for [`compare`]. The workspace is bit-deterministic,
@@ -124,11 +142,21 @@ pub struct Tolerances {
     pub interactions_rel: f64,
     /// Allowed change in cumulative regret, absolute percentage points.
     pub regret_abs_pct: f64,
+    /// Fraction of a blessed per-app steps/sec floor a run may fall to
+    /// before gating. Deliberately generous (0.5×): wall-clock throughput
+    /// varies with the machine, so only losing half the blessed speed —
+    /// a regressed hot path, not noise — counts.
+    pub steps_per_sec_frac: f64,
 }
 
 impl Default for Tolerances {
     fn default() -> Self {
-        Tolerances { coverage_drop_rel: 0.05, interactions_rel: 0.10, regret_abs_pct: 5.0 }
+        Tolerances {
+            coverage_drop_rel: 0.05,
+            interactions_rel: 0.10,
+            regret_abs_pct: 5.0,
+            steps_per_sec_frac: 0.5,
+        }
     }
 }
 
@@ -144,17 +172,37 @@ pub struct Baselines {
     pub pairs: Vec<PairMetrics>,
     /// Blessed per-crawler cumulative regret.
     pub regret: Vec<CrawlerRegret>,
+    /// Blessed per-app steps/sec floors, sorted by app. Compared at
+    /// [`Tolerances::steps_per_sec_frac`] of the floor; apps with no
+    /// fresh cells in a gate run are skipped (cached cells carry no
+    /// wall-clock signal).
+    pub perf_floors: Vec<PerfFloor>,
+}
+
+/// One blessed throughput floor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfFloor {
+    /// Application name.
+    pub app: String,
+    /// Blessed mean steps/sec over the app's fresh cells.
+    pub steps_per_sec: f64,
 }
 
 impl Baselines {
-    /// Blesses a fresh bench as the new baseline (perf envelope dropped —
-    /// it is not deterministic).
+    /// Blesses a fresh bench as the new baseline. The aggregate perf
+    /// envelope is dropped (not deterministic); the per-app steps/sec
+    /// means become the blessed floors.
     pub fn from_bench(bench: &CoverageBench, tolerances: Tolerances) -> Self {
         Baselines {
             config: bench.config.clone(),
             tolerances,
             pairs: bench.pairs.clone(),
             regret: bench.regret.clone(),
+            perf_floors: bench
+                .app_perf
+                .iter()
+                .map(|p| PerfFloor { app: p.app.clone(), steps_per_sec: p.mean_steps_per_sec })
+                .collect(),
         }
     }
 }
@@ -205,12 +253,15 @@ pub fn measure<'a>(
     let mut fresh = 0u64;
     let mut wall = Vec::new();
     let mut rate = Vec::new();
+    let mut app_rates: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
     for event in cells {
-        if let Event::CellFinished { wall_ms, interactions, cached: false, .. } = event {
+        if let Event::CellFinished { app, wall_ms, interactions, cached: false, .. } = event {
             fresh += 1;
             wall.push(*wall_ms);
             if *wall_ms > 0.0 {
-                rate.push(*interactions as f64 / (*wall_ms / 1000.0));
+                let r = *interactions as f64 / (*wall_ms / 1000.0);
+                rate.push(r);
+                app_rates.entry(app.as_str()).or_default().push(r);
             }
         }
     }
@@ -219,8 +270,12 @@ pub fn measure<'a>(
         mean_wall_ms: if wall.is_empty() { 0.0 } else { mean(&wall) },
         mean_steps_per_sec: if rate.is_empty() { 0.0 } else { mean(&rate) },
     };
+    let app_perf: Vec<AppPerf> = app_rates
+        .iter()
+        .map(|(app, rates)| AppPerf { app: (*app).to_owned(), mean_steps_per_sec: mean(rates) })
+        .collect();
 
-    CoverageBench { config, pairs, regret, perf }
+    CoverageBench { config, pairs, regret, perf, app_perf }
 }
 
 /// One gate finding, already formatted for display.
@@ -291,6 +346,23 @@ pub fn compare(current: &CoverageBench, base: &Baselines) -> Result<Vec<Regressi
                 "pair {}/{} is new (not in baselines); re-bless to admit it",
                 key.0, key.1
             ));
+        }
+    }
+
+    // Soft throughput floors: only apps with fresh cells this run carry a
+    // wall-clock signal; cached cells are skipped, and gains never gate.
+    let cur_perf: BTreeMap<&str, f64> =
+        current.app_perf.iter().map(|p| (p.app.as_str(), p.mean_steps_per_sec)).collect();
+    for f in &base.perf_floors {
+        if let Some(&measured) = cur_perf.get(f.app.as_str()) {
+            let floor = f.steps_per_sec * tol.steps_per_sec_frac;
+            if measured < floor {
+                findings.push(format!(
+                    "throughput regression on {}: {:.0} steps/sec < {:.0} \
+                     (blessed floor {:.0} × tolerance {})",
+                    f.app, measured, floor, f.steps_per_sec, tol.steps_per_sec_frac,
+                ));
+            }
         }
     }
 
@@ -451,6 +523,42 @@ mod tests {
         other.config.seeds = 10;
         let err = compare(&other, &base).unwrap_err();
         assert!(err.contains("re-bless"), "{err}");
+    }
+
+    #[test]
+    fn throughput_floors_gate_at_half_the_blessed_rate() {
+        let mk = |app: &str, wall_ms| Event::CellFinished {
+            app: app.into(),
+            crawler: "mak".into(),
+            seed: 0,
+            wall_ms,
+            virtual_secs: 300.0,
+            interactions: 1_000,
+            cached: false,
+        };
+        let events = [mk("a", 10.0), mk("b", 10.0)]; // 100k steps/sec each
+        let b = measure(vec![cell("a", "mak", 1, 1), cell("b", "mak", 1, 1)], events.iter(), config());
+        assert_eq!(b.app_perf.len(), 2);
+        let base = Baselines::from_bench(&b, Tolerances::default());
+        assert_eq!(base.perf_floors.len(), 2);
+
+        // Same speed passes; 60% of the floor passes (tolerance is 0.5×).
+        assert_eq!(compare(&b, &base), Ok(vec![]));
+        let mut slower = b.clone();
+        slower.app_perf[0].mean_steps_per_sec *= 0.6;
+        assert_eq!(compare(&slower, &base), Ok(vec![]));
+
+        // 40% of the floor gates.
+        let mut regressed = b.clone();
+        regressed.app_perf[0].mean_steps_per_sec *= 0.4;
+        let findings = compare(&regressed, &base).unwrap();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].contains("throughput regression on a"), "{findings:?}");
+
+        // An app with no fresh cells this run is skipped, not failed.
+        let mut cached_run = b.clone();
+        cached_run.app_perf.retain(|p| p.app != "a");
+        assert_eq!(compare(&cached_run, &base), Ok(vec![]));
     }
 
     #[test]

@@ -252,7 +252,7 @@ impl Browser {
                 self.clock.advance(wait);
                 self.fault_stats.injected += 1;
                 self.fault_stats.stale_elements += 1;
-                let url = action_target(action).normalized();
+                let url = action_target(action).normalized().to_owned();
                 self.sink.emit_with(|| Event::FaultInjected {
                     kind: kind.name().to_owned(),
                     url,
@@ -344,7 +344,7 @@ impl Browser {
                     self.cookie = None;
                     self.fault_stats.injected += 1;
                     self.fault_stats.session_expiries += 1;
-                    let url = req.url.normalized();
+                    let url = req.url.normalized().to_owned();
                     self.sink.emit_with(|| Event::FaultInjected {
                         kind: kind.name().to_owned(),
                         url,
@@ -358,7 +358,7 @@ impl Browser {
                     self.clock.advance(wait);
                     self.fault_stats.injected += 1;
                     attempts += 1;
-                    let url = req.url.normalized();
+                    let url = req.url.normalized().to_owned();
                     self.sink.emit_with(|| Event::FaultInjected {
                         kind: kind.name().to_owned(),
                         url,
@@ -411,7 +411,7 @@ impl Browser {
                     let hop_ms = latency * 0.5;
                     self.clock.advance(hop_ms);
                     self.sink.emit_with(|| Event::RedirectFollowed {
-                        url: location.normalized(),
+                        url: location.normalized().to_owned(),
                         fetch_ms: hop_ms,
                     });
                     hops += 1;
@@ -438,7 +438,7 @@ impl Browser {
                     );
                     self.clock.advance(cost.total());
                     self.sink.emit_with(|| Event::PageFetched {
-                        url: page.url().normalized(),
+                        url: page.url().normalized().to_owned(),
                         status: page.status().code(),
                         fetch_ms: cost.fetch_ms,
                         think_ms: cost.think_ms,
@@ -455,7 +455,7 @@ impl Browser {
                     self.clock.advance(cost.total());
                     let page = Page::empty(resp.status, req.url);
                     self.sink.emit_with(|| Event::PageFetched {
-                        url: page.url().normalized(),
+                        url: page.url().normalized().to_owned(),
                         status: page.status().code(),
                         fetch_ms: cost.fetch_ms,
                         think_ms: cost.think_ms,

@@ -1,36 +1,48 @@
 //! The crawler-visible snapshot of a fetched page.
 
-use mak_websim::dom::{Document, Interactable};
+use mak_websim::dom::{DocShared, Document, Interactable};
 use mak_websim::http::Status;
 use mak_websim::url::Url;
+use std::sync::Arc;
 
 /// A fetched page: final URL (after redirects), status, and extracted
 /// interactable elements.
+///
+/// The interactables (and the tag sequence WebExplor consumes) live in an
+/// `Arc<DocShared>`: documents served from a render cache carry a
+/// precomputed one, so snapshotting such a page costs no tree walk and no
+/// per-element clone.
 #[derive(Debug, Clone)]
 pub struct Page {
     url: Url,
     status: Status,
     title: String,
     document: Option<Document>,
-    interactables: Vec<Interactable>,
+    shared: Arc<DocShared>,
 }
 
 impl Page {
     /// Builds a page snapshot from a served document.
     pub fn from_document(status: Status, doc: Document) -> Self {
-        let interactables = doc.interactables();
+        let shared = doc.shared_cache();
         Page {
             url: doc.url().clone(),
             status,
             title: doc.title().to_owned(),
             document: Some(doc),
-            interactables,
+            shared,
         }
     }
 
     /// Builds an empty-bodied page (e.g. a bare 404).
     pub fn empty(status: Status, url: Url) -> Self {
-        Page { url, status, title: String::new(), document: None, interactables: Vec::new() }
+        Page {
+            url,
+            status,
+            title: String::new(),
+            document: None,
+            shared: Arc::new(DocShared::empty()),
+        }
     }
 
     /// The final URL the page was served from.
@@ -55,7 +67,13 @@ impl Page {
 
     /// All interactable elements extracted from the page.
     pub fn interactables(&self) -> &[Interactable] {
-        &self.interactables
+        self.shared.interactables()
+    }
+
+    /// The shared derivations (interactables + tag sequence) backing this
+    /// snapshot — state abstractions hold the `Arc` instead of re-deriving.
+    pub fn shared(&self) -> &Arc<DocShared> {
+        &self.shared
     }
 
     /// Interactable elements whose targets stay on `origin` — the valid
@@ -64,7 +82,7 @@ impl Page {
         &'a self,
         origin: &'a Url,
     ) -> impl Iterator<Item = &'a Interactable> {
-        self.interactables.iter().filter(move |i| i.target_url().same_origin(origin))
+        self.shared.interactables().iter().filter(move |i| i.target_url().same_origin(origin))
     }
 
     /// Whether the page is a navigation error (non-2xx).

@@ -3,6 +3,7 @@
 use mak_browser::client::Browser;
 use mak_browser::cost::CostModel;
 use mak_obs::sink::SinkHandle;
+use std::borrow::Cow;
 use std::fmt;
 
 /// Why a crawl step could not be performed.
@@ -28,8 +29,11 @@ impl fmt::Display for CrawlEnd {
 #[derive(Debug, Clone)]
 pub struct StepReport {
     /// Human-readable label of the chosen action (e.g. `"Head"`, an element
-    /// signature, …).
-    pub action: String,
+    /// signature, …). A `Cow` so crawlers with a fixed action vocabulary
+    /// (MAK's three arm names) report it without a per-step allocation;
+    /// the engine materializes a `String` only when a trace or event sink
+    /// actually consumes the label.
+    pub action: Cow<'static, str>,
     /// The reward fed to the policy for this step, if the crawler learns.
     pub reward: Option<f64>,
 }

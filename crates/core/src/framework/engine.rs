@@ -6,7 +6,7 @@
 //! [`Browser`] with a [`VirtualClock`], charges per-decision policy
 //! overhead, and samples the live coverage time series that Fig. 2 plots.
 
-use crate::framework::crawler::{CrawlEnd, Crawler};
+use crate::framework::crawler::{CrawlEnd, Crawler, StepReport};
 use mak_browser::client::Browser;
 use mak_browser::clock::VirtualClock;
 use mak_browser::cost::CostModel;
@@ -251,19 +251,22 @@ pub fn run_crawl_with_sink(
             policy_ms,
         });
         match crawler.step(&mut browser) {
-            Ok(step) => {
-                if let Some(reward) = step.reward {
+            // The action label is a `Cow`: on the hot path (no sink, no
+            // trace) it is never turned into a `String`, so a step with a
+            // static label allocates nothing here.
+            Ok(StepReport { action, reward }) => {
+                if let Some(reward) = reward {
                     sink.emit_with(|| Event::RewardComputed {
                         step: step_index,
-                        action: step.action.clone(),
+                        action: action.clone().into_owned(),
                         reward,
                     });
                 }
                 sink.emit_with(|| Event::StepFinished {
                     step: step_index,
                     t_ms: browser.clock().elapsed_ms(),
-                    action: step.action.clone(),
-                    reward: step.reward,
+                    action: action.clone().into_owned(),
+                    reward,
                     interactions: browser.interaction_count(),
                     lines: browser.host().harness_lines_covered(),
                     distinct_urls: crawler.distinct_urls() as u64,
@@ -272,8 +275,8 @@ pub fn run_crawl_with_sink(
                 if config.record_trace {
                     trace.push(TraceEntry {
                         secs: browser.clock().elapsed_secs(),
-                        action: step.action,
-                        reward: step.reward,
+                        action: action.into_owned(),
+                        reward,
                     });
                 }
             }

@@ -8,13 +8,16 @@
 //! MAK's reward standardizes.
 
 use mak_browser::page::Page;
+use mak_intern::Interner;
 use mak_websim::url::Url;
-use std::collections::HashSet;
 
 /// The set of distinct URLs gathered during one crawl.
+///
+/// Backed by an [`Interner`]: probing with an already-seen URL allocates
+/// nothing, and each distinct normalized URL is stored exactly once.
 #[derive(Debug, Default)]
 pub struct LinkLog {
-    seen: HashSet<String>,
+    seen: Interner,
 }
 
 impl LinkLog {
@@ -25,7 +28,7 @@ impl LinkLog {
 
     /// Records one URL; returns `true` if it was new.
     pub fn record(&mut self, url: &Url) -> bool {
-        self.seen.insert(url.normalized())
+        self.seen.try_intern(url.normalized()).1
     }
 
     /// Absorbs a fetched page: its own URL plus every same-origin element
@@ -52,6 +55,11 @@ impl LinkLog {
     /// Whether nothing has been gathered yet.
     pub fn is_empty(&self) -> bool {
         self.seen.is_empty()
+    }
+
+    /// The URL interner (diagnostics: table size under `MAK_LOG=debug`).
+    pub fn interner(&self) -> &Interner {
+        &self.seen
     }
 }
 

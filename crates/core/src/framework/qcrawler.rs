@@ -19,9 +19,9 @@ use mak_browser::client::{BrowseError, Browser};
 use mak_browser::cost::CostModel;
 use mak_browser::page::Page;
 use mak_websim::dom::Interactable;
-use mak_websim::util::hash_str;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// `GET_STATE` of Algorithm 2: maps pages to abstract state identifiers,
@@ -171,10 +171,6 @@ impl<S: StateAbstraction> QCrawler<S> {
         let state = self.states.state_of(&page);
         Ok(Some((state, page)))
     }
-
-    fn actions_of(page: &Page, browser: &Browser) -> Vec<Interactable> {
-        page.valid_interactables(browser.origin()).cloned().collect()
-    }
 }
 
 impl<S: StateAbstraction> Crawler for QCrawler<S> {
@@ -184,30 +180,32 @@ impl<S: StateAbstraction> Crawler for QCrawler<S> {
 
     fn step(&mut self, browser: &mut Browser) -> Result<StepReport, CrawlEnd> {
         // GET_STATE: establish the current position, restarting if needed.
-        let (state, page) = match self.current.take() {
+        let (mut state, mut page) = match self.current.take() {
             Some(cur) => cur,
             None => match self.open_seed(browser)? {
                 Some(sp) => sp,
-                None => return Ok(StepReport { action: "SeedRetry".to_owned(), reward: None }),
+                None => return Ok(StepReport { action: Cow::Borrowed("SeedRetry"), reward: None }),
             },
         };
 
-        // GET_ACTIONS: the interactable elements of the current page.
-        let mut state = state;
-        let mut actions = Self::actions_of(&page, browser);
-        if actions.is_empty() {
+        // GET_ACTIONS: the interactable elements of the current page. The
+        // actions borrow the page snapshot — nothing on this hot path clones
+        // an element.
+        let origin = browser.origin().clone();
+        if page.valid_interactables(&origin).next().is_none() {
             // Dead end (e.g. a body-less error response): restart.
             self.restarts += 1;
             let Some((s, p)) = self.open_seed(browser)? else {
-                return Ok(StepReport { action: "SeedRetry".to_owned(), reward: None });
+                return Ok(StepReport { action: Cow::Borrowed("SeedRetry"), reward: None });
             };
-            actions = Self::actions_of(&p, browser);
             state = s;
-            if actions.is_empty() {
-                return Err(CrawlEnd::Stuck);
-            }
+            page = p;
         }
-        let action_keys: Vec<u64> = actions.iter().map(|a| hash_str(&a.signature())).collect();
+        let actions: Vec<&Interactable> = page.valid_interactables(&origin).collect();
+        if actions.is_empty() {
+            return Err(CrawlEnd::Stuck);
+        }
+        let action_keys: Vec<u64> = actions.iter().map(|a| a.signature_hash()).collect();
 
         // CHOOSE_ACTION.
         let values = self.q.values_for(state, &action_keys);
@@ -219,7 +217,7 @@ impl<S: StateAbstraction> Crawler for QCrawler<S> {
                 self.q.best_action(state, &action_keys).expect("non-empty actions")
             }
         };
-        let chosen = &actions[idx];
+        let chosen = actions[idx];
         let chosen_key = action_keys[idx];
 
         // EXECUTE.
@@ -232,8 +230,9 @@ impl<S: StateAbstraction> Crawler for QCrawler<S> {
             Err(BrowseError::ExternalDomain(_)) => {
                 // Valid-action filtering makes this unreachable; restart
                 // defensively.
+                let action = Cow::Owned(chosen.signature());
                 self.current = None;
-                return Ok(StepReport { action: chosen.signature(), reward: None });
+                return Ok(StepReport { action, reward: None });
             }
             Err(
                 BrowseError::TooManyRedirects(_)
@@ -243,19 +242,17 @@ impl<S: StateAbstraction> Crawler for QCrawler<S> {
                 // Graceful degradation: the trajectory dead-ends on the
                 // fault, so restart from the seed next step. No reward, no
                 // Q-update — the fault is noise, not signal.
+                let action = Cow::Owned(chosen.signature());
                 self.current = None;
-                return Ok(StepReport { action: chosen.signature(), reward: None });
+                return Ok(StepReport { action, reward: None });
             }
         };
 
         // GET_STATE (s') and GET_REWARD: curiosity over (s, a) visits.
-        let origin = browser.origin().clone();
         self.links.absorb_page(&next_page, &origin);
         let next_state = self.states.state_of(&next_page);
-        let next_actions: Vec<u64> = Self::actions_of(&next_page, browser)
-            .iter()
-            .map(|a| hash_str(&a.signature()))
-            .collect();
+        let next_actions: Vec<u64> =
+            next_page.valid_interactables(&origin).map(Interactable::signature_hash).collect();
         let visits = self.visit_counts.entry((state, chosen_key)).or_insert(0);
         *visits += 1;
         let reward = self.curiosity.value(*visits);
@@ -270,8 +267,9 @@ impl<S: StateAbstraction> Crawler for QCrawler<S> {
             }
         }
 
+        let action = Cow::Owned(chosen.signature());
         self.current = Some((next_state, next_page));
-        Ok(StepReport { action: chosen.signature(), reward: Some(reward) })
+        Ok(StepReport { action, reward: Some(reward) })
     }
 
     fn policy_overhead_ms(&self, cost: &CostModel) -> f64 {

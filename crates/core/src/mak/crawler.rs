@@ -11,6 +11,7 @@ use mak_obs::event::Event;
 use mak_obs::sink::SinkHandle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::borrow::Cow;
 
 /// Multi-Armed Krawler: stateless, Exp3.1-driven, link-coverage rewarded.
 ///
@@ -120,6 +121,12 @@ impl MakCrawler {
         &self.deque
     }
 
+    /// The link-coverage log (diagnostics: its URL interner's table size is
+    /// printed by `mak-cli cache stats` under `MAK_LOG=debug`).
+    pub fn links(&self) -> &LinkLog {
+        &self.links
+    }
+
     /// Testkit fault injection: mutable access to the arm policy, so the
     /// oracle self-test can plant a known bug (e.g. disabling Exp3.1 epoch
     /// advances) and prove the invariant oracle catches it.
@@ -130,10 +137,10 @@ impl MakCrawler {
     /// Absorbs a fetched page: counts new URLs (the raw reward increment)
     /// and enqueues newly discovered same-origin elements at level 0.
     fn ingest(&mut self, page: &Page, browser: &Browser) -> u64 {
-        let origin = browser.origin().clone();
-        let increment = self.links.absorb_page(page, &origin);
-        for el in page.valid_interactables(&origin) {
-            self.deque.push_new(el.clone());
+        let origin = browser.origin();
+        let increment = self.links.absorb_page(page, origin);
+        for el in page.valid_interactables(origin) {
+            self.deque.push_new(el);
         }
         increment
     }
@@ -180,7 +187,7 @@ impl Crawler for MakCrawler {
         if !self.ensure_started(browser)? {
             // Transient fault on the seed fetch; its cost is charged, the
             // next step retries from scratch.
-            return Ok(StepReport { action: "SeedRetry".to_owned(), reward: None });
+            return Ok(StepReport { action: Cow::Borrowed("SeedRetry"), reward: None });
         }
 
         let arm = match self.fixed_arm {
@@ -205,7 +212,7 @@ impl Crawler for MakCrawler {
             Err(BrowseError::ExternalDomain(_)) => {
                 // Ingest filters external targets, so this is unreachable in
                 // practice; drop the element defensively.
-                return Ok(StepReport { action: arm.to_string(), reward: None });
+                return Ok(StepReport { action: Cow::Borrowed(arm.name()), reward: None });
             }
             Err(
                 BrowseError::TooManyRedirects(_)
@@ -227,7 +234,7 @@ impl Crawler for MakCrawler {
                         .map(|l| self.deque.level_len(l) as u64)
                         .collect(),
                 });
-                return Ok(StepReport { action: arm.to_string(), reward: Some(0.0) });
+                return Ok(StepReport { action: Cow::Borrowed(arm.name()), reward: Some(0.0) });
             }
         };
 
@@ -243,7 +250,7 @@ impl Crawler for MakCrawler {
             levels: (0..self.deque.level_count()).map(|l| self.deque.level_len(l) as u64).collect(),
         });
 
-        Ok(StepReport { action: arm.to_string(), reward: Some(reward) })
+        Ok(StepReport { action: Cow::Borrowed(arm.name()), reward: Some(reward) })
     }
 
     fn distinct_urls(&self) -> usize {

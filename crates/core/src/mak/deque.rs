@@ -11,9 +11,10 @@
 //! The deque tracks **action availability only**: no page state, no
 //! environment model (§IV-B's closing remark), so MAK stays stateless.
 
+use mak_intern::Interner;
 use mak_websim::dom::Interactable;
 use rand::Rng;
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// MAK's three actions (§IV-B).
@@ -48,23 +49,34 @@ impl Arm {
     pub fn from_index(index: usize) -> Arm {
         Arm::ALL[index]
     }
+
+    /// The arm's display name as a static string — lets hot paths label
+    /// steps without allocating.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arm::Head => "Head",
+            Arm::Tail => "Tail",
+            Arm::Random => "Random",
+        }
+    }
 }
 
 impl fmt::Display for Arm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Arm::Head => "Head",
-            Arm::Tail => "Tail",
-            Arm::Random => "Random",
-        })
+        f.write_str(self.name())
     }
 }
 
 /// The global, level-indexed pool of interactable elements.
+///
+/// Deduplication keys on interned signature [`Symbol`](mak_intern::Symbol)s
+/// rather than owned `String`s: probing with an already-known element
+/// allocates nothing (the interner reuses a scratch buffer), and the element
+/// itself is only cloned into the pool when it is genuinely new.
 #[derive(Debug, Default)]
 pub struct LeveledDeque {
     levels: Vec<VecDeque<Interactable>>,
-    known: HashSet<String>,
+    known: Interner,
     len: usize,
 }
 
@@ -78,14 +90,15 @@ impl LeveledDeque {
     /// `Tail` retrieves the newest discovery). Elements are deduplicated by
     /// [signature](Interactable::signature): re-extracting the same element
     /// on a later visit does not re-add it. Returns `true` if inserted.
-    pub fn push_new(&mut self, element: Interactable) -> bool {
-        if !self.known.insert(element.signature()) {
+    pub fn push_new(&mut self, element: &Interactable) -> bool {
+        let (_, new) = self.known.intern_with(|buf| element.write_signature(buf));
+        if !new {
             return false;
         }
         if self.levels.is_empty() {
             self.levels.push(VecDeque::new());
         }
-        self.levels[0].push_back(element);
+        self.levels[0].push_back(element.clone());
         self.len += 1;
         true
     }
@@ -138,7 +151,12 @@ impl LeveledDeque {
 
     /// Whether an element with this signature was ever inserted.
     pub fn knows(&self, signature: &str) -> bool {
-        self.known.contains(signature)
+        self.known.get(signature).is_some()
+    }
+
+    /// The signature interner (diagnostics: table size under `MAK_LOG=debug`).
+    pub fn interner(&self) -> &Interner {
+        &self.known
     }
 }
 
@@ -147,6 +165,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::HashSet;
 
     fn link(path: &str) -> Interactable {
         Interactable::Link { href: format!("http://h{path}").parse().unwrap(), text: String::new() }
@@ -156,9 +175,9 @@ mod tests {
     fn head_is_fifo_tail_is_lifo() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut d = LeveledDeque::new();
-        d.push_new(link("/a"));
-        d.push_new(link("/b"));
-        d.push_new(link("/c"));
+        d.push_new(&link("/a"));
+        d.push_new(&link("/b"));
+        d.push_new(&link("/c"));
         let (first, _) = d.pop(Arm::Head, &mut rng).unwrap();
         assert_eq!(first.target_url().path(), "/a", "Head = least recently discovered (BFS)");
         let (last, _) = d.pop(Arm::Tail, &mut rng).unwrap();
@@ -171,9 +190,9 @@ mod tests {
         let mut seen = HashSet::new();
         for _ in 0..50 {
             let mut d = LeveledDeque::new();
-            d.push_new(link("/a"));
-            d.push_new(link("/b"));
-            d.push_new(link("/c"));
+            d.push_new(&link("/a"));
+            d.push_new(&link("/b"));
+            d.push_new(&link("/c"));
             let (el, _) = d.pop(Arm::Random, &mut rng).unwrap();
             seen.insert(el.target_url().path().to_owned());
         }
@@ -183,8 +202,8 @@ mod tests {
     #[test]
     fn deduplicates_by_signature() {
         let mut d = LeveledDeque::new();
-        assert!(d.push_new(link("/a")));
-        assert!(!d.push_new(link("/a")));
+        assert!(d.push_new(&link("/a")));
+        assert!(!d.push_new(&link("/a")));
         assert_eq!(d.len(), 1);
         assert!(d.knows(&link("/a").signature()));
     }
@@ -193,7 +212,7 @@ mod tests {
     fn lowest_level_is_drained_first() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut d = LeveledDeque::new();
-        d.push_new(link("/fresh"));
+        d.push_new(&link("/fresh"));
         d.reinsert(link("/used"), 1);
         let (el, level) = d.pop(Arm::Tail, &mut rng).unwrap();
         assert_eq!(el.target_url().path(), "/fresh");

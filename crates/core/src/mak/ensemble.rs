@@ -21,6 +21,7 @@ use mak_obs::event::Event;
 use mak_obs::sink::SinkHandle;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::borrow::Cow;
 
 /// A round-robin ensemble of independent MAK policies over a shared pool.
 #[derive(Debug)]
@@ -72,10 +73,10 @@ impl EnsembleCrawler {
     }
 
     fn ingest(&mut self, page: &Page, browser: &Browser) -> u64 {
-        let origin = browser.origin().clone();
-        let increment = self.links.absorb_page(page, &origin);
-        for el in page.valid_interactables(&origin) {
-            self.deque.push_new(el.clone());
+        let origin = browser.origin();
+        let increment = self.links.absorb_page(page, origin);
+        for el in page.valid_interactables(origin) {
+            self.deque.push_new(el);
         }
         increment
     }
@@ -99,7 +100,7 @@ impl Crawler for EnsembleCrawler {
                 ) => {
                     // Transient fault on the seed fetch; its cost is
                     // charged, the next step retries from scratch.
-                    return Ok(StepReport { action: "SeedRetry".to_owned(), reward: None });
+                    return Ok(StepReport { action: Cow::Borrowed("SeedRetry"), reward: None });
                 }
             };
             self.ingest(&page, browser);
@@ -125,7 +126,7 @@ impl Crawler for EnsembleCrawler {
                 return Err(CrawlEnd::BudgetExhausted);
             }
             Err(BrowseError::ExternalDomain(_)) => {
-                return Ok(StepReport { action: arm.to_string(), reward: None });
+                return Ok(StepReport { action: Cow::Borrowed(arm.name()), reward: None });
             }
             Err(
                 BrowseError::TooManyRedirects(_)
@@ -136,7 +137,10 @@ impl Crawler for EnsembleCrawler {
                 // zero reward and demote the element — never blacklist it.
                 self.policies[agent].update(arm.index(), 0.0);
                 self.deque.reinsert(element, level + 1);
-                return Ok(StepReport { action: format!("agent{agent}:{arm}"), reward: Some(0.0) });
+                return Ok(StepReport {
+                    action: Cow::Owned(format!("agent{agent}:{arm}")),
+                    reward: Some(0.0),
+                });
             }
         };
 
@@ -151,7 +155,7 @@ impl Crawler for EnsembleCrawler {
             levels: (0..self.deque.level_count()).map(|l| self.deque.level_len(l) as u64).collect(),
         });
 
-        Ok(StepReport { action: format!("agent{agent}:{arm}"), reward: Some(reward) })
+        Ok(StepReport { action: Cow::Owned(format!("agent{agent}:{arm}")), reward: Some(reward) })
     }
 
     fn distinct_urls(&self) -> usize {

@@ -14,6 +14,10 @@ use std::collections::HashMap;
 #[derive(Debug, Default)]
 pub struct QExploreState {
     by_hash: HashMap<u64, u64>,
+    /// Reusable representation buffer: the abstraction re-serializes every
+    /// interactable on every step, so the buffer is cleared and refilled
+    /// instead of reallocated (same bytes, same hash).
+    repr: String,
 }
 
 impl QExploreState {
@@ -25,12 +29,12 @@ impl QExploreState {
 
 impl StateAbstraction for QExploreState {
     fn state_of(&mut self, page: &Page) -> u64 {
-        let mut repr = String::new();
+        self.repr.clear();
         for el in page.interactables() {
-            repr.push_str(&el.attribute_values());
-            repr.push('\n');
+            el.write_attribute_values(&mut self.repr);
+            self.repr.push('\n');
         }
-        let hash = hash_str(&repr);
+        let hash = hash_str(&self.repr);
         let next_id = self.by_hash.len() as u64;
         *self.by_hash.entry(hash).or_insert(next_id)
     }

@@ -2,8 +2,10 @@
 
 use crate::framework::qcrawler::StateAbstraction;
 use mak_browser::page::Page;
-use mak_websim::dom::Tag;
+use mak_websim::dom::{DocShared, Tag};
 use std::collections::HashMap;
+use std::fmt::Write;
+use std::sync::Arc;
 
 /// Fraction of positional tag mismatches (and length difference) tolerated
 /// by the pattern-matching similarity before a new state is created.
@@ -11,7 +13,10 @@ const TAG_TOLERANCE: f64 = 0.10;
 
 #[derive(Debug)]
 struct StateEntry {
-    tags: Vec<Tag>,
+    /// The page derivations (tag sequence lives here). Holding the `Arc`
+    /// instead of a cloned `Vec<Tag>` makes revisits of a cached page a
+    /// pointer comparison.
+    shared: Arc<DocShared>,
 }
 
 /// WebExplor's pre-processing + similarity functions (§III-A):
@@ -26,6 +31,9 @@ struct StateEntry {
 pub struct WebExplorState {
     entries: Vec<StateEntry>,
     by_url: HashMap<String, Vec<usize>>,
+    /// Reusable key buffer: the exact (non-normalized) URL string is
+    /// rebuilt here each lookup, so the hit path allocates nothing.
+    url_key: String,
 }
 
 impl WebExplorState {
@@ -51,19 +59,26 @@ impl WebExplorState {
 
 impl StateAbstraction for WebExplorState {
     fn state_of(&mut self, page: &Page) -> u64 {
-        let url = page.url().to_string();
-        let tags = page.document().map(|d| d.tag_sequence()).unwrap_or_default();
+        self.url_key.clear();
+        write!(self.url_key, "{}", page.url()).expect("writing to a String cannot fail");
+        let shared = page.shared();
 
-        if let Some(candidates) = self.by_url.get(&url) {
+        if let Some(candidates) = self.by_url.get(self.url_key.as_str()) {
             for &idx in candidates {
-                if Self::similar(&self.entries[idx].tags, &tags) {
+                let entry = &self.entries[idx];
+                // Pointer-equal derivations are trivially similar (identical
+                // tag sequences), so revisits of a cached page skip the
+                // positional comparison entirely.
+                if Arc::ptr_eq(&entry.shared, shared)
+                    || Self::similar(entry.shared.tags(), shared.tags())
+                {
                     return idx as u64;
                 }
             }
         }
         let idx = self.entries.len();
-        self.entries.push(StateEntry { tags });
-        self.by_url.entry(url).or_default().push(idx);
+        self.entries.push(StateEntry { shared: Arc::clone(shared) });
+        self.by_url.entry(self.url_key.clone()).or_default().push(idx);
         idx as u64
     }
 

@@ -70,3 +70,19 @@ fn report_regeneration_is_bit_identical() {
         );
     }
 }
+
+#[test]
+fn reports_are_identical_across_threads() {
+    // The hot path interns signatures and URLs into per-run tables; symbol
+    // ids are insertion-ordered, never hash- or thread-dependent, so a run
+    // on a worker thread serializes byte-for-byte like one on the main
+    // thread. This is what lets the run cache and the golden snapshots
+    // survive the interning layer unchanged.
+    for crawler in ["mak", "webexplor"] {
+        let main = canonical_report(crawler);
+        let worker = std::thread::spawn(move || canonical_report(crawler))
+            .join()
+            .expect("worker run completes");
+        assert_eq!(main, worker, "{crawler}: thread placement leaked into the report");
+    }
+}

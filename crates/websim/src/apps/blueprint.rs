@@ -388,6 +388,19 @@ pub struct BlueprintApp {
     external_links: usize,
     redirect_links: usize,
     flaky_every: Option<u64>,
+    /// Per-page render cache for **static** (widget-less) pages: the DOM of
+    /// such a page is a pure function of the compiled blueprint, so it is
+    /// rendered once and re-served under each request's URL
+    /// ([`Document::reissue`]). Coverage side effects still run per request
+    /// in [`BlueprintApp::render_page`]. Interior mutability because
+    /// [`WebApp::handle`] takes `&self`; `OnceCell` (not `OnceLock`) since
+    /// `dyn WebApp` is confined to one thread.
+    render_cache: Vec<std::cell::OnceCell<Document>>,
+    /// Same idea for pages **with** a widget: the static prefix (nav bar,
+    /// heading, link list) is built once and deep-cloned per request, which
+    /// is cheaper than re-deriving every URL string; the widget then
+    /// appends its dynamic elements.
+    widget_body_cache: Vec<std::cell::OnceCell<Element>>,
 }
 
 struct Compiler {
@@ -485,6 +498,7 @@ impl Compiler {
             self.model.declare_file("vendor/bundle.js", self.bp.dead_lines);
         }
 
+        let page_count = self.pages.len();
         BlueprintApp {
             name: self.bp.name,
             host: self.bp.host,
@@ -500,6 +514,8 @@ impl Compiler {
             external_links: self.bp.external_links,
             redirect_links: self.bp.redirect_links,
             flaky_every: self.bp.flaky_every,
+            render_cache: (0..page_count).map(|_| std::cell::OnceCell::new()).collect(),
+            widget_body_cache: (0..page_count).map(|_| std::cell::OnceCell::new()).collect(),
         }
     }
 
@@ -864,20 +880,13 @@ impl BlueprintApp {
         nav
     }
 
-    fn render_page(&self, idx: usize, req: &Request, ctx: &mut RequestCtx<'_>) -> Response {
+    /// The static prefix every render of page `idx` starts from: nav bar,
+    /// heading, the home page's external/shortcut links, and the outgoing
+    /// link list. Depends only on the compiled blueprint — every `href` it
+    /// emits is absolute or path-absolute, which is what makes the cached
+    /// render of [`Self::render_page`] independent of the request URL.
+    fn build_body(&self, idx: usize) -> Element {
         let page = &self.pages[idx];
-        // Access control runs before the page's own code: unauthenticated
-        // requests bounce to the login page without covering gated blocks.
-        if let Some((key, login_idx)) = &page.auth {
-            if ctx.session().get(key) == 0 {
-                return Response::redirect(self.page_url(*login_idx));
-            }
-        }
-        if let Some(shared) = page.shared {
-            ctx.execute(shared);
-        }
-        ctx.execute(page.base);
-
         let mut body = Element::new(Tag::Body).child(self.nav_bar());
         body = body.child(Element::new(Tag::H1).text(page.title.clone()));
 
@@ -911,12 +920,34 @@ impl BlueprintApp {
                 ),
             );
         }
-        body = body.child(list);
+        body.child(list)
+    }
 
-        if let Some(widget) = &page.widget {
-            body = self.render_widget(idx, widget, req, ctx, body);
+    fn render_page(&self, idx: usize, req: &Request, ctx: &mut RequestCtx<'_>) -> Response {
+        let page = &self.pages[idx];
+        // Access control runs before the page's own code: unauthenticated
+        // requests bounce to the login page without covering gated blocks.
+        if let Some((key, login_idx)) = &page.auth {
+            if ctx.session().get(key) == 0 {
+                return Response::redirect(self.page_url(*login_idx));
+            }
         }
+        // Coverage side effects are per-request and never cached.
+        if let Some(shared) = page.shared {
+            ctx.execute(shared);
+        }
+        ctx.execute(page.base);
 
+        let Some(widget) = &page.widget else {
+            // Static page: render once, re-serve under the request URL.
+            let proto = self.render_cache[idx].get_or_init(|| {
+                Document::new(self.page_url(idx), page.title.clone(), self.build_body(idx))
+                    .with_shared_cache()
+            });
+            return Response::html(proto.reissue(req.url.clone()));
+        };
+        let prefix = self.widget_body_cache[idx].get_or_init(|| self.build_body(idx)).clone();
+        let body = self.render_widget(idx, widget, req, ctx, prefix);
         Response::html(Document::new(req.url.clone(), page.title.clone(), body))
     }
 

@@ -25,6 +25,9 @@ pub struct AuditReport {
     pub total_declared: u64,
     /// Requests issued.
     pub requests: u64,
+    /// Executed blocks that addressed undeclared files or lines — nonzero
+    /// means the model declares out-of-range blocks and is unsound.
+    pub clamped_blocks: u64,
 }
 
 impl AuditReport {
@@ -56,7 +59,7 @@ pub fn audit_reachability(
     let mut fill = 0u64;
 
     queue.push_back(Request::get(origin.clone()));
-    visited.insert(origin.normalized());
+    visited.insert(origin.normalized().to_owned());
 
     while let Some(mut req) = queue.pop_front() {
         if host.request_count() >= max_requests {
@@ -70,7 +73,7 @@ pub fn audit_reachability(
         let doc = match resp.body {
             Body::Html(doc) => doc,
             Body::Redirect(location) => {
-                if location.same_origin(&origin) && visited.insert(location.normalized()) {
+                if location.same_origin(&origin) && visited.insert(location.normalized().to_owned()) {
                     queue.push_back(Request::get(location));
                 }
                 continue;
@@ -84,7 +87,7 @@ pub fn audit_reachability(
             }
             match &el {
                 Interactable::Link { href, .. } => {
-                    if visited.insert(href.normalized()) {
+                    if visited.insert(href.normalized().to_owned()) {
                         queue.push_back(Request::get(href.clone()));
                     }
                 }
@@ -141,6 +144,7 @@ pub fn audit_reachability(
         lines_covered: host.tracker().lines_covered_unchecked(),
         total_declared,
         requests: host.request_count(),
+        clamped_blocks: host.tracker().clamped_hits(),
     }
 }
 
@@ -183,6 +187,10 @@ mod tests {
                 100.0 * report.coverage()
             );
             assert!(report.urls_visited > 10, "{name}: walk explored URLs");
+            assert_eq!(
+                report.clamped_blocks, 0,
+                "{name}: model executed blocks outside its declared files"
+            );
         }
     }
 

@@ -235,28 +235,83 @@ impl Interactable {
     /// same" element on different visits map to the same signature. Links use
     /// the normalized target, buttons and forms their name plus target.
     pub fn signature(&self) -> String {
+        let mut out = String::new();
+        self.write_signature(&mut out);
+        out
+    }
+
+    /// Appends [`signature`](Self::signature) to `out` — the reusable-buffer
+    /// form hot paths use to probe dedup tables without allocating.
+    pub fn write_signature(&self, out: &mut String) {
         match self {
-            Interactable::Link { href, .. } => format!("link:{}", href.normalized()),
-            Interactable::Button { name, target } => {
-                format!("button:{name}@{}", target.normalized())
+            Interactable::Link { href, .. } => {
+                out.push_str("link:");
+                out.push_str(href.normalized());
             }
-            Interactable::Form(form) => format!("form:{}@{}", form.name, form.action.normalized()),
+            Interactable::Button { name, target } => {
+                out.push_str("button:");
+                out.push_str(name);
+                out.push('@');
+                out.push_str(target.normalized());
+            }
+            Interactable::Form(form) => {
+                out.push_str("form:");
+                out.push_str(&form.name);
+                out.push('@');
+                out.push_str(form.action.normalized());
+            }
         }
+    }
+
+    /// Streaming hash of the signature, bit-identical to
+    /// `hash_str(&self.signature())` without materializing the string
+    /// (verified by a unit test below — the action keys in recorded
+    /// crawl artifacts depend on this equivalence).
+    pub fn signature_hash(&self) -> u64 {
+        use crate::util::{fnv_fold, mix64, FNV_OFFSET};
+        let h = match self {
+            Interactable::Link { href, .. } => {
+                fnv_fold(fnv_fold(FNV_OFFSET, b"link:"), href.normalized().as_bytes())
+            }
+            Interactable::Button { name, target } => {
+                let h = fnv_fold(FNV_OFFSET, b"button:");
+                let h = fnv_fold(h, name.as_bytes());
+                fnv_fold(fnv_fold(h, b"@"), target.normalized().as_bytes())
+            }
+            Interactable::Form(form) => {
+                let h = fnv_fold(FNV_OFFSET, b"form:");
+                let h = fnv_fold(h, form.name.as_bytes());
+                fnv_fold(fnv_fold(h, b"@"), form.action.normalized().as_bytes())
+            }
+        };
+        mix64(h)
     }
 
     /// The attribute-value string QExplore's state abstraction hashes
     /// (§III-A): the concatenated attribute values of the element.
     pub fn attribute_values(&self) -> String {
+        let mut out = String::new();
+        self.write_attribute_values(&mut out);
+        out
+    }
+
+    /// Appends [`attribute_values`](Self::attribute_values) to `out` — the
+    /// reusable-buffer form used when building per-page state strings.
+    pub fn write_attribute_values(&self, out: &mut String) {
+        use std::fmt::Write as _;
         match self {
-            Interactable::Link { href, text } => format!("{href} {text}"),
-            Interactable::Button { name, target } => format!("{name} {target}"),
+            Interactable::Link { href, text } => {
+                let _ = write!(out, "{href} {text}");
+            }
+            Interactable::Button { name, target } => {
+                let _ = write!(out, "{name} {target}");
+            }
             Interactable::Form(form) => {
-                let mut s = format!("{} {}", form.name, form.action);
+                let _ = write!(out, "{} {}", form.name, form.action);
                 for f in &form.fields {
-                    s.push(' ');
-                    s.push_str(&f.name);
+                    out.push(' ');
+                    out.push_str(&f.name);
                 }
-                s
             }
         }
     }
@@ -271,13 +326,56 @@ impl Interactable {
     }
 }
 
+/// Derivations of one DOM tree that every consumer of the page recomputes
+/// otherwise: the extracted interactables and the pre-order tag sequence.
+/// Shared (via `Arc`) between a cached document and every page served from
+/// it, so re-serving a static page costs no tree walk.
+#[derive(Debug)]
+pub struct DocShared {
+    interactables: Vec<Interactable>,
+    tags: Vec<Tag>,
+}
+
+impl DocShared {
+    /// The shared derivations of a body-less page: no elements, no tags.
+    pub fn empty() -> Self {
+        DocShared { interactables: Vec::new(), tags: Vec::new() }
+    }
+
+    /// The extracted interactable elements, in document order.
+    pub fn interactables(&self) -> &[Interactable] {
+        &self.interactables
+    }
+
+    /// The pre-order tag sequence.
+    pub fn tags(&self) -> &[Tag] {
+        &self.tags
+    }
+}
+
 /// A rendered page: its URL, title and DOM tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The tree is held behind an `Arc` so a server can render a static page
+/// once and re-serve it under per-request URLs ([`Document::reissue`])
+/// without deep-cloning; the optional [`DocShared`] cache travels with it.
+/// Equality, like `Debug` before this design, covers the semantic fields
+/// (URL, title, tree) only — a cached and a freshly built document compare
+/// equal.
+#[derive(Debug, Clone)]
 pub struct Document {
     url: Url,
     title: String,
-    root: Element,
+    root: std::sync::Arc<Element>,
+    shared: Option<std::sync::Arc<DocShared>>,
 }
+
+impl PartialEq for Document {
+    fn eq(&self, other: &Self) -> bool {
+        self.url == other.url && self.title == other.title && self.root == other.root
+    }
+}
+
+impl Eq for Document {}
 
 impl Document {
     /// Wraps a `<body>` element into a full document for `url`.
@@ -286,7 +384,48 @@ impl Document {
         let root = Element::new(Tag::Html)
             .child(Element::new(Tag::Head).child(Element::new(Tag::Title).text(title.clone())))
             .child(body);
-        Document { url, title, root }
+        Document { url, title, root: std::sync::Arc::new(root), shared: None }
+    }
+
+    /// Precomputes and attaches the [`DocShared`] derivations, so every
+    /// [`reissue`](Self::reissue)d copy (and every page built from one)
+    /// reuses them instead of re-walking the tree.
+    #[must_use]
+    pub fn with_shared_cache(mut self) -> Self {
+        let shared = DocShared { interactables: self.interactables(), tags: self.tag_sequence() };
+        self.shared = Some(std::sync::Arc::new(shared));
+        self
+    }
+
+    /// The attached or freshly computed [`DocShared`] derivations.
+    pub fn shared_cache(&self) -> std::sync::Arc<DocShared> {
+        match &self.shared {
+            Some(s) => std::sync::Arc::clone(s),
+            None => std::sync::Arc::new(DocShared {
+                interactables: self.interactables(),
+                tags: self.tag_sequence(),
+            }),
+        }
+    }
+
+    /// Re-serves this document under a per-request URL, sharing the tree
+    /// and any attached [`DocShared`] cache instead of deep-cloning.
+    ///
+    /// Only sound when link resolution does not depend on the document URL
+    /// beyond its host — i.e. every `href`/`action`/`formaction` in the
+    /// tree is absolute or path-absolute, and `url` stays on the same host
+    /// and path as the original (query strings may differ, as with alias
+    /// links). The blueprint renderer's static pages satisfy this by
+    /// construction; the golden-report equivalence tests pin it down.
+    #[must_use]
+    pub fn reissue(&self, url: Url) -> Document {
+        debug_assert_eq!(url.host(), self.url.host(), "reissue must stay on the original host");
+        Document {
+            url,
+            title: self.title.clone(),
+            root: std::sync::Arc::clone(&self.root),
+            shared: self.shared.clone(),
+        }
     }
 
     /// The URL the document was served from.
@@ -307,6 +446,9 @@ impl Document {
     /// Pre-order sequence of all tags in the document — the page
     /// representation WebExplor's state abstraction uses (§III-A).
     pub fn tag_sequence(&self) -> Vec<Tag> {
+        if let Some(shared) = &self.shared {
+            return shared.tags.clone();
+        }
         let mut out = Vec::new();
         self.root.collect_tags(&mut out);
         out
@@ -591,6 +733,67 @@ mod tests {
         let title_pos = text.find("title").unwrap();
         let h1_pos = text.find("Results").unwrap();
         assert!(title_pos < h1_pos, "pre-order");
+    }
+
+    fn sample_interactables() -> Vec<Interactable> {
+        vec![
+            Interactable::Link {
+                href: "http://h/p?b=2&a=1".parse().unwrap(),
+                text: "anchor text".to_owned(),
+            },
+            Interactable::Button { name: "buy".to_owned(), target: "http://h/buy".parse().unwrap() },
+            Interactable::Form(FormSpec {
+                action: "http://h/search?scope=all".parse().unwrap(),
+                method: crate::http::Method::Post,
+                fields: vec![
+                    FormField { name: "q".to_owned(), kind: FieldKind::Text },
+                    FormField { name: "tok".to_owned(), kind: FieldKind::Hidden("x".to_owned()) },
+                ],
+                name: "search".to_owned(),
+            }),
+        ]
+    }
+
+    #[test]
+    fn signature_hash_matches_hash_of_signature_string() {
+        for el in sample_interactables() {
+            assert_eq!(
+                el.signature_hash(),
+                crate::util::hash_str(&el.signature()),
+                "streaming hash diverged for {}",
+                el.signature()
+            );
+        }
+    }
+
+    #[test]
+    fn buffered_writers_match_allocating_forms() {
+        for el in sample_interactables() {
+            let mut sig = String::from("prefix-must-survive:");
+            el.write_signature(&mut sig);
+            assert_eq!(sig, format!("prefix-must-survive:{}", el.signature()));
+            let mut attrs = String::new();
+            el.write_attribute_values(&mut attrs);
+            assert_eq!(attrs, el.attribute_values());
+        }
+    }
+
+    #[test]
+    fn reissued_document_shares_derivations_and_compares_equal() {
+        let built = doc(Element::new(Tag::Body)
+            .child(Element::new(Tag::A).attr("href", "http://h/x?m=1").text("x")))
+        .with_shared_cache();
+        let alias: Url = "http://h/page?alias=1".parse().unwrap();
+        let reissued = built.reissue(alias.clone());
+        assert_eq!(reissued.url(), &alias);
+        assert_eq!(reissued.title(), built.title());
+        // The shared cache travels, pointer-identical.
+        assert!(std::sync::Arc::ptr_eq(&built.shared_cache(), &reissued.shared_cache()));
+        // And equals what a fresh extraction would produce.
+        assert_eq!(reissued.shared_cache().interactables(), built.interactables().as_slice());
+        assert_eq!(reissued.shared_cache().tags(), built.tag_sequence().as_slice());
+        // A document reissued under its own URL is indistinguishable.
+        assert_eq!(built.reissue(built.url().clone()), built);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! form used for link-coverage accounting sorts parameters.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 /// An absolute URL as used by the simulated web applications.
 ///
@@ -22,12 +23,68 @@ use std::fmt;
 /// assert_eq!(url.query_value("p"), Some("8"));
 /// # Ok::<(), mak_websim::url::ParseUrlError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct Url {
     scheme: String,
     host: String,
     path: String,
     query: Vec<(String, String)>,
+    /// Lazily computed [`Url::normalized`] form. Purely derived data: it is
+    /// excluded from equality, ordering, hashing and `Debug`, and every
+    /// constructor/mutator leaves it unset. Cloning preserves a filled
+    /// cache, which is what makes shared (`Arc`-held) documents cheap to
+    /// re-normalize.
+    normalized: OnceLock<Box<str>>,
+}
+
+// Manual impls over the four semantic fields only (same field order the
+// former `derive` used), so the cache cannot influence comparisons.
+impl PartialEq for Url {
+    fn eq(&self, other: &Self) -> bool {
+        self.scheme == other.scheme
+            && self.host == other.host
+            && self.path == other.path
+            && self.query == other.query
+    }
+}
+
+impl Eq for Url {}
+
+impl std::hash::Hash for Url {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.scheme.hash(state);
+        self.host.hash(state);
+        self.path.hash(state);
+        self.query.hash(state);
+    }
+}
+
+impl PartialOrd for Url {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Url {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (&self.scheme, &self.host, &self.path, &self.query).cmp(&(
+            &other.scheme,
+            &other.host,
+            &other.path,
+            &other.query,
+        ))
+    }
+}
+
+impl fmt::Debug for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Url")
+            .field("scheme", &self.scheme)
+            .field("host", &self.host)
+            .field("path", &self.path)
+            .field("query", &self.query)
+            .finish()
+    }
 }
 
 /// Error returned when parsing a malformed URL.
@@ -60,13 +117,20 @@ impl Url {
         if !path.starts_with('/') {
             path.insert(0, '/');
         }
-        Url { scheme: "http".to_owned(), host: host.into(), path, query: Vec::new() }
+        Url {
+            scheme: "http".to_owned(),
+            host: host.into(),
+            path,
+            query: Vec::new(),
+            normalized: OnceLock::new(),
+        }
     }
 
     /// Returns a copy of this URL with `key=value` appended to the query.
     #[must_use]
     pub fn with_query(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
         self.query.push((key.into(), value.into()));
+        self.normalized = OnceLock::new();
         self
     }
 
@@ -110,17 +174,23 @@ impl Url {
     /// resource and must count once towards link coverage, while links that
     /// differ in parameter *values* (e.g. Matomo's `module=` dispatch) must
     /// count separately.
-    pub fn normalized(&self) -> String {
-        let mut q = self.query.clone();
-        q.sort();
-        let mut out = format!("{}://{}{}", self.scheme, self.host, self.path);
-        for (i, (k, v)) in q.iter().enumerate() {
-            out.push(if i == 0 { '?' } else { '&' });
-            out.push_str(k);
-            out.push('=');
-            out.push_str(v);
-        }
-        out
+    ///
+    /// The form is computed once per `Url` value and cached, so repeated
+    /// calls on a long-lived URL (e.g. one held by a cached document) are
+    /// allocation-free.
+    pub fn normalized(&self) -> &str {
+        self.normalized.get_or_init(|| {
+            let mut q = self.query.clone();
+            q.sort();
+            let mut out = format!("{}://{}{}", self.scheme, self.host, self.path);
+            for (i, (k, v)) in q.iter().enumerate() {
+                out.push(if i == 0 { '?' } else { '&' });
+                out.push_str(k);
+                out.push('=');
+                out.push_str(v);
+            }
+            out.into_boxed_str()
+        })
     }
 
     /// Resolves `href` against this URL, as a browser would.
@@ -192,7 +262,13 @@ impl std::str::FromStr for Url {
             None => (tail, Vec::new()),
         };
         let path = if path.is_empty() { "/".to_owned() } else { path.to_owned() };
-        Ok(Url { scheme: "http".to_owned(), host: host.to_owned(), path, query })
+        Ok(Url {
+            scheme: "http".to_owned(),
+            host: host.to_owned(),
+            path,
+            query,
+            normalized: OnceLock::new(),
+        })
     }
 }
 

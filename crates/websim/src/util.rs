@@ -14,14 +14,24 @@ pub fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Stable 64-bit hash of a string (FNV-1a folded through [`mix64`]).
-pub fn hash_str(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
+/// FNV-1a offset basis: the initial accumulator for [`fnv_fold`].
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into an FNV-1a accumulator. Streaming-compatible with
+/// [`hash_str`]: folding a string's bytes in any chunking, starting from
+/// [`FNV_OFFSET`], reaches the same accumulator as folding them at once —
+/// which lets hot paths hash composite keys without concatenating them.
+pub fn fnv_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    mix64(h)
+    h
+}
+
+/// Stable 64-bit hash of a string (FNV-1a folded through [`mix64`]).
+pub fn hash_str(s: &str) -> u64 {
+    mix64(fnv_fold(FNV_OFFSET, s.as_bytes()))
 }
 
 /// Deterministic value in `[lo, hi]` derived from `(seed, tag, index)`.

@@ -41,7 +41,7 @@ proptest! {
         swap in 0usize..8,
     ) {
         let base = Url::new("app.local", "/index.php");
-        let canonical = with_params(base.clone(), &params).normalized();
+        let canonical = with_params(base.clone(), &params).normalized().to_owned();
 
         let mut rotated = params.clone();
         let r = rotation % rotated.len();

@@ -10,7 +10,9 @@
 //! mak-cli scan <app> [options]       crawl then probe for reflected inputs
 //! mak-cli fuzz [options]             fuzz generated apps under the invariant oracles
 //! mak-cli fuzz --replay <file>       re-run a saved failure artifact
-//! mak-cli cache stats                summarize the on-disk run cache
+//! mak-cli cache stats                summarize the on-disk run cache (under
+//!                                    MAK_LOG=debug, also size the hot-path
+//!                                    interner tables on a fixed probe crawl)
 //! mak-cli cache clear                delete every cached run
 //! mak-cli trace summarize <file>     fold a recorded JSONL trace into a flight
 //!                                    report (markdown + SVGs under results/)
@@ -310,6 +312,36 @@ fn cmd_cache_stats() -> ExitCode {
                 pair.bytes as f64 / 1024.0
             );
         }
+    }
+    if mak_obs::logger::enabled(mak_obs::logger::Level::Debug) {
+        // Size the hot-path interner tables on a fixed probe crawl
+        // (phpbb2 / mak / seed 0 / 1 virtual minute — deterministic, so
+        // the numbers are stable across machines).
+        let mut crawler = mak::mak::MakCrawler::new(0);
+        let config = EngineConfig::with_budget_minutes(1.0);
+        let report = run_crawl_with_sink(
+            &mut crawler,
+            apps::build("phpbb2").expect("phpbb2 is a registered app"),
+            &config,
+            0,
+            &SinkHandle::none(),
+        );
+        let deque = crawler.deque().interner();
+        let links = crawler.links().interner();
+        mak_obs::debug!(
+            "interners (probe: phpbb2/mak/seed 0, 1 min, {} interactions):",
+            report.interactions
+        );
+        mak_obs::debug!(
+            "  deque signatures : {:>6} symbols  {:>9.1} KiB",
+            deque.len(),
+            deque.bytes() as f64 / 1024.0
+        );
+        mak_obs::debug!(
+            "  link-log URLs    : {:>6} symbols  {:>9.1} KiB",
+            links.len(),
+            links.bytes() as f64 / 1024.0
+        );
     }
     ExitCode::SUCCESS
 }

@@ -116,7 +116,7 @@ proptest! {
                 href: format!("http://h/p{path}").parse().expect("valid"),
                 text: String::new(),
             };
-            if deque.push_new(link) {
+            if deque.push_new(&link) {
                 inserted += 1;
             }
             if let Some((el, level)) = deque.pop(arm, &mut rng) {
