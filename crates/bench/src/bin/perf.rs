@@ -81,7 +81,7 @@ fn profile_run() -> PerfProfile {
     let mut crawler = build_crawler("mak", 0).expect("mak is a known crawler");
     let app = apps::build("phpbb2").expect("phpbb2 is a known app");
     run_crawl_with_sink(&mut *crawler, app, &engine_config(), 0, &sink);
-    let agg = cell.borrow();
+    let agg = cell.lock().unwrap();
     PerfProfile {
         app: agg.app.clone(),
         crawler: agg.crawler.clone(),

@@ -1,0 +1,144 @@
+//! The serving-layer load generator: how many crawl sessions per hour
+//! can one process sustain, and what does a virtual-clock step cost
+//! under full multiplexing pressure?
+//!
+//! Submits `MAK_SERVE_SESSIONS` (default 100 000) concurrent sessions —
+//! a mixed workload cycling apps and crawlers, every one in flight
+//! before the drain starts — and runs them to the end of their
+//! `MAK_SERVE_BUDGET_MINUTES` (default 0.5) virtual budget on
+//! `MAK_THREADS` workers. Writes throughput (sessions/hour, steps/sec)
+//! and wall-clock step-latency percentiles (p50/p99) to
+//! `results/BENCH_serve.json`; the CI `serve-smoke` job runs a 1 000 ×
+//! 2-minute variant and gates on zero aborted sessions.
+//!
+//! Latency numbers are wall-clock and therefore machine-dependent; the
+//! session *outcomes* stay bit-deterministic (see
+//! `crates/serve/tests/determinism.rs`), so this binary is a profiler,
+//! not a results generator — nothing here feeds the paper tables.
+
+use mak::framework::engine::EngineConfig;
+use mak_bench::write_result;
+use mak_serve::{CrawlService, ServiceConfig, SessionSpec, TenantQuota};
+use serde::Serialize;
+use std::time::Instant;
+
+/// The `results/BENCH_serve.json` document.
+#[derive(Debug, Serialize)]
+struct ServeReport {
+    /// Sessions submitted (all in flight simultaneously before draining).
+    sessions: u64,
+    /// Peak concurrent sessions (equals `sessions`: submit-then-drain).
+    peak_in_flight: u64,
+    threads: u64,
+    steps_per_slice: u64,
+    /// Virtual budget per session, minutes.
+    budget_minutes: f64,
+    /// Wall-clock seconds for the drain (excludes submission).
+    drain_wall_secs: f64,
+    /// Wall-clock seconds spent submitting (session construction).
+    submit_wall_secs: f64,
+    /// Completed sessions per wall-clock hour, from the drain phase.
+    sessions_per_hour: f64,
+    /// Virtual-clock steps executed across all sessions.
+    total_steps: u64,
+    /// Steps per wall-clock second across the drain.
+    steps_per_sec: f64,
+    /// Median wall-clock cost of one virtual step, nanoseconds.
+    p50_step_ns: u64,
+    /// 99th-percentile wall-clock cost of one virtual step, nanoseconds.
+    p99_step_ns: u64,
+    /// Sessions that panicked mid-step. Always 0 for in-tree crawlers;
+    /// the CI smoke job gates on it.
+    aborted: u64,
+    /// Total interactions across all completed sessions (a cheap
+    /// plausibility check that the sessions really crawled).
+    total_interactions: u64,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let sessions = env_u64("MAK_SERVE_SESSIONS", 100_000);
+    let budget_minutes = env_f64("MAK_SERVE_BUDGET_MINUTES", 0.5);
+    let config = ServiceConfig {
+        sample_latency: true,
+        // One tenant holds every session, so the default quota must
+        // clear the target concurrency.
+        default_quota: TenantQuota::concurrent(usize::MAX),
+        ..ServiceConfig::default()
+    };
+    let threads = config.threads as u64;
+    let steps_per_slice = config.steps_per_slice as u64;
+    mak_obs::progress!(
+        "serve: {sessions} concurrent sessions x {budget_minutes} virtual minutes on {threads} threads"
+    );
+
+    // A mixed fleet: three apps of different sizes, three crawlers of
+    // different policy costs, seeds all distinct.
+    let apps = ["addressbook", "vanilla", "phpbb2"];
+    let crawlers = ["mak", "bfs", "random"];
+    let engine = EngineConfig::with_budget_minutes(budget_minutes);
+    let mut service = CrawlService::new(config);
+
+    let submit_started = Instant::now();
+    for seed in 0..sessions {
+        let spec = SessionSpec::new(
+            "load",
+            apps[(seed % apps.len() as u64) as usize],
+            crawlers[((seed / apps.len() as u64) % crawlers.len() as u64) as usize],
+            seed,
+        )
+        .config(engine.clone());
+        service.submit(spec).expect("load tenant is unquotaed");
+    }
+    let submit_wall_secs = submit_started.elapsed().as_secs_f64();
+    let peak_in_flight = service.in_flight() as u64;
+    assert_eq!(peak_in_flight, sessions, "every session in flight before the drain");
+    mak_obs::progress!(
+        "serve: {peak_in_flight} sessions in flight ({submit_wall_secs:.1}s to build); draining"
+    );
+
+    let drain_started = Instant::now();
+    let done = service.run_to_drain();
+    let drain_wall_secs = drain_started.elapsed().as_secs_f64();
+
+    assert_eq!(done.len() as u64 + service.aborted(), sessions);
+    let latencies = service.last_latencies();
+    let total_steps = latencies.total_steps();
+    let report = ServeReport {
+        sessions,
+        peak_in_flight,
+        threads,
+        steps_per_slice,
+        budget_minutes,
+        drain_wall_secs,
+        submit_wall_secs,
+        sessions_per_hour: done.len() as f64 / (drain_wall_secs / 3600.0),
+        total_steps,
+        steps_per_sec: total_steps as f64 / drain_wall_secs,
+        p50_step_ns: latencies.quantile_ns(0.50).unwrap_or(0),
+        p99_step_ns: latencies.quantile_ns(0.99).unwrap_or(0),
+        aborted: service.aborted(),
+        total_interactions: done.iter().map(|c| c.report.interactions).sum(),
+    };
+    mak_obs::progress!(
+        "serve: {} sessions in {:.1}s ({:.0} sessions/hour, {:.0} steps/s, p50 {}ns p99 {}ns, {} aborted)",
+        done.len(),
+        report.drain_wall_secs,
+        report.sessions_per_hour,
+        report.steps_per_sec,
+        report.p50_step_ns,
+        report.p99_step_ns,
+        report.aborted
+    );
+    write_result(
+        "BENCH_serve.json",
+        &serde_json::to_string_pretty(&report).expect("serve report serializes"),
+    );
+}

@@ -537,7 +537,8 @@ mod tests {
             cached: false,
         };
         let events = [mk("a", 10.0), mk("b", 10.0)]; // 100k steps/sec each
-        let b = measure(vec![cell("a", "mak", 1, 1), cell("b", "mak", 1, 1)], events.iter(), config());
+        let b =
+            measure(vec![cell("a", "mak", 1, 1), cell("b", "mak", 1, 1)], events.iter(), config());
         assert_eq!(b.app_perf.len(), 2);
         let base = Baselines::from_bench(&b, Tolerances::default());
         assert_eq!(base.perf_floors.len(), 2);

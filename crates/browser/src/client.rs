@@ -64,8 +64,9 @@ impl fmt::Display for BrowseError {
 impl std::error::Error for BrowseError {}
 
 /// Callback invoked with every page the browser renders; see
-/// [`Browser::set_page_observer`].
-pub type PageObserver = Box<dyn FnMut(&Page)>;
+/// [`Browser::set_page_observer`]. `Send + Sync` so a [`Browser`] owning
+/// one stays movable between scheduler worker threads.
+pub type PageObserver = Box<dyn FnMut(&Page) + Send + Sync>;
 
 /// A black-box browsing client bound to one hosted application.
 pub struct Browser {
@@ -151,7 +152,7 @@ impl Browser {
     /// Installs a callback invoked with every rendered page, in fetch
     /// order — how a scanner shadowing the crawl collects the attack
     /// surface without altering crawler behaviour.
-    pub fn set_page_observer(&mut self, observer: impl FnMut(&Page) + 'static) {
+    pub fn set_page_observer(&mut self, observer: impl FnMut(&Page) + Send + Sync + 'static) {
         self.observer = Some(Box::new(observer));
     }
 

@@ -44,7 +44,14 @@ pub struct StepReport {
 /// atomic element interaction via the [`Browser`]. Implementations manage
 /// their own restarts (re-opening the seed URL when their trajectory dead-
 /// ends), mirroring how the paper's tools run unattended for 30 minutes.
-pub trait Crawler {
+///
+/// `Send + Sync` supertraits: a crawler lives inside a
+/// [`Session`](crate::framework::session::Session) that the serving
+/// layer's work-stealing scheduler migrates freely between worker
+/// threads. All crawler state is plain data (deques, Q-tables, seeded
+/// RNGs), so the bounds are free for every implementation in the
+/// workspace.
+pub trait Crawler: Send + Sync {
     /// Short identifier: `"mak"`, `"webexplor"`, `"qexplore"`, `"bfs"`, …
     fn name(&self) -> &str;
 

@@ -6,15 +6,11 @@
 //! [`Browser`] with a [`VirtualClock`], charges per-decision policy
 //! overhead, and samples the live coverage time series that Fig. 2 plots.
 
-use crate::framework::crawler::{CrawlEnd, Crawler, StepReport};
-use mak_browser::client::Browser;
-use mak_browser::clock::VirtualClock;
+use crate::framework::crawler::Crawler;
 use mak_browser::cost::CostModel;
 use mak_browser::fault::{FaultPlan, FaultStats};
-use mak_obs::event::Event;
 use mak_obs::sink::SinkHandle;
-use mak_websim::coverage::CoverageMode;
-use mak_websim::server::{AppHost, WebApp};
+use mak_websim::server::WebApp;
 use serde::{Deserialize, Serialize};
 
 /// Engine parameters for one run.
@@ -209,130 +205,12 @@ pub fn run_crawl_with_sink(
     seed: u64,
     sink: &SinkHandle,
 ) -> CrawlReport {
-    let app_name = app.name().to_owned();
-    let live = app.coverage_mode() == CoverageMode::Live;
-    let mut host = AppHost::new(app);
-    host.set_sink(sink.clone());
-    let clock = VirtualClock::with_budget_minutes(config.budget_minutes);
-    let budget_ms = clock.budget_ms();
-    let mut browser =
-        Browser::with_faults(host, clock, seed, config.cost.clone(), config.faults.clone());
-    browser.set_sink(sink.clone());
-    crawler.attach_sink(sink.clone());
-
-    sink.emit_with(|| Event::RunStarted {
-        app: app_name.clone(),
-        crawler: crawler.name().to_owned(),
-        seed,
-        budget_ms,
-    });
-
-    let mut series = Vec::new();
-    let mut next_sample = config.sample_interval_secs;
-    let mut trace = Vec::new();
-    let mut step_index: u64 = 0;
-
-    if live {
-        // The t = 0 baseline is sampled *before* the first step so the
-        // series starts from the pre-crawl coverage (the deployed app with
-        // nothing visited yet), not from whatever the first step reached.
-        series.push(CoverageSample { secs: 0.0, lines: browser.host().harness_lines_covered() });
-    }
-
-    loop {
-        if browser.clock().expired() {
-            break;
-        }
-        let policy_ms = crawler.policy_overhead_ms(browser.cost_model());
-        browser.charge_policy_overhead(policy_ms);
-        sink.emit_with(|| Event::StepStarted {
-            step: step_index,
-            t_ms: browser.clock().elapsed_ms(),
-            policy_ms,
-        });
-        match crawler.step(&mut browser) {
-            // The action label is a `Cow`: on the hot path (no sink, no
-            // trace) it is never turned into a `String`, so a step with a
-            // static label allocates nothing here.
-            Ok(StepReport { action, reward }) => {
-                if let Some(reward) = reward {
-                    sink.emit_with(|| Event::RewardComputed {
-                        step: step_index,
-                        action: action.clone().into_owned(),
-                        reward,
-                    });
-                }
-                sink.emit_with(|| Event::StepFinished {
-                    step: step_index,
-                    t_ms: browser.clock().elapsed_ms(),
-                    action: action.clone().into_owned(),
-                    reward,
-                    interactions: browser.interaction_count(),
-                    lines: browser.host().harness_lines_covered(),
-                    distinct_urls: crawler.distinct_urls() as u64,
-                });
-                step_index += 1;
-                if config.record_trace {
-                    trace.push(TraceEntry {
-                        secs: browser.clock().elapsed_secs(),
-                        action: action.into_owned(),
-                        reward,
-                    });
-                }
-            }
-            Err(CrawlEnd::BudgetExhausted) | Err(CrawlEnd::Stuck) => break,
-        }
-        if live {
-            let now = browser.clock().elapsed_secs();
-            while next_sample <= now {
-                series.push(CoverageSample {
-                    secs: next_sample,
-                    lines: browser.host().harness_lines_covered(),
-                });
-                next_sample += config.sample_interval_secs;
-            }
-        }
-    }
-
-    let interactions = browser.interaction_count();
-    let elapsed_secs = browser.clock().elapsed_secs();
-    if live {
-        // Close the series with a sample at the moment the run actually
-        // ended (budget expiry or the crawler getting stuck), so the curve
-        // spans the whole budget instead of stopping at the last crossed
-        // interval boundary.
-        let lines = browser.host().harness_lines_covered();
-        if series.last().is_none_or(|s| s.secs < elapsed_secs) {
-            series.push(CoverageSample { secs: elapsed_secs, lines });
-        }
-    }
-    sink.emit_with(|| Event::RunFinished {
-        t_ms: browser.clock().elapsed_ms(),
-        steps: step_index,
-        interactions,
-        lines: browser.host().harness_lines_covered(),
-    });
-    let fault_stats = browser.fault_stats().clone();
-    let host = browser.finish();
-    let tracker = host.tracker();
-    let covered_lines: Vec<(u32, u32)> =
-        tracker.covered_lines().map(|(f, l)| (f.index(), l)).collect();
-
-    CrawlReport {
-        crawler: crawler.name().to_owned(),
-        app: app_name,
-        seed,
-        interactions,
-        final_lines_covered: tracker.lines_covered_unchecked(),
-        total_declared_lines: host.app().code_model().total_lines(),
-        coverage_series: series,
-        covered_lines,
-        distinct_urls: crawler.distinct_urls(),
-        state_count: crawler.state_count(),
-        elapsed_secs,
-        trace,
-        faults: fault_stats,
-    }
+    // The whole engine loop lives in `Session` (the resumable state
+    // machine the serving layer multiplexes); the one-shot entry point is
+    // a session driven to completion, so the two paths cannot drift. The
+    // `session_equivalence` differential suite additionally proves the
+    // step-driven path byte-identical, reports and traces included.
+    crate::framework::session::Session::borrowed(crawler, app, config, seed, sink.clone()).finish()
 }
 
 #[cfg(test)]

@@ -11,9 +11,14 @@
 //!   `distinct_urls` statistic of every report;
 //! - [`engine`] runs a crawler against a hosted application, charges policy
 //!   overhead, samples the live coverage time series (Fig. 2), and
-//!   assembles the [`CrawlReport`](engine::CrawlReport).
+//!   assembles the [`CrawlReport`](engine::CrawlReport);
+//! - [`session`] is the engine loop as a resumable `Send + Sync` state
+//!   machine ([`Session`](session::Session)): the one-shot engine drives
+//!   a session to completion, while the `mak-serve` scheduler interleaves
+//!   thousands of them across worker threads.
 
 pub mod crawler;
 pub mod engine;
 pub mod linklog;
 pub mod qcrawler;
+pub mod session;

@@ -26,7 +26,7 @@ use std::collections::HashMap;
 
 /// `GET_STATE` of Algorithm 2: maps pages to abstract state identifiers,
 /// creating new states as needed.
-pub trait StateAbstraction: std::fmt::Debug {
+pub trait StateAbstraction: std::fmt::Debug + Send + Sync {
     /// The state of `page`, allocating a fresh state if no existing one
     /// matches under this abstraction's similarity function.
     fn state_of(&mut self, page: &Page) -> u64;

@@ -1,0 +1,134 @@
+//! The differential suite behind the session refactor: driving a
+//! [`Session`] one step at a time must be *byte-identical* to the legacy
+//! one-shot `run_crawl` — the serialized `CrawlReport` and the JSONL
+//! event stream both — for every crawler, across apps and seeds, with
+//! traces and fault plans in play. Equivalence holds by construction
+//! (`run_crawl` is a wrapper over `Session`), and this suite proves the
+//! step-driven, pausable path adds nothing and loses nothing.
+
+use mak::framework::engine::{run_crawl_with_sink, CrawlReport, EngineConfig};
+use mak::framework::session::Session;
+use mak::spec::{build_crawler, CRAWLER_NAMES};
+use mak_browser::fault::FaultPlan;
+use mak_obs::sink::{JsonlSink, SinkHandle};
+use mak_websim::apps;
+use std::sync::Arc;
+
+/// Collects `(serialized report, JSONL stream)` from the legacy one-shot
+/// entry point.
+fn oneshot(app: &str, crawler: &str, seed: u64, cfg: &EngineConfig) -> (Vec<u8>, Vec<u8>) {
+    let (handle, cell) = SinkHandle::shared(JsonlSink::new(Vec::new()));
+    let mut c = build_crawler(crawler, seed).unwrap();
+    let report = run_crawl_with_sink(&mut *c, apps::build(app).unwrap(), cfg, seed, &handle);
+    drop(c);
+    drop(handle);
+    finish(report, cell)
+}
+
+/// Collects the same pair from an owned `Session` driven step by step
+/// from outside.
+fn stepped(app: &str, crawler: &str, seed: u64, cfg: &EngineConfig) -> (Vec<u8>, Vec<u8>) {
+    let (handle, cell) = SinkHandle::shared(JsonlSink::new(Vec::new()));
+    let mut session = Session::with_sink(
+        apps::build(app).unwrap(),
+        build_crawler(crawler, seed).unwrap(),
+        cfg,
+        seed,
+        handle,
+    );
+    while session.step().is_running() {}
+    let report = session.finish();
+    finish(report, cell)
+}
+
+fn finish(
+    report: CrawlReport,
+    cell: Arc<std::sync::Mutex<JsonlSink<Vec<u8>>>>,
+) -> (Vec<u8>, Vec<u8>) {
+    let Ok(sink) = Arc::try_unwrap(cell) else { panic!("all sink clones dropped") };
+    let (jsonl, error) = sink.into_inner().unwrap_or_else(|p| p.into_inner()).finish();
+    assert!(error.is_none(), "in-memory writer cannot fail");
+    let report_bytes = serde_json::to_vec(&report).expect("CrawlReport serializes");
+    (report_bytes, jsonl)
+}
+
+/// All six crawlers, three apps, two seeds, traces on: the step-driven
+/// session and the one-shot engine produce byte-identical serialized
+/// reports and byte-identical JSONL event streams.
+#[test]
+fn stepped_sessions_are_byte_identical_to_run_crawl() {
+    let mut cfg = EngineConfig::with_budget_minutes(0.5);
+    cfg.record_trace = true;
+    for crawler in CRAWLER_NAMES {
+        for (app, seed) in [("addressbook", 31), ("vanilla", 32), ("phpbb2", 33)] {
+            for seed in [seed, seed + 100] {
+                let a = oneshot(app, crawler, seed, &cfg);
+                let b = stepped(app, crawler, seed, &cfg);
+                assert_eq!(a.0, b.0, "{crawler}/{app}/{seed}: serialized reports diverge");
+                assert_eq!(a.1, b.1, "{crawler}/{app}/{seed}: JSONL streams diverge");
+            }
+        }
+    }
+}
+
+/// The equivalence survives fault injection: retry/backoff state lives
+/// inside the session, so a chaos run stepped from outside matches the
+/// one-shot chaos run byte for byte.
+#[test]
+fn equivalence_holds_under_fault_injection() {
+    let mut cfg = EngineConfig::with_budget_minutes(1.0);
+    cfg.faults = FaultPlan::profile("moderate").unwrap();
+    for crawler in ["mak", "dfs"] {
+        let a = oneshot("phpbb2", crawler, 41, &cfg);
+        let b = stepped("phpbb2", crawler, 41, &cfg);
+        assert_eq!(a, b, "{crawler}: chaos equivalence");
+    }
+}
+
+/// Pausing is free: stepping a session in bursts with arbitrary pauses
+/// (here: interleaving two sessions by hand) changes nothing relative to
+/// stepping each to completion alone.
+#[test]
+fn interleaved_stepping_changes_nothing() {
+    let cfg = EngineConfig::with_budget_minutes(0.5);
+    let solo: Vec<CrawlReport> = [51u64, 52]
+        .iter()
+        .map(|&seed| {
+            Session::new(
+                apps::build("addressbook").unwrap(),
+                build_crawler("mak", seed).unwrap(),
+                &cfg,
+                seed,
+            )
+            .finish()
+        })
+        .collect();
+
+    let mut a = Session::new(
+        apps::build("addressbook").unwrap(),
+        build_crawler("mak", 51).unwrap(),
+        &cfg,
+        51,
+    );
+    let mut b = Session::new(
+        apps::build("addressbook").unwrap(),
+        build_crawler("mak", 52).unwrap(),
+        &cfg,
+        52,
+    );
+    // Unequal bursts so the interleaving is genuinely lopsided.
+    loop {
+        let mut progressed = false;
+        for _ in 0..7 {
+            progressed |= a.step().is_running();
+        }
+        for _ in 0..3 {
+            progressed |= b.step().is_running();
+        }
+        if !progressed {
+            break;
+        }
+    }
+    assert_eq!(a.finish(), solo[0]);
+    assert_eq!(b.finish(), solo[1]);
+}

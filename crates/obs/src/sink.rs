@@ -1,14 +1,18 @@
 //! Sinks: where events go.
 //!
-//! Two handle types cover the two threading regimes in the workspace:
+//! Two handle types cover the two emission regimes in the workspace:
 //!
-//! - [`SinkHandle`] — `Rc<RefCell<_>>`-based, cloneable, for the
-//!   single-threaded per-run path (engine → browser → host → crawler →
-//!   policy all share one handle). Defaults to inert; `emit_with` is
-//!   lazy so an inert handle costs one `Option` check per call site.
-//! - [`SharedSink`] — `Arc<Mutex<_>>`-based, for cross-thread emitters
-//!   (the run cache and the bench matrix runner, which execute cells on
-//!   worker threads).
+//! - [`SinkHandle`] — `Arc<Mutex<_>>`-based, cloneable, `Send + Sync`,
+//!   for the per-run path (engine → browser → host → crawler → policy
+//!   all share one handle). Each crawl session owns its handle
+//!   exclusively, so the mutex is uncontended; it exists so a
+//!   [`Session`](../../mak/framework/session/struct.Session.html) holding
+//!   the handle can migrate between scheduler worker threads. Defaults
+//!   to inert; `emit_with` is lazy so an inert handle costs one
+//!   `Option` check per call site.
+//! - [`SharedSink`] — also `Arc<Mutex<_>>`-based, for emitters shared
+//!   *by reference* across threads (the run cache and the bench matrix
+//!   runner, which execute cells on worker threads).
 //!
 //! Concrete sinks: [`JsonlSink`] (one event per line, deterministic
 //! because events carry only virtual time), [`VecSink`] (buffering, for
@@ -16,10 +20,8 @@
 //! handles), plus [`crate::aggregate::Aggregator`].
 
 use crate::event::Event;
-use std::cell::RefCell;
 use std::fmt;
 use std::io::Write;
-use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 
 /// A consumer of [`Event`]s. Implementations must not feed anything back
@@ -29,15 +31,18 @@ pub trait EventSink {
     fn on_event(&mut self, event: &Event);
 }
 
-/// A cloneable, possibly-inert handle to a single-threaded sink.
+/// A cloneable, possibly-inert handle to a per-run sink.
 ///
 /// The default handle is inert: `is_active()` is `false` and both emit
 /// methods are no-ops. All crawl-path emission sites go through
 /// [`SinkHandle::emit_with`] so that event construction is skipped when
-/// nobody listens.
+/// nobody listens. The handle is `Send + Sync` so that a crawl session
+/// owning one can migrate between scheduler worker threads; within a
+/// run the handle is never contended, so the mutex lock is a plain
+/// uncontended atomic.
 #[derive(Clone, Default)]
 pub struct SinkHandle {
-    inner: Option<Rc<RefCell<dyn EventSink>>>,
+    inner: Option<Arc<Mutex<dyn EventSink + Send>>>,
 }
 
 impl SinkHandle {
@@ -48,16 +53,16 @@ impl SinkHandle {
 
     /// Wraps a sink, consuming it. Use [`SinkHandle::shared`] when the
     /// sink must be read back after the run.
-    pub fn new<S: EventSink + 'static>(sink: S) -> Self {
-        SinkHandle { inner: Some(Rc::new(RefCell::new(sink))) }
+    pub fn new<S: EventSink + Send + 'static>(sink: S) -> Self {
+        SinkHandle { inner: Some(Arc::new(Mutex::new(sink))) }
     }
 
     /// Wraps a sink and also returns the shared cell so the caller can
     /// inspect it after the run (handles cloned into crawlers may
     /// outlive the run, so sole-ownership unwrapping is not an option).
-    pub fn shared<S: EventSink + 'static>(sink: S) -> (Self, Rc<RefCell<S>>) {
-        let cell = Rc::new(RefCell::new(sink));
-        let dynamic: Rc<RefCell<dyn EventSink>> = cell.clone();
+    pub fn shared<S: EventSink + Send + 'static>(sink: S) -> (Self, Arc<Mutex<S>>) {
+        let cell = Arc::new(Mutex::new(sink));
+        let dynamic: Arc<Mutex<dyn EventSink + Send>> = cell.clone();
         (SinkHandle { inner: Some(dynamic) }, cell)
     }
 
@@ -80,7 +85,7 @@ impl SinkHandle {
     /// Emits an already-built event.
     pub fn emit(&self, event: Event) {
         if let Some(sink) = &self.inner {
-            sink.borrow_mut().on_event(&event);
+            deliver(sink, &event);
         }
     }
 
@@ -90,9 +95,20 @@ impl SinkHandle {
     pub fn emit_with<F: FnOnce() -> Event>(&self, make: F) {
         if let Some(sink) = &self.inner {
             let event = make();
-            sink.borrow_mut().on_event(&event);
+            deliver(sink, &event);
         }
     }
+}
+
+/// Locks a sink cell and delivers one event, tolerating poison: a
+/// panicked emitter on some other session must not cascade into this
+/// one's observability.
+fn deliver(sink: &Arc<Mutex<dyn EventSink + Send>>, event: &Event) {
+    let mut guard = match sink.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    guard.on_event(event);
 }
 
 impl fmt::Debug for SinkHandle {
@@ -159,7 +175,7 @@ impl EventSink for Fanout {
     fn on_event(&mut self, event: &Event) {
         for target in &self.targets {
             if let Some(sink) = &target.inner {
-                sink.borrow_mut().on_event(event);
+                deliver(sink, event);
             }
         }
     }
@@ -258,6 +274,23 @@ mod tests {
     }
 
     #[test]
+    fn sink_handle_is_send_and_sync() {
+        // Crawl sessions own a SinkHandle and migrate between scheduler
+        // worker threads; the handle must therefore be Send + Sync.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SinkHandle>();
+    }
+
+    #[test]
+    fn handle_crosses_threads_with_its_session() {
+        let (handle, cell) = SinkHandle::shared(VecSink::new());
+        let moved = handle.clone();
+        std::thread::spawn(move || moved.emit(step(7))).join().unwrap();
+        handle.emit(step(8));
+        assert_eq!(cell.lock().unwrap().events(), &[step(7), step(8)]);
+    }
+
+    #[test]
     fn inert_handle_never_builds_the_event() {
         let handle = SinkHandle::none();
         assert!(!handle.is_active());
@@ -270,7 +303,7 @@ mod tests {
         for i in 0..3 {
             handle.emit(step(i));
         }
-        let events = cell.borrow().events().to_vec();
+        let events = cell.lock().unwrap().events().to_vec();
         assert_eq!(events, vec![step(0), step(1), step(2)]);
     }
 
@@ -280,8 +313,8 @@ mod tests {
         let (b, cell_b) = SinkHandle::shared(VecSink::new());
         let fan = SinkHandle::fanout(vec![a, SinkHandle::none(), b]);
         fan.emit(step(1));
-        assert_eq!(cell_a.borrow().events().len(), 1);
-        assert_eq!(cell_b.borrow().events().len(), 1);
+        assert_eq!(cell_a.lock().unwrap().events().len(), 1);
+        assert_eq!(cell_b.lock().unwrap().events().len(), 1);
         assert!(!SinkHandle::fanout(vec![SinkHandle::none()]).is_active());
     }
 

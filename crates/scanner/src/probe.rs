@@ -128,6 +128,7 @@ fn reflects(page: &mak_browser::page::Page, canary: &str) -> bool {
     page.document().map(|d| d.text_content().contains(canary)).unwrap_or(false)
 }
 
+#[allow(clippy::result_large_err)] // internal helper; `BrowseError` is returned unboxed everywhere
 fn browser_submit(browser: &mut Browser, request: Request) -> Result<Option<String>, BrowseError> {
     // The browser only exposes navigation and element execution; probing a
     // raw request goes through `navigate` for GET and a synthetic form

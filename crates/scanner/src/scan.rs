@@ -8,8 +8,8 @@ use mak_browser::client::Browser;
 use mak_browser::clock::VirtualClock;
 use mak_websim::apps;
 use mak_websim::server::AppHost;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Scan parameters.
 #[derive(Debug, Clone)]
@@ -73,12 +73,12 @@ pub fn run_scan(
     let mut browser = Browser::new(host, VirtualClock::new(total_budget), seed);
 
     // Shadow the crawl: every page the browser renders feeds the surface.
-    let surface = Rc::new(RefCell::new(AttackSurface::new()));
+    let surface = Arc::new(Mutex::new(AttackSurface::new()));
     let origin = browser.origin().clone();
     {
-        let surface = Rc::clone(&surface);
+        let surface = Arc::clone(&surface);
         browser.set_page_observer(move |page| {
-            surface.borrow_mut().absorb_page(page, &origin);
+            surface.lock().unwrap().absorb_page(page, &origin);
         });
     }
 
@@ -95,7 +95,7 @@ pub fn run_scan(
 
     // Phase 2: probe everything the crawl exposed, within what remains of
     // the total budget.
-    let surface = surface.borrow().clone();
+    let surface = surface.lock().unwrap().clone();
     let findings = probe_surface(&mut browser, &surface);
 
     let host = browser.finish();

@@ -1,0 +1,69 @@
+//! Typed submission errors: quota exhaustion is backpressure, not a
+//! panic.
+
+use std::fmt;
+
+/// Why the service refused a session submission. In-flight sessions are
+/// never affected by a rejection — backpressure applies only at the
+/// admission boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The requested application is not registered with the service.
+    UnknownApp(String),
+    /// The requested crawler name is not in the factory registry.
+    UnknownCrawler(String),
+    /// The tenant is at its concurrent-session quota; retry after some
+    /// of its sessions drain.
+    QuotaExceeded {
+        /// The tenant that hit its limit.
+        tenant: String,
+        /// Sessions currently in flight for the tenant.
+        in_flight: usize,
+        /// The tenant's concurrent-session cap.
+        limit: usize,
+    },
+    /// The tenant has consumed its lifetime session budget; no amount of
+    /// draining restores it.
+    BudgetExhausted {
+        /// The tenant that spent its budget.
+        tenant: String,
+        /// Sessions the tenant has submitted over the service lifetime.
+        submitted: u64,
+        /// The tenant's lifetime budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UnknownApp(app) => write!(f, "unknown app `{app}`"),
+            SubmitError::UnknownCrawler(c) => write!(f, "unknown crawler `{c}`"),
+            SubmitError::QuotaExceeded { tenant, in_flight, limit } => write!(
+                f,
+                "tenant `{tenant}` at concurrent-session quota ({in_flight}/{limit}); \
+                 retry after drain"
+            ),
+            SubmitError::BudgetExhausted { tenant, submitted, budget } => write!(
+                f,
+                "tenant `{tenant}` exhausted its lifetime session budget ({submitted}/{budget})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_actionably() {
+        let e = SubmitError::QuotaExceeded { tenant: "acme".into(), in_flight: 8, limit: 8 };
+        assert!(e.to_string().contains("acme"));
+        assert!(e.to_string().contains("8/8"));
+        let e = SubmitError::BudgetExhausted { tenant: "acme".into(), submitted: 100, budget: 100 };
+        assert!(e.to_string().contains("lifetime"));
+    }
+}

@@ -1,0 +1,328 @@
+//! The work-stealing scheduler: batches virtual-clock steps across
+//! thousands of concurrent sessions.
+//!
+//! Layout: one global injector queue (everything submitted lands there)
+//! plus one local deque per worker. A worker serves its local deque
+//! first, refills from the injector in batches when empty, and steals
+//! half of a sibling's deque as a last resort. One scheduling quantum
+//! ("slice") runs up to [`steps_per_slice`] virtual-clock steps of one
+//! session — batching amortizes queue traffic over many steps while
+//! keeping interleaving fine-grained enough that a hundred thousand
+//! sessions all make progress.
+//!
+//! Because every session is an independent
+//! [`Session`](mak::framework::session::Session) state machine, the
+//! schedule — worker count, queue discipline, steal victims — is
+//! *unobservable* in session outcomes. [`ScheduleOrder`] exists to prove
+//! exactly that: the determinism suite replays identical workloads under
+//! round-robin, LIFO, and seeded-random disciplines and asserts
+//! byte-identical reports and event streams.
+//!
+//! A panicking session (impossible for in-tree crawlers, but the
+//! scheduler must not trust its tenants) is caught, counted as aborted,
+//! and dropped; the worker and every other session continue.
+//!
+//! [`steps_per_slice`]: crate::ServiceConfig::steps_per_slice
+
+use mak::framework::engine::CrawlReport;
+use mak::framework::session::Session;
+use mak_obs::sink::VecSink;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The queue discipline workers use on their local deques and the
+/// injector. Session outcomes are identical under every variant — the
+/// order only decides *when* each session's steps run, never what they
+/// compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleOrder {
+    /// Serve the oldest runnable session first (fair round-robin).
+    RoundRobin,
+    /// Serve the newest runnable session first (adversarially unfair:
+    /// early sessions starve until late ones finish).
+    Lifo,
+    /// Serve a pseudo-random runnable session, from a seeded stream
+    /// (adversarial shuffling; deterministic per seed).
+    Random(u64),
+}
+
+/// One schedulable unit: a session plus its service-side bookkeeping.
+pub(crate) struct SessionTask {
+    pub id: u64,
+    pub tenant: String,
+    pub session: Session<'static>,
+    /// Buffer behind the session's event sink when the submission asked
+    /// for its JSONL stream.
+    pub events: Option<Arc<Mutex<VecSink>>>,
+    /// Scheduling quanta this session has consumed so far.
+    pub slices: u64,
+}
+
+/// A drained session: the task's bookkeeping plus its sealed report.
+pub(crate) struct FinishedTask {
+    pub id: u64,
+    pub tenant: String,
+    pub report: CrawlReport,
+    pub events: Option<Arc<Mutex<VecSink>>>,
+    pub slices: u64,
+    pub steps: u64,
+}
+
+/// Wall-clock step-latency samples, one per scheduling slice, weighted
+/// by the number of steps the slice ran. Collected only when the service
+/// asks for latency sampling (the load bench does; tests do not).
+#[derive(Debug, Default)]
+pub struct StepLatencies {
+    /// `(nanoseconds per step, steps in the slice)` pairs.
+    samples: Vec<(u64, u32)>,
+}
+
+impl StepLatencies {
+    /// Total steps across all samples.
+    pub fn total_steps(&self) -> u64 {
+        self.samples.iter().map(|&(_, n)| n as u64).sum()
+    }
+
+    /// The `q`-quantile (0.0–1.0) of per-step latency in nanoseconds,
+    /// weighted by steps, or `None` without samples.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let total: u64 = sorted.iter().map(|&(_, n)| n as u64).sum();
+        let target = (q.clamp(0.0, 1.0) * total as f64) as u64;
+        let mut seen = 0u64;
+        for &(ns, n) in &sorted {
+            seen += n as u64;
+            if seen >= target {
+                return Some(ns);
+            }
+        }
+        sorted.last().map(|&(ns, _)| ns)
+    }
+
+    fn merge(&mut self, other: StepLatencies) {
+        self.samples.extend(other.samples);
+    }
+}
+
+/// Everything the worker pool shares.
+struct Pool {
+    injector: Mutex<VecDeque<SessionTask>>,
+    locals: Vec<Mutex<VecDeque<SessionTask>>>,
+    done: Mutex<Vec<FinishedTask>>,
+    /// Tasks not yet finished or aborted — the termination condition.
+    remaining: AtomicUsize,
+    aborted: AtomicU64,
+    steps_per_slice: usize,
+    order: ScheduleOrder,
+    sample_latency: bool,
+}
+
+/// What `drain` hands back: finished sessions (submission order is NOT
+/// preserved — callers key by id), abort count, and latency samples.
+pub(crate) struct DrainOutcome {
+    pub finished: Vec<FinishedTask>,
+    pub aborted: u64,
+    pub latencies: StepLatencies,
+}
+
+/// Runs every task to completion across `threads` workers.
+pub(crate) fn drain(
+    tasks: Vec<SessionTask>,
+    threads: usize,
+    steps_per_slice: usize,
+    order: ScheduleOrder,
+    sample_latency: bool,
+) -> DrainOutcome {
+    let threads = threads.max(1);
+    let total = tasks.len();
+    let pool = Pool {
+        injector: Mutex::new(tasks.into()),
+        locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        done: Mutex::new(Vec::with_capacity(total)),
+        remaining: AtomicUsize::new(total),
+        aborted: AtomicU64::new(0),
+        steps_per_slice: steps_per_slice.max(1),
+        order,
+        sample_latency,
+    };
+    let mut latencies = StepLatencies::default();
+    {
+        let pool = &pool;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..threads).map(|me| scope.spawn(move || worker(pool, me))).collect();
+            for handle in handles {
+                latencies.merge(handle.join().expect("scheduler worker panicked"));
+            }
+        });
+    }
+    DrainOutcome {
+        finished: pool.done.into_inner().unwrap_or_else(|p| p.into_inner()),
+        aborted: pool.aborted.into_inner(),
+        latencies,
+    }
+}
+
+fn worker(pool: &Pool, me: usize) -> StepLatencies {
+    let mut rng = match pool.order {
+        // Distinct streams per worker so two workers never mirror each
+        // other's choices; any fixed derivation works, determinism of
+        // session outcomes does not depend on it.
+        ScheduleOrder::Random(seed) => {
+            Some(StdRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        }
+        _ => None,
+    };
+    let mut latencies = StepLatencies::default();
+    loop {
+        let Some(task) = next_task(pool, me, &mut rng) else {
+            if pool.remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            // Someone else holds the remaining sessions inside their
+            // current slice; let them run.
+            std::thread::yield_now();
+            continue;
+        };
+        run_slice(pool, me, task, &mut latencies);
+    }
+    latencies
+}
+
+/// Pops the next task: local deque first, then an injector batch, then
+/// stealing half of the fullest sibling deque.
+fn next_task(pool: &Pool, me: usize, rng: &mut Option<StdRng>) -> Option<SessionTask> {
+    if let Some(task) = pop_ordered(&mut pool.locals[me].lock().unwrap(), pool.order, rng) {
+        return Some(task);
+    }
+    {
+        let mut injector = pool.injector.lock().unwrap();
+        if !injector.is_empty() {
+            // Grab a batch proportional to our share of the backlog so a
+            // hundred thousand submissions do not serialize on this lock.
+            let batch = (injector.len() / pool.locals.len()).clamp(1, 4096);
+            let mut local = pool.locals[me].lock().unwrap();
+            for _ in 0..batch {
+                match injector.pop_front() {
+                    Some(task) => local.push_back(task),
+                    None => break,
+                }
+            }
+            drop(injector);
+            return pop_ordered(&mut local, pool.order, rng);
+        }
+    }
+    // Steal half of the first non-empty sibling, scanning from our right
+    // neighbor so thieves spread out instead of mobbing worker 0.
+    let n = pool.locals.len();
+    for offset in 1..n {
+        let victim = (me + offset) % n;
+        let mut their = pool.locals[victim].lock().unwrap();
+        let len = their.len();
+        if len == 0 {
+            continue;
+        }
+        let take = len.div_ceil(2);
+        let mut local = pool.locals[me].lock().unwrap();
+        for _ in 0..take {
+            if let Some(task) = their.pop_front() {
+                local.push_back(task);
+            }
+        }
+        drop(their);
+        return pop_ordered(&mut local, pool.order, rng);
+    }
+    None
+}
+
+fn pop_ordered(
+    queue: &mut VecDeque<SessionTask>,
+    order: ScheduleOrder,
+    rng: &mut Option<StdRng>,
+) -> Option<SessionTask> {
+    match order {
+        ScheduleOrder::RoundRobin => queue.pop_front(),
+        ScheduleOrder::Lifo => queue.pop_back(),
+        ScheduleOrder::Random(_) => {
+            if queue.is_empty() {
+                None
+            } else {
+                let idx = rng.as_mut().expect("random order has an rng").gen_range(0..queue.len());
+                queue.swap_remove_back(idx)
+            }
+        }
+    }
+}
+
+/// Runs one scheduling quantum of `task`: up to `steps_per_slice` steps,
+/// then either completion (report sealed, counters settled) or requeue
+/// on our local deque.
+fn run_slice(pool: &Pool, me: usize, mut task: SessionTask, latencies: &mut StepLatencies) {
+    let started = pool.sample_latency.then(Instant::now);
+    let steps_before = task.session.steps_taken();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        for _ in 0..pool.steps_per_slice {
+            if !task.session.step().is_running() {
+                break;
+            }
+        }
+        task
+    }));
+    let mut task = match outcome {
+        Ok(task) => task,
+        Err(_) => {
+            // The session panicked mid-step. Count it, drop it, move on:
+            // one hostile session must never wedge the scheduler or its
+            // neighbors.
+            pool.aborted.fetch_add(1, Ordering::Relaxed);
+            pool.remaining.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+    };
+    task.slices += 1;
+    if let Some(started) = started {
+        let ran = task.session.steps_taken() - steps_before;
+        if let Some(ns_per_step) = (started.elapsed().as_nanos() as u64).checked_div(ran) {
+            latencies.samples.push((ns_per_step, ran.min(u32::MAX as u64) as u32));
+        }
+    }
+    if task.session.is_finished() {
+        let steps = task.session.steps_taken();
+        let SessionTask { id, tenant, session, events, slices } = task;
+        let report = session.finish();
+        pool.done.lock().unwrap_or_else(|p| p.into_inner()).push(FinishedTask {
+            id,
+            tenant,
+            report,
+            events,
+            slices,
+            steps,
+        });
+        pool.remaining.fetch_sub(1, Ordering::AcqRel);
+    } else {
+        pool.locals[me].lock().unwrap().push_back(task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_quantiles_interpolate_over_steps() {
+        let lat = StepLatencies { samples: vec![(100, 90), (1_000, 10)] };
+        assert_eq!(lat.total_steps(), 100);
+        assert_eq!(lat.quantile_ns(0.5), Some(100));
+        assert_eq!(lat.quantile_ns(0.99), Some(1_000));
+        assert_eq!(StepLatencies::default().quantile_ns(0.5), None);
+    }
+}

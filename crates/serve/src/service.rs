@@ -1,0 +1,326 @@
+//! The crawl service: admission, shared app models, and the drain loop.
+//!
+//! A [`CrawlService`] is a long-running, in-process session multiplexer.
+//! [`submit`](CrawlService::submit) admits a [`SessionSpec`] against the
+//! tenant ledger (typed [`SubmitError`] backpressure, never a panic),
+//! instantiates the session immediately — so "in flight" means a live
+//! [`Session`] state machine holding its browser, clock, and policy
+//! state — and parks it on the scheduler's injector.
+//! [`run_to_drain`](CrawlService::run_to_drain) spins up the worker pool
+//! and runs every in-flight session to the end of its virtual budget,
+//! returning [`CompletedSession`]s in submission order.
+//!
+//! App models are shared: the first submission naming an app builds it
+//! once via [`apps::build_shared`] and every later session for that app
+//! clones the `Arc`. One hundred thousand in-flight PhpBB2 crawls hold
+//! one PhpBB2 model.
+
+use crate::error::SubmitError;
+use crate::scheduler::{self, ScheduleOrder, SessionTask, StepLatencies};
+use crate::tenant::{TenantLedger, TenantQuota};
+use mak::framework::engine::{CrawlReport, EngineConfig};
+use mak::framework::session::Session;
+use mak::spec::build_crawler;
+use mak_obs::sink::{SinkHandle, VecSink};
+use mak_websim::apps;
+use mak_websim::server::WebApp;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Service-assigned session identifier, unique for the service lifetime
+/// and monotone in submission order.
+pub type SessionId = u64;
+
+/// Knobs for a [`CrawlService`]. `Default` reads the same environment
+/// the bench harness uses (`MAK_THREADS`), so a service dropped into a
+/// bench or CI job behaves like the rest of the workspace.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads for the drain loop (minimum 1).
+    pub threads: usize,
+    /// Virtual-clock steps one session runs per scheduling quantum.
+    /// Larger slices amortize queue traffic; smaller slices interleave
+    /// sessions more finely. Outcomes are identical either way.
+    pub steps_per_slice: usize,
+    /// Quota applied to tenants without an explicit
+    /// [`set_quota`](CrawlService::set_quota).
+    pub default_quota: TenantQuota,
+    /// Queue discipline — an adversarial-testing knob; see
+    /// [`ScheduleOrder`].
+    pub order: ScheduleOrder,
+    /// Record wall-clock per-step latency samples during drains (the
+    /// load bench turns this on; it costs two `Instant` reads per slice).
+    pub sample_latency: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let threads = std::env::var("MAK_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+        ServiceConfig {
+            threads,
+            steps_per_slice: 64,
+            default_quota: TenantQuota::default(),
+            order: ScheduleOrder::RoundRobin,
+            sample_latency: false,
+        }
+    }
+}
+
+/// One session submission: who wants it, what to crawl, and how.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// The submitting tenant (quota accounting key).
+    pub tenant: String,
+    /// Application name, resolved through [`apps::build_shared`].
+    pub app: String,
+    /// Crawler name, resolved through [`build_crawler`].
+    pub crawler: String,
+    /// The session's RNG seed.
+    pub seed: u64,
+    /// Engine configuration (budget, cost model, fault plan, …).
+    pub config: EngineConfig,
+    /// Capture the session's event stream and return it as JSONL bytes
+    /// on completion.
+    pub record_events: bool,
+}
+
+impl SessionSpec {
+    /// A spec with the default [`EngineConfig`] and no event capture.
+    pub fn new(
+        tenant: impl Into<String>,
+        app: impl Into<String>,
+        crawler: impl Into<String>,
+        seed: u64,
+    ) -> Self {
+        SessionSpec {
+            tenant: tenant.into(),
+            app: app.into(),
+            crawler: crawler.into(),
+            seed,
+            config: EngineConfig::default(),
+            record_events: false,
+        }
+    }
+
+    /// Replaces the engine configuration.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Requests the session's JSONL event stream alongside its report.
+    pub fn record_events(mut self, record: bool) -> Self {
+        self.record_events = record;
+        self
+    }
+}
+
+/// A drained session: its report plus service-side metadata.
+#[derive(Debug)]
+pub struct CompletedSession {
+    /// The id [`submit`](CrawlService::submit) returned for this session.
+    pub id: SessionId,
+    /// The tenant that submitted it.
+    pub tenant: String,
+    /// The sealed crawl report — byte-identical to a standalone
+    /// `run_crawl` of the same `(app, crawler, seed, config)`.
+    pub report: CrawlReport,
+    /// The session's event stream as JSONL bytes, when the spec asked
+    /// for it — byte-identical to a standalone run writing through
+    /// `JsonlSink`.
+    pub events_jsonl: Option<Vec<u8>>,
+    /// Virtual-clock steps the session ran.
+    pub steps: u64,
+    /// Scheduling quanta the session consumed.
+    pub slices: u64,
+}
+
+/// The in-process crawl service. See the [module docs](self).
+pub struct CrawlService {
+    config: ServiceConfig,
+    ledger: TenantLedger,
+    /// App-model cache: one shared model per app name, built lazily on
+    /// first submission. `BTreeMap` for deterministic iteration.
+    models: BTreeMap<String, Arc<dyn WebApp>>,
+    pending: Vec<SessionTask>,
+    next_id: SessionId,
+    aborted_total: u64,
+    last_latencies: StepLatencies,
+}
+
+impl CrawlService {
+    /// An empty service; no worker threads run until a drain.
+    pub fn new(config: ServiceConfig) -> Self {
+        let ledger = TenantLedger::new(config.default_quota);
+        CrawlService {
+            config,
+            ledger,
+            models: BTreeMap::new(),
+            pending: Vec::new(),
+            next_id: 0,
+            aborted_total: 0,
+            last_latencies: StepLatencies::default(),
+        }
+    }
+
+    /// Pins an explicit quota for `tenant`.
+    pub fn set_quota(&mut self, tenant: &str, quota: TenantQuota) {
+        self.ledger.set_quota(tenant, quota);
+    }
+
+    /// Admits and instantiates one session, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownApp`] / [`SubmitError::UnknownCrawler`] for
+    /// names outside the registries (checked *before* quota, so a typo
+    /// does not burn budget); [`SubmitError::QuotaExceeded`] /
+    /// [`SubmitError::BudgetExhausted`] from the tenant ledger.
+    pub fn submit(&mut self, spec: SessionSpec) -> Result<SessionId, SubmitError> {
+        let model = match self.models.get(&spec.app) {
+            Some(model) => model.clone(),
+            None => {
+                let model = apps::build_shared(&spec.app)
+                    .ok_or_else(|| SubmitError::UnknownApp(spec.app.clone()))?;
+                self.models.insert(spec.app.clone(), model.clone());
+                model
+            }
+        };
+        let crawler = build_crawler(&spec.crawler, spec.seed)
+            .ok_or_else(|| SubmitError::UnknownCrawler(spec.crawler.clone()))?;
+        self.ledger.admit(&spec.tenant)?;
+
+        let (sink, events) = if spec.record_events {
+            let (handle, cell) = SinkHandle::shared(VecSink::new());
+            (handle, Some(cell))
+        } else {
+            (SinkHandle::none(), None)
+        };
+        let session = Session::shared_with_sink(model, crawler, &spec.config, spec.seed, sink);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push(SessionTask { id, tenant: spec.tenant, session, events, slices: 0 });
+        Ok(id)
+    }
+
+    /// Sessions currently in flight (admitted, not yet drained).
+    pub fn in_flight(&self) -> usize {
+        self.ledger.total_in_flight()
+    }
+
+    /// Sessions currently in flight for one tenant.
+    pub fn tenant_in_flight(&self, tenant: &str) -> usize {
+        self.ledger.in_flight(tenant)
+    }
+
+    /// Sessions aborted (panicked mid-step) over the service lifetime.
+    /// Stays zero for in-tree crawlers; the load bench asserts on it.
+    pub fn aborted(&self) -> u64 {
+        self.aborted_total
+    }
+
+    /// Latency samples from the most recent drain (empty unless
+    /// [`ServiceConfig::sample_latency`] is set).
+    pub fn last_latencies(&self) -> &StepLatencies {
+        &self.last_latencies
+    }
+
+    /// Runs every in-flight session to the end of its virtual budget on
+    /// the worker pool, releases their quota slots, and returns the
+    /// completed sessions in submission (id) order.
+    pub fn run_to_drain(&mut self) -> Vec<CompletedSession> {
+        let tasks = std::mem::take(&mut self.pending);
+        let outcome = scheduler::drain(
+            tasks,
+            self.config.threads,
+            self.config.steps_per_slice,
+            self.config.order,
+            self.config.sample_latency,
+        );
+        self.aborted_total += outcome.aborted;
+        self.last_latencies = outcome.latencies;
+        let mut done: Vec<CompletedSession> = outcome
+            .finished
+            .into_iter()
+            .map(|t| {
+                self.ledger.release(&t.tenant);
+                let events_jsonl = t.events.map(|cell| {
+                    let sink = Arc::try_unwrap(cell)
+                        .expect("session finished; no other handle survives")
+                        .into_inner()
+                        .unwrap_or_else(|p| p.into_inner());
+                    let mut out = Vec::new();
+                    for event in sink.events() {
+                        let line = serde_json::to_string(event).expect("Event serializes");
+                        out.extend_from_slice(line.as_bytes());
+                        out.push(b'\n');
+                    }
+                    out
+                });
+                CompletedSession {
+                    id: t.id,
+                    tenant: t.tenant,
+                    report: t.report,
+                    events_jsonl,
+                    steps: t.steps,
+                    slices: t.slices,
+                }
+            })
+            .collect();
+        done.sort_unstable_by_key(|c| c.id);
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(seed: u64) -> SessionSpec {
+        SessionSpec::new("t", "addressbook", "random", seed)
+            .config(EngineConfig::with_budget_minutes(0.25))
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors_and_cost_no_quota() {
+        let mut service = CrawlService::new(ServiceConfig::default());
+        service.set_quota("t", TenantQuota { max_concurrent: 8, max_total: Some(1) });
+        let mut bad_app = quick(1);
+        bad_app.app = "geocities".into();
+        assert!(matches!(service.submit(bad_app), Err(SubmitError::UnknownApp(_))));
+        let mut bad_crawler = quick(1);
+        bad_crawler.crawler = "googlebot".into();
+        assert!(matches!(service.submit(bad_crawler), Err(SubmitError::UnknownCrawler(_))));
+        // Budget of one is still intact after the two rejections.
+        service.submit(quick(1)).unwrap();
+    }
+
+    #[test]
+    fn drain_returns_submission_order_and_zeroes_in_flight() {
+        let mut service = CrawlService::new(ServiceConfig::default());
+        let ids: Vec<_> = (0..6).map(|s| service.submit(quick(s)).unwrap()).collect();
+        assert_eq!(service.in_flight(), 6);
+        let done = service.run_to_drain();
+        assert_eq!(done.iter().map(|c| c.id).collect::<Vec<_>>(), ids);
+        assert_eq!(service.in_flight(), 0);
+        assert_eq!(service.aborted(), 0);
+        for c in &done {
+            assert!(c.report.interactions > 0);
+            assert!(c.slices > 0);
+        }
+    }
+
+    #[test]
+    fn one_model_allocation_serves_every_session_of_an_app() {
+        let mut service = CrawlService::new(ServiceConfig::default());
+        for seed in 0..3 {
+            service.submit(quick(seed)).unwrap();
+        }
+        let model = service.models.get("addressbook").unwrap();
+        // 3 sessions (one AppHost each) + the registry's own handle.
+        assert_eq!(Arc::strong_count(model), 4);
+    }
+}

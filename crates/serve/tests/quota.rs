@@ -1,0 +1,64 @@
+//! Backpressure at the admission boundary: quota violations are typed
+//! errors, in-flight sessions always finish cleanly, and slot accounting
+//! returns to zero after every drain.
+
+use mak::framework::engine::EngineConfig;
+use mak_serve::{CrawlService, ServiceConfig, SessionSpec, SubmitError, TenantQuota};
+
+fn spec(tenant: &str, seed: u64) -> SessionSpec {
+    SessionSpec::new(tenant, "addressbook", "random", seed)
+        .config(EngineConfig::with_budget_minutes(0.25))
+}
+
+/// Hitting the concurrent cap is a typed rejection, not a panic, and the
+/// sessions already in flight finish their full budget untouched.
+#[test]
+fn quota_rejection_leaves_in_flight_sessions_intact() {
+    let mut service = CrawlService::new(ServiceConfig::default());
+    service.set_quota("capped", TenantQuota::concurrent(3));
+    for seed in 0..3 {
+        service.submit(spec("capped", seed)).unwrap();
+    }
+    let err = service.submit(spec("capped", 3)).unwrap_err();
+    assert!(matches!(err, SubmitError::QuotaExceeded { in_flight: 3, limit: 3, .. }));
+    let done = service.run_to_drain();
+    assert_eq!(done.len(), 3, "the rejection touched nothing in flight");
+    for c in &done {
+        assert!(c.report.interactions > 0);
+        assert!(c.report.elapsed_secs > 0.0);
+    }
+}
+
+/// Slots return to the pool after a drain: the same tenant can refill
+/// its quota, round after round, and the ledger reads zero in between.
+#[test]
+fn slot_accounting_returns_to_zero_after_drain() {
+    let mut service = CrawlService::new(ServiceConfig::default());
+    service.set_quota("capped", TenantQuota::concurrent(2));
+    for round in 0..3 {
+        service.submit(spec("capped", round * 2)).unwrap();
+        service.submit(spec("capped", round * 2 + 1)).unwrap();
+        assert!(service.submit(spec("capped", 99)).is_err());
+        assert_eq!(service.tenant_in_flight("capped"), 2);
+        service.run_to_drain();
+        assert_eq!(service.tenant_in_flight("capped"), 0);
+        assert_eq!(service.in_flight(), 0);
+    }
+}
+
+/// The lifetime budget spans drains: once spent it never recovers, while
+/// other tenants are unaffected.
+#[test]
+fn lifetime_budget_is_permanent_and_per_tenant() {
+    let mut service = CrawlService::new(ServiceConfig::default());
+    service.set_quota("metered", TenantQuota { max_concurrent: 10, max_total: Some(2) });
+    service.submit(spec("metered", 0)).unwrap();
+    service.run_to_drain();
+    service.submit(spec("metered", 1)).unwrap();
+    service.run_to_drain();
+    let err = service.submit(spec("metered", 2)).unwrap_err();
+    assert!(matches!(err, SubmitError::BudgetExhausted { submitted: 2, budget: 2, .. }));
+    // A sibling tenant still gets in.
+    service.submit(spec("unmetered", 3)).unwrap();
+    assert_eq!(service.run_to_drain().len(), 1);
+}

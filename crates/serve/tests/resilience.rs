@@ -1,0 +1,90 @@
+//! Chaos over the service: every session crawls a flaky web (the PR 5
+//! fault-injection layer at its heavy profile) while the scheduler
+//! multiplexes them. Faults must stay a per-session affair — full
+//! budgets, no wedged workers, and fault counters identical to the same
+//! crawl run standalone.
+
+use mak::framework::engine::{run_crawl, EngineConfig};
+use mak::spec::{build_crawler, CRAWLER_NAMES};
+use mak_browser::fault::FaultPlan;
+use mak_serve::{CrawlService, ScheduleOrder, ServiceConfig, SessionSpec};
+use mak_websim::apps;
+
+fn heavy_config(minutes: f64) -> EngineConfig {
+    let mut cfg = EngineConfig::with_budget_minutes(minutes);
+    cfg.faults = FaultPlan::profile("heavy").unwrap();
+    cfg
+}
+
+/// All six crawlers crawl a flaky PhpBB2 concurrently under an
+/// adversarial schedule: every session finishes its full virtual budget,
+/// none wedges the scheduler, and each one both sees and recovers from
+/// faults.
+#[test]
+fn heavy_faults_do_not_wedge_the_scheduler() {
+    let budget_minutes = 2.0;
+    let mut service = CrawlService::new(ServiceConfig {
+        threads: 4,
+        order: ScheduleOrder::Lifo,
+        ..ServiceConfig::default()
+    });
+    for crawler in CRAWLER_NAMES {
+        service
+            .submit(
+                SessionSpec::new("chaos", "phpbb2", *crawler, 21)
+                    .config(heavy_config(budget_minutes)),
+            )
+            .unwrap();
+    }
+    let done = service.run_to_drain();
+    assert_eq!(done.len(), CRAWLER_NAMES.len());
+    assert_eq!(service.aborted(), 0, "faults are recoverable, not fatal");
+    for c in &done {
+        assert!(
+            c.report.elapsed_secs >= 0.9 * budget_minutes * 60.0,
+            "{} aborted early: {}s",
+            c.report.crawler,
+            c.report.elapsed_secs
+        );
+        assert!(c.report.faults.injected > 0, "{} saw faults", c.report.crawler);
+        assert!(c.report.faults.recoveries > 0, "{} recovered", c.report.crawler);
+        assert!(c.report.final_lines_covered > 0, "{} still covered code", c.report.crawler);
+    }
+}
+
+/// Per-session fault accounting is exact under multiplexing: a faulty
+/// session drained through the service reports the same `FaultStats` —
+/// injections, retries, recoveries, every counter — as the identical
+/// crawl run standalone, even with fault-free neighbors interleaved.
+#[test]
+fn fault_counters_match_standalone_runs() {
+    let cfg = heavy_config(1.5);
+    let mut service = CrawlService::new(ServiceConfig {
+        threads: 2,
+        order: ScheduleOrder::Random(99),
+        ..ServiceConfig::default()
+    });
+    for crawler in ["mak", "bfs"] {
+        service
+            .submit(SessionSpec::new("chaos", "addressbook", crawler, 22).config(cfg.clone()))
+            .unwrap();
+        // A clean neighbor interleaved with each faulty session.
+        service
+            .submit(
+                SessionSpec::new("chaos", "addressbook", crawler, 22)
+                    .config(EngineConfig::with_budget_minutes(1.5)),
+            )
+            .unwrap();
+    }
+    let done = service.run_to_drain();
+    for pair in done.chunks(2) {
+        let (faulty, clean) = (&pair[0], &pair[1]);
+        let mut standalone_crawler = build_crawler(&faulty.report.crawler, 22).unwrap();
+        let standalone =
+            run_crawl(&mut *standalone_crawler, apps::build("addressbook").unwrap(), &cfg, 22);
+        assert_eq!(faulty.report, standalone, "{} chaos ≡ standalone", faulty.report.crawler);
+        assert_eq!(faulty.report.faults, standalone.faults);
+        assert!(faulty.report.faults.injected > 0);
+        assert_eq!(clean.report.faults.injected, 0, "faults never leak across sessions");
+    }
+}

@@ -2,11 +2,15 @@
 //! must produce byte-identical [`CrawlReport`]s no matter *how* it is
 //! executed.
 //!
-//! Three execution paths are cross-checked:
+//! Four execution paths are cross-checked:
 //!
 //! - **rerun ≡ first run** — rebuilding the crawler and the app from the
 //!   spec and crawling again yields the identical report (the workspace
 //!   determinism contract).
+//! - **session ≡ one-shot** — driving the cell through the resumable
+//!   [`Session`](mak::framework::session::Session) state machine, one
+//!   step at a time from outside, yields the identical report (the
+//!   serving layer's equivalence contract).
 //! - **parallel ≡ sequential** — running all crawlers concurrently on
 //!   their own app instances matches the sequential reports (no hidden
 //!   shared state, no iteration-order leaks).
@@ -40,7 +44,7 @@ pub fn oracle_crawl(
     let report = run_crawl_with_sink(crawler, Box::new(spec.build()), config, seed, &sink);
     // The crawler keeps a clone of the sink, so take the violations by
     // value instead of unwrapping the cell.
-    let violations = cell.borrow().violations().to_vec();
+    let violations = cell.lock().unwrap().violations().to_vec();
     (report, violations)
 }
 
@@ -79,7 +83,7 @@ fn recorded_crawl(
     let mut crawler = build_crawler(crawler_name, seed)
         .unwrap_or_else(|| panic!("unknown crawler {crawler_name}"));
     run_crawl_with_sink(&mut *crawler, Box::new(spec.build()), config, seed, &sink);
-    let events = cell.borrow().events().to_vec();
+    let events = cell.lock().unwrap().events().to_vec();
     events
 }
 
@@ -122,6 +126,33 @@ pub fn check_rerun_identical(
             summarize_mismatch(&format!("{crawler_name} seed {seed} rerun"), first, &rerun);
         details.push_str(&pinpoint_rerun_divergence(spec, crawler_name, seed, config));
         Err(diff_violation("rerun-identical", details))
+    }
+}
+
+/// Checks that re-running the cell through a step-driven
+/// [`Session`](mak::framework::session::Session) — the state machine the
+/// serving layer multiplexes — yields a byte-identical report to the
+/// one-shot run.
+pub fn check_session_equivalence(
+    spec: &BlueprintSpec,
+    crawler_name: &str,
+    seed: u64,
+    config: &EngineConfig,
+    first: &CrawlReport,
+) -> Result<(), Violation> {
+    let crawler = build_crawler(crawler_name, seed)
+        .unwrap_or_else(|| panic!("unknown crawler {crawler_name}"));
+    let mut session =
+        mak::framework::session::Session::new(Box::new(spec.build()), crawler, config, seed);
+    while session.step().is_running() {}
+    let stepped = session.finish();
+    if report_json(first) == report_json(&stepped) {
+        Ok(())
+    } else {
+        Err(diff_violation(
+            "session-equivalence",
+            summarize_mismatch(&format!("{crawler_name} seed {seed} session"), first, &stepped),
+        ))
     }
 }
 
@@ -212,6 +243,18 @@ mod tests {
             let (report, violations) = oracle_crawl(&mut *c, &spec, &config, 2);
             assert!(violations.is_empty(), "{name}: {violations:?}");
             check_rerun_identical(&spec, name, 2, &config, &report)
+                .unwrap_or_else(|v| panic!("{v}"));
+        }
+    }
+
+    #[test]
+    fn stepped_session_matches_one_shot_on_generated_apps() {
+        let spec = BlueprintSpec::generate(7);
+        let config = small_config();
+        for name in ["mak", "qexplore", "dfs"] {
+            let mut c = build_crawler(name, 3).unwrap();
+            let report = run_crawl(&mut *c, Box::new(spec.build()), &config, 3);
+            check_session_equivalence(&spec, name, 3, &config, &report)
                 .unwrap_or_else(|v| panic!("{v}"));
         }
     }

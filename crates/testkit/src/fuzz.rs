@@ -13,7 +13,8 @@
 //! same apps, same violations, same artifacts.
 
 use crate::differential::{
-    check_cache_roundtrip, check_parallel_sequential, check_rerun_identical, oracle_crawl,
+    check_cache_roundtrip, check_parallel_sequential, check_rerun_identical,
+    check_session_equivalence, oracle_crawl,
 };
 use crate::generate::BlueprintSpec;
 use crate::oracle::Violation;
@@ -108,9 +109,13 @@ fn engine_config(budget_minutes: f64, faults: &FaultPlan) -> EngineConfig {
     config
 }
 
-/// Step-level + rerun detection for one `(spec, crawler, seed, budget)`
-/// cell: first oracle violation, else first rerun mismatch, else `None`.
-/// This is both the fuzz check and the shrink predicate for such failures.
+/// Step-level + rerun + session detection for one `(spec, crawler, seed,
+/// budget)` cell: first oracle violation, else first rerun mismatch, else
+/// a session-vs-one-shot divergence, else `None`. This is both the fuzz
+/// check and the shrink predicate for such failures. Every generated
+/// blueprint therefore exercises the cell through *both* execution paths
+/// — the legacy one-shot engine and the resumable `Session` the serving
+/// layer schedules.
 pub fn detect_step_failure(
     spec: &BlueprintSpec,
     budget_minutes: f64,
@@ -124,7 +129,10 @@ pub fn detect_step_failure(
     if let Some(v) = violations.into_iter().next() {
         return Some(v);
     }
-    check_rerun_identical(spec, crawler, seed, &config, &report).err()
+    if let Err(v) = check_rerun_identical(spec, crawler, seed, &config, &report) {
+        return Some(v);
+    }
+    check_session_equivalence(spec, crawler, seed, &config, &report).err()
 }
 
 fn detect_parallel_failure(

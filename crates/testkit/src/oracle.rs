@@ -265,7 +265,7 @@ mod tests {
             let (sink, cell) = SinkHandle::shared(InvariantOracle::new());
             let report = run_crawl_with_sink(&mut *c, Box::new(spec.build()), &config, 1, &sink);
             assert!(report.interactions > 0, "{crawler} did something");
-            let oracle = cell.borrow();
+            let oracle = cell.lock().unwrap();
             assert!(oracle.violations().is_empty(), "{crawler}: {:?}", oracle.violations());
         }
     }
@@ -284,7 +284,7 @@ mod tests {
             1,
             &sink,
         );
-        let oracle = cell.borrow();
+        let oracle = cell.lock().unwrap();
         assert!(
             oracle.violations().iter().any(|v| v.invariant == "exp31-epoch-bound"),
             "epoch-advance bug must trip the bound invariant: {:?}",
@@ -306,7 +306,7 @@ mod tests {
             1,
             &sink,
         );
-        let oracle = cell.borrow();
+        let oracle = cell.lock().unwrap();
         assert!(!oracle.violations().is_empty());
         assert!(oracle.violations().len() <= MAX_VIOLATIONS);
     }

@@ -393,14 +393,15 @@ pub struct BlueprintApp {
     /// rendered once and re-served under each request's URL
     /// ([`Document::reissue`]). Coverage side effects still run per request
     /// in [`BlueprintApp::render_page`]. Interior mutability because
-    /// [`WebApp::handle`] takes `&self`; `OnceCell` (not `OnceLock`) since
-    /// `dyn WebApp` is confined to one thread.
-    render_cache: Vec<std::cell::OnceCell<Document>>,
+    /// [`WebApp::handle`] takes `&self`; `OnceLock` because app models
+    /// are shared across scheduler worker threads (`WebApp: Send + Sync`);
+    /// a racing double-init renders the same pure value twice.
+    render_cache: Vec<std::sync::OnceLock<Document>>,
     /// Same idea for pages **with** a widget: the static prefix (nav bar,
     /// heading, link list) is built once and deep-cloned per request, which
     /// is cheaper than re-deriving every URL string; the widget then
     /// appends its dynamic elements.
-    widget_body_cache: Vec<std::cell::OnceCell<Element>>,
+    widget_body_cache: Vec<std::sync::OnceLock<Element>>,
 }
 
 struct Compiler {
@@ -514,8 +515,8 @@ impl Compiler {
             external_links: self.bp.external_links,
             redirect_links: self.bp.redirect_links,
             flaky_every: self.bp.flaky_every,
-            render_cache: (0..page_count).map(|_| std::cell::OnceCell::new()).collect(),
-            widget_body_cache: (0..page_count).map(|_| std::cell::OnceCell::new()).collect(),
+            render_cache: (0..page_count).map(|_| std::sync::OnceLock::new()).collect(),
+            widget_body_cache: (0..page_count).map(|_| std::sync::OnceLock::new()).collect(),
         }
     }
 

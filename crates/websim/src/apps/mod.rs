@@ -52,6 +52,24 @@ pub fn all_names() -> Vec<&'static str> {
     PHP_APPS.iter().chain(NODE_APPS.iter()).copied().collect()
 }
 
+/// Builds the application model registered under `name` as a *shareable*
+/// handle: the serving layer deploys one `Arc` per app and hands a clone
+/// to every concurrent session (see
+/// [`AppHost::with_shared`](crate::server::AppHost::with_shared)), so a
+/// hundred thousand in-flight crawls of `"drupal"` hold one model
+/// allocation between them.
+///
+/// # Examples
+///
+/// ```
+/// let app = mak_websim::apps::build_shared("drupal").expect("known app");
+/// let another = app.clone();
+/// assert_eq!(another.name(), "drupal");
+/// ```
+pub fn build_shared(name: &str) -> Option<std::sync::Arc<dyn WebApp>> {
+    build(name).map(std::sync::Arc::from)
+}
+
 /// Builds the application model registered under `name`, or `None` for an
 /// unknown name.
 ///

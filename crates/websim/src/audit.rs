@@ -73,7 +73,8 @@ pub fn audit_reachability(
         let doc = match resp.body {
             Body::Html(doc) => doc,
             Body::Redirect(location) => {
-                if location.same_origin(&origin) && visited.insert(location.normalized().to_owned()) {
+                if location.same_origin(&origin) && visited.insert(location.normalized().to_owned())
+                {
                     queue.push_back(Request::get(location));
                 }
                 continue;

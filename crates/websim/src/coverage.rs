@@ -230,7 +230,7 @@ impl CoverageTracker {
         // range and count only the transitions via popcount. Same result as
         // a per-line loop, ~64x fewer iterations on block-sized ranges.
         let (lo, hi) = ((start - 1) as usize, (end - 1) as usize);
-        for idx in lo / 64..=hi / 64 {
+        for (idx, word) in mask.iter_mut().enumerate().take(hi / 64 + 1).skip(lo / 64) {
             let mut bits = !0u64;
             if idx == lo / 64 {
                 bits &= !0u64 << (lo % 64);
@@ -238,8 +238,8 @@ impl CoverageTracker {
             if idx == hi / 64 {
                 bits &= !0u64 >> (63 - hi % 64);
             }
-            let fresh = bits & !mask[idx];
-            mask[idx] |= fresh;
+            let fresh = bits & !*word;
+            *word |= fresh;
             self.covered += u64::from(fresh.count_ones());
         }
     }

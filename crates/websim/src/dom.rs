@@ -741,7 +741,10 @@ mod tests {
                 href: "http://h/p?b=2&a=1".parse().unwrap(),
                 text: "anchor text".to_owned(),
             },
-            Interactable::Button { name: "buy".to_owned(), target: "http://h/buy".parse().unwrap() },
+            Interactable::Button {
+                name: "buy".to_owned(),
+                target: "http://h/buy".parse().unwrap(),
+            },
             Interactable::Form(FormSpec {
                 action: "http://h/search?scope=all".parse().unwrap(),
                 method: crate::http::Method::Post,

@@ -50,8 +50,12 @@ impl<'a> RequestCtx<'a> {
 /// A deterministic simulated web application.
 ///
 /// Implementations must be pure functions of `(request, session)`: the
-/// simulator relies on this for reproducible experiments.
-pub trait WebApp {
+/// simulator relies on this for reproducible experiments. Apps are
+/// `Send + Sync` — [`handle`](WebApp::handle) takes `&self`, with all
+/// per-run mutability confined to the [`RequestCtx`] — so one immutable
+/// model can be shared (`Arc<dyn WebApp>`) by thousands of concurrent
+/// crawl sessions, each with its own [`AppHost`].
+pub trait WebApp: Send + Sync {
     /// Short identifier, e.g. `"drupal"`.
     fn name(&self) -> &str;
 
@@ -75,14 +79,36 @@ pub trait WebApp {
     fn handle(&self, req: &Request, ctx: &mut RequestCtx<'_>) -> Response;
 }
 
+/// How a host references its application model: exclusively owned (the
+/// classic one-run path) or shared with other hosts (the serving path,
+/// where thousands of concurrent sessions deploy the same immutable
+/// model without cloning it).
+enum AppRef {
+    Owned(Box<dyn WebApp>),
+    Shared(std::sync::Arc<dyn WebApp>),
+}
+
+impl std::ops::Deref for AppRef {
+    type Target = dyn WebApp;
+
+    fn deref(&self) -> &(dyn WebApp + 'static) {
+        match self {
+            AppRef::Owned(app) => &**app,
+            AppRef::Shared(app) => &**app,
+        }
+    }
+}
+
 /// A hosted application instance: app + coverage + sessions + counters.
 ///
 /// One `AppHost` corresponds to one fresh deployment, i.e. one experimental
 /// run. The host is the *measurement* boundary: crawlers only see
 /// [`Response`]s, while the harness reads coverage through
-/// [`tracker`](AppHost::tracker).
+/// [`tracker`](AppHost::tracker). The application model itself is
+/// immutable and may be [shared](AppHost::with_shared) across many
+/// hosts; everything mutable (coverage, sessions, counters) is per-host.
 pub struct AppHost {
-    app: Box<dyn WebApp>,
+    app: AppRef,
     tracker: CoverageTracker,
     sessions: SessionStore,
     requests: u64,
@@ -101,6 +127,20 @@ impl std::fmt::Debug for AppHost {
 impl AppHost {
     /// Deploys `app` with a fresh coverage tracker and session store.
     pub fn new(app: Box<dyn WebApp>) -> Self {
+        Self::from_ref(AppRef::Owned(app))
+    }
+
+    /// Deploys a *shared* application model: this host gets its own
+    /// coverage tracker, session store, and request counter, but the
+    /// model itself stays one allocation shared with every other host
+    /// built from the same `Arc`. Behaviour is identical to
+    /// [`AppHost::new`] on a fresh copy of the model — apps are pure
+    /// functions of `(request, session)`, so sharing is unobservable.
+    pub fn with_shared(app: std::sync::Arc<dyn WebApp>) -> Self {
+        Self::from_ref(AppRef::Shared(app))
+    }
+
+    fn from_ref(app: AppRef) -> Self {
         let tracker = CoverageTracker::new(app.code_model(), app.coverage_mode());
         AppHost {
             app,

@@ -8,6 +8,8 @@
 //! mak-cli profile <app> <crawler>    run one instrumented crawl and print where
 //!                                    the virtual budget went
 //! mak-cli scan <app> [options]       crawl then probe for reflected inputs
+//! mak-cli serve <app> [options]      multiplex many concurrent sessions through
+//!                                    the in-process crawl service and summarize
 //! mak-cli fuzz [options]             fuzz generated apps under the invariant oracles
 //! mak-cli fuzz --replay <file>       re-run a saved failure artifact
 //! mak-cli cache stats                summarize the on-disk run cache (under
@@ -25,7 +27,8 @@
 //!   --crawler <name>    crawler for `crawl` (default: mak)
 //!   --minutes <f64>     virtual budget (default: 30; fuzz default: 1)
 //!   --seed <u64>        RNG seed (default: 0; fuzz: base blueprint seed)
-//!   --seeds <u64>       repetitions for `compare`, crawl seeds for `fuzz` (default: 3)
+//!   --seeds <u64>       repetitions for `compare`, crawl seeds for `fuzz`,
+//!                       concurrent sessions for `serve` (default: 3)
 //!   --apps <u64>        generated applications for `fuzz` (default: 25)
 //!   --replay <file>     replay a fuzz failure artifact instead of fuzzing
 //!   --trace <file>      write the run's observability event stream as JSONL
@@ -155,7 +158,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mak-cli <apps|crawlers|crawl <app>|compare <app>|profile <app> <crawler>|\
-         scan <app>|fuzz|cache <stats|clear>|trace <summarize FILE|diff A B|check FILE>> \
+         scan <app>|serve <app>|fuzz|cache <stats|clear>|trace <summarize FILE|diff A B|check FILE>> \
          [--crawler NAME] [--minutes F] [--seed N] \
          [--seeds N] [--apps N] [--replay FILE] [--trace FILE] \
          [--faults PROFILE] [--chaos]"
@@ -452,9 +455,10 @@ fn cmd_crawl(app: &str, opts: &Options) -> ExitCode {
             // the sink, so the cell unwraps and the writer can be flushed.
             drop(crawler);
             drop(handle);
-            match std::rc::Rc::try_unwrap(cell) {
-                Ok(refcell) => {
-                    let (_, error) = refcell.into_inner().finish();
+            match std::sync::Arc::try_unwrap(cell) {
+                Ok(mutex) => {
+                    let sink = mutex.into_inner().unwrap_or_else(|p| p.into_inner());
+                    let (_, error) = sink.finish();
                     if let Some(e) = error {
                         eprintln!("trace write to {path} failed: {e}");
                         return ExitCode::FAILURE;
@@ -517,7 +521,7 @@ fn cmd_profile(app: &str, crawler_name: &str, opts: &Options) -> ExitCode {
     let (handle, cell) = SinkHandle::shared(Aggregator::new());
     run_crawl_with_sink(&mut *crawler, app_model, &config, opts.seed, &handle);
     let wall = started.elapsed();
-    let agg = cell.borrow();
+    let agg = cell.lock().unwrap();
 
     println!(
         "{} on {} (seed {}): {} steps, {} pages (+{} redirects), {} lines, {:.0}s virtual",
@@ -589,6 +593,74 @@ fn cmd_compare(app: &str, opts: &Options) -> ExitCode {
     }
     println!("{}", markdown_table(&["Crawler", "Mean lines", "% of union"], &rows));
     ExitCode::SUCCESS
+}
+
+/// `serve <app>`: submit `--seeds` concurrent sessions of one crawler to
+/// the in-process crawl service, drain them on the scheduler, and print
+/// per-session results plus aggregate throughput.
+fn cmd_serve(app: &str, opts: &Options) -> ExitCode {
+    use mak_serve::{CrawlService, ServiceConfig, SessionSpec};
+
+    if apps::build(app).is_none() {
+        eprintln!("unknown app `{app}`; run `mak-cli apps`");
+        return ExitCode::FAILURE;
+    }
+    if build_crawler(&opts.crawler, 0).is_none() {
+        eprintln!("unknown crawler `{}`; run `mak-cli crawlers`", opts.crawler);
+        return ExitCode::FAILURE;
+    }
+    let mut config = EngineConfig::with_budget_minutes(opts.minutes.unwrap_or(30.0));
+    if let Some(plan) = &opts.faults {
+        config.faults = plan.clone();
+    }
+    let service_config = ServiceConfig::default();
+    let threads = service_config.threads;
+    let mut service = CrawlService::new(service_config);
+    for s in 0..opts.seeds {
+        if let Err(e) = service.submit(
+            SessionSpec::new("cli", app, &opts.crawler, opts.seed + s).config(config.clone()),
+        ) {
+            eprintln!("submit failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    mak_obs::progress!(
+        "serving {} concurrent sessions of {} on {app} ({} threads)…",
+        service.in_flight(),
+        opts.crawler,
+        threads
+    );
+    let started = std::time::Instant::now();
+    let done = service.run_to_drain();
+    let wall = started.elapsed().as_secs_f64();
+
+    println!(
+        "{:>8}  {:>6}  {:>12}  {:>6}  {:>8}",
+        "seed", "lines", "interactions", "urls", "virtual"
+    );
+    for c in &done {
+        println!(
+            "{:>8}  {:>6}  {:>12}  {:>6}  {:>7.0}s",
+            c.report.seed,
+            c.report.final_lines_covered,
+            c.report.interactions,
+            c.report.distinct_urls,
+            c.report.elapsed_secs,
+        );
+    }
+    let lines: Vec<f64> = done.iter().map(|c| c.report.final_lines_covered as f64).collect();
+    println!(
+        "\n{} sessions drained in {wall:.2}s ({:.0} sessions/hour), mean {:.0} lines, {} aborted",
+        done.len(),
+        if wall > 0.0 { done.len() as f64 / (wall / 3600.0) } else { f64::INFINITY },
+        mean(&lines),
+        service.aborted(),
+    );
+    if service.aborted() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_fuzz(opts: &Options) -> ExitCode {
@@ -710,7 +782,7 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "crawl" | "compare" | "scan" => {
+        "crawl" | "compare" | "scan" | "serve" => {
             let Some(app) = args.get(1) else {
                 eprintln!("`{command}` needs an application name");
                 return usage();
@@ -725,6 +797,7 @@ fn main() -> ExitCode {
             match command.as_str() {
                 "crawl" => cmd_crawl(app, &opts),
                 "scan" => cmd_scan(app, &opts),
+                "serve" => cmd_serve(app, &opts),
                 _ => cmd_compare(app, &opts),
             }
         }

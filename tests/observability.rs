@@ -37,8 +37,8 @@ fn traced_crawl(crawler: &str, seed: u64) -> (CrawlReport, Vec<u8>) {
     let report = run_crawl_with_sink(&mut *c, apps::build(APP).unwrap(), &config(), seed, &handle);
     drop(c);
     drop(handle);
-    let Ok(sink) = std::rc::Rc::try_unwrap(cell) else { panic!("all clones dropped") };
-    let (bytes, error) = sink.into_inner().finish();
+    let Ok(sink) = std::sync::Arc::try_unwrap(cell) else { panic!("all clones dropped") };
+    let (bytes, error) = sink.into_inner().unwrap_or_else(|p| p.into_inner()).finish();
     assert!(error.is_none(), "in-memory writer cannot fail");
     (report, bytes)
 }
@@ -50,7 +50,7 @@ fn event_crawl(crawler: &str, seed: u64, record_trace: bool) -> (CrawlReport, Ve
     let (handle, cell) = SinkHandle::shared(VecSink::new());
     let mut c = build_crawler(crawler, seed).expect("known crawler");
     let report = run_crawl_with_sink(&mut *c, apps::build(APP).unwrap(), &cfg, seed, &handle);
-    let events = cell.borrow().events().to_vec();
+    let events = cell.lock().unwrap().events().to_vec();
     (report, events)
 }
 
