@@ -6,10 +6,19 @@
 //! a mixed workload cycling apps and crawlers, every one in flight
 //! before the drain starts — and runs them to the end of their
 //! `MAK_SERVE_BUDGET_MINUTES` (default 0.5) virtual budget on
-//! `MAK_THREADS` workers. Writes throughput (sessions/hour, steps/sec)
-//! and wall-clock step-latency percentiles (p50/p99) to
-//! `results/BENCH_serve.json`; the CI `serve-smoke` job runs a 1 000 ×
-//! 2-minute variant and gates on zero aborted sessions.
+//! `MAK_THREADS` workers. Writes throughput (sessions/hour, steps/sec),
+//! wall-clock step-latency percentiles (p50/p99), and a drain-progress
+//! time-series to `results/BENCH_serve.json` (schema:
+//! [`mak_bench::slo::ServeReport`]), plus the full Prometheus
+//! exposition to `results/serve_metrics.prom` and the virtual-domain
+//! snapshot — bit-identical across thread counts and schedule orders —
+//! to `results/serve_metrics_virtual.json` (the CI `telemetry` job
+//! byte-diffs it across `MAK_THREADS`). `MAK_SERVE_METRICS=off`
+//! disables collection entirely, which is how the 5% overhead bound on
+//! metrics is measured. The CI `serve-smoke` job runs a 1 000 ×
+//! 2-minute variant and gates on zero aborted sessions; the `regress`
+//! binary gates this report against blessed SLO floors
+//! (`results/serve_slo.json`).
 //!
 //! Latency numbers are wall-clock and therefore machine-dependent; the
 //! session *outcomes* stay bit-deterministic (see
@@ -17,43 +26,10 @@
 //! not a results generator — nothing here feeds the paper tables.
 
 use mak::framework::engine::EngineConfig;
+use mak_bench::slo::ServeReport;
 use mak_bench::write_result;
 use mak_serve::{CrawlService, ServiceConfig, SessionSpec, TenantQuota};
-use serde::Serialize;
 use std::time::Instant;
-
-/// The `results/BENCH_serve.json` document.
-#[derive(Debug, Serialize)]
-struct ServeReport {
-    /// Sessions submitted (all in flight simultaneously before draining).
-    sessions: u64,
-    /// Peak concurrent sessions (equals `sessions`: submit-then-drain).
-    peak_in_flight: u64,
-    threads: u64,
-    steps_per_slice: u64,
-    /// Virtual budget per session, minutes.
-    budget_minutes: f64,
-    /// Wall-clock seconds for the drain (excludes submission).
-    drain_wall_secs: f64,
-    /// Wall-clock seconds spent submitting (session construction).
-    submit_wall_secs: f64,
-    /// Completed sessions per wall-clock hour, from the drain phase.
-    sessions_per_hour: f64,
-    /// Virtual-clock steps executed across all sessions.
-    total_steps: u64,
-    /// Steps per wall-clock second across the drain.
-    steps_per_sec: f64,
-    /// Median wall-clock cost of one virtual step, nanoseconds.
-    p50_step_ns: u64,
-    /// 99th-percentile wall-clock cost of one virtual step, nanoseconds.
-    p99_step_ns: u64,
-    /// Sessions that panicked mid-step. Always 0 for in-tree crawlers;
-    /// the CI smoke job gates on it.
-    aborted: u64,
-    /// Total interactions across all completed sessions (a cheap
-    /// plausibility check that the sessions really crawled).
-    total_interactions: u64,
-}
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
@@ -66,8 +42,12 @@ fn env_f64(name: &str, default: f64) -> f64 {
 fn main() {
     let sessions = env_u64("MAK_SERVE_SESSIONS", 100_000);
     let budget_minutes = env_f64("MAK_SERVE_BUDGET_MINUTES", 0.5);
+    let collect_metrics = std::env::var("MAK_SERVE_METRICS").map(|v| v != "off").unwrap_or(true);
     let config = ServiceConfig {
         sample_latency: true,
+        collect_metrics,
+        // Roughly 50 points across the drain, at least one per session.
+        checkpoint_every: (sessions / 50).max(1),
         // One tenant holds every session, so the default quota must
         // clear the target concurrency.
         default_quota: TenantQuota::concurrent(usize::MAX),
@@ -126,6 +106,14 @@ fn main() {
         p99_step_ns: latencies.quantile_ns(0.99).unwrap_or(0),
         aborted: service.aborted(),
         total_interactions: done.iter().map(|c| c.report.interactions).sum(),
+        steals: service.metrics().registry().counter_total("mak_serve_scheduler_steals_total")
+            as u64,
+        queue_peak: service
+            .metrics()
+            .registry()
+            .gauge_value("mak_serve_queue_depth_peak", &[])
+            .unwrap_or(0.0) as u64,
+        series: service.last_checkpoints().to_vec(),
     };
     mak_obs::progress!(
         "serve: {} sessions in {:.1}s ({:.0} sessions/hour, {:.0} steps/s, p50 {}ns p99 {}ns, {} aborted)",
@@ -141,4 +129,11 @@ fn main() {
         "BENCH_serve.json",
         &serde_json::to_string_pretty(&report).expect("serve report serializes"),
     );
+    if collect_metrics {
+        let snapshot = service.metrics().snapshot();
+        write_result("serve_metrics.prom", &snapshot.to_prometheus());
+        write_result("serve_metrics_virtual.json", &service.metrics().virtual_snapshot().to_json());
+    } else {
+        mak_obs::progress!("serve: metrics collection off (MAK_SERVE_METRICS=off)");
+    }
 }

@@ -13,7 +13,7 @@
 //! | `perf`    | §V-D           | mean interacted elements per run |
 //! | `sweep`   | extension      | coverage vs crawl budget |
 //! | `faults`  | extension      | coverage + resilience vs injected fault rate |
-//! | `regress` | —              | coverage/regret gate vs `results/baselines.json` |
+//! | `regress` | —              | coverage/regret gate vs `results/baselines.json`, serve SLO gate vs `results/serve_slo.json` |
 //! | `report`  | —              | assemble `results/index.html` |
 //!
 //! All binaries honor these environment variables:
@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod gate;
+pub mod slo;
 
 use mak::framework::engine::EngineConfig;
 use mak_metrics::experiment::RunMatrix;

@@ -1,0 +1,222 @@
+//! Serving-layer SLOs: the schema of `results/BENCH_serve.json` and the
+//! blessed floors the `regress` binary gates it against.
+//!
+//! The coverage gate ([`gate`](crate::gate)) protects the paper's
+//! deterministic claims; this module protects the *service*: completed
+//! sessions per hour must not collapse, the p99 wall-clock step latency
+//! must stay inside its envelope, and no session may abort. Wall-clock
+//! numbers are machine-dependent, so the blessed bounds carry generous
+//! fractional headroom ([`FLOOR_FRACTION`] / [`CEILING_FACTOR`]) — the
+//! gate catches order-of-magnitude regressions (a lock on the hot path,
+//! an accidental per-step allocation), not single-digit noise. Bless on
+//! the machine that runs the gate:
+//!
+//! ```text
+//! cargo run --release -p mak-bench --bin serve     # writes BENCH_serve.json
+//! cargo run --release -p mak-bench --bin regress -- --bless
+//! ```
+
+use mak_serve::Checkpoint;
+use serde::{Deserialize, Serialize};
+
+/// The `results/BENCH_serve.json` document (written by the `serve`
+/// binary, read back by `regress`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Sessions submitted (all in flight simultaneously before draining).
+    pub sessions: u64,
+    /// Peak concurrent sessions (equals `sessions`: submit-then-drain).
+    pub peak_in_flight: u64,
+    /// Worker threads used for the drain.
+    pub threads: u64,
+    /// Steps per scheduling quantum.
+    pub steps_per_slice: u64,
+    /// Virtual budget per session, minutes.
+    pub budget_minutes: f64,
+    /// Wall-clock seconds for the drain (excludes submission).
+    pub drain_wall_secs: f64,
+    /// Wall-clock seconds spent submitting (session construction).
+    pub submit_wall_secs: f64,
+    /// Completed sessions per wall-clock hour, from the drain phase.
+    pub sessions_per_hour: f64,
+    /// Virtual-clock steps executed across all sessions.
+    pub total_steps: u64,
+    /// Steps per wall-clock second across the drain.
+    pub steps_per_sec: f64,
+    /// Median wall-clock cost of one virtual step, nanoseconds.
+    pub p50_step_ns: u64,
+    /// 99th-percentile wall-clock cost of one virtual step, nanoseconds.
+    pub p99_step_ns: u64,
+    /// Sessions that panicked mid-step. Always 0 for in-tree crawlers.
+    pub aborted: u64,
+    /// Total interactions across all completed sessions (a cheap
+    /// plausibility check that the sessions really crawled).
+    pub total_interactions: u64,
+    /// Work-stealing operations during the drain.
+    pub steals: u64,
+    /// High-water mark of observed scheduler queue depth.
+    pub queue_peak: u64,
+    /// Drain progress time-series: one point per
+    /// `checkpoint_every` completions (wall-clock domain).
+    pub series: Vec<Checkpoint>,
+}
+
+/// Fraction of the blessed sessions/hour kept as the floor: the gate
+/// fires below 20% of the blessed throughput (a 5× collapse), never on
+/// machine-to-machine variance.
+pub const FLOOR_FRACTION: f64 = 0.2;
+
+/// Multiple of the blessed p99 step latency kept as the ceiling.
+pub const CEILING_FACTOR: f64 = 5.0;
+
+/// Minimum p99 ceiling, nanoseconds — tiny blessed runs quantize to a
+/// few nanoseconds per step, and 5× of almost-nothing is still noise.
+pub const MIN_P99_CEILING_NS: u64 = 50_000;
+
+/// Blessed serving-layer service-level objectives
+/// (`results/serve_slo.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSlo {
+    /// Completed sessions per wall-clock hour must stay at or above this.
+    pub sessions_per_hour_floor: f64,
+    /// p99 wall-clock nanoseconds per step must stay at or below this.
+    pub p99_step_ns_ceiling: u64,
+    /// Aborted sessions must stay at or below this (blessed at zero).
+    pub max_aborted: u64,
+    /// The workload the bounds were blessed under — a differently-sized
+    /// run refuses to compare instead of reporting phantom drift.
+    pub blessed_sessions: u64,
+    /// Virtual budget per session the bounds were blessed under.
+    pub blessed_budget_minutes: f64,
+}
+
+impl ServeSlo {
+    /// Derives blessed bounds from one measured report.
+    pub fn bless(report: &ServeReport) -> Self {
+        ServeSlo {
+            sessions_per_hour_floor: report.sessions_per_hour * FLOOR_FRACTION,
+            p99_step_ns_ceiling: (((report.p99_step_ns as f64) * CEILING_FACTOR) as u64)
+                .max(MIN_P99_CEILING_NS),
+            max_aborted: 0,
+            blessed_sessions: report.sessions,
+            blessed_budget_minutes: report.budget_minutes,
+        }
+    }
+
+    /// Gates `report` against the blessed bounds. Returns one finding
+    /// per violated objective; empty means the gate passes.
+    pub fn check(&self, report: &ServeReport) -> Vec<String> {
+        let mut findings = Vec::new();
+        if report.sessions != self.blessed_sessions
+            || report.budget_minutes != self.blessed_budget_minutes
+        {
+            findings.push(format!(
+                "serve SLO: workload mismatch — blessed under {} sessions x {} min, \
+                 measured {} sessions x {} min (re-bless or match the workload)",
+                self.blessed_sessions,
+                self.blessed_budget_minutes,
+                report.sessions,
+                report.budget_minutes
+            ));
+            return findings;
+        }
+        if report.sessions_per_hour < self.sessions_per_hour_floor {
+            findings.push(format!(
+                "serve SLO: throughput collapsed — {:.0} sessions/hour, floor {:.0}",
+                report.sessions_per_hour, self.sessions_per_hour_floor
+            ));
+        }
+        if report.p99_step_ns > self.p99_step_ns_ceiling {
+            findings.push(format!(
+                "serve SLO: p99 step latency blew its envelope — {} ns, ceiling {} ns",
+                report.p99_step_ns, self.p99_step_ns_ceiling
+            ));
+        }
+        if report.aborted > self.max_aborted {
+            findings.push(format!(
+                "serve SLO: {} aborted sessions (max {})",
+                report.aborted, self.max_aborted
+            ));
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ServeReport {
+        ServeReport {
+            sessions: 1_000,
+            peak_in_flight: 1_000,
+            threads: 8,
+            steps_per_slice: 64,
+            budget_minutes: 0.5,
+            drain_wall_secs: 10.0,
+            submit_wall_secs: 1.0,
+            sessions_per_hour: 360_000.0,
+            total_steps: 1_000_000,
+            steps_per_sec: 100_000.0,
+            p50_step_ns: 4_000,
+            p99_step_ns: 40_000,
+            aborted: 0,
+            total_interactions: 50_000,
+            steals: 12,
+            queue_peak: 1_000,
+            series: vec![Checkpoint { wall_secs: 5.0, sessions_done: 500, steps_done: 500_000 }],
+        }
+    }
+
+    #[test]
+    fn blessed_report_passes_its_own_gate() {
+        let r = report();
+        let slo = ServeSlo::bless(&r);
+        assert!(slo.check(&r).is_empty());
+        assert_eq!(slo.max_aborted, 0);
+        assert_eq!(slo.sessions_per_hour_floor, 72_000.0);
+        assert_eq!(slo.p99_step_ns_ceiling, 200_000);
+    }
+
+    #[test]
+    fn collapse_latency_and_aborts_each_fire_a_finding() {
+        let blessed = report();
+        let slo = ServeSlo::bless(&blessed);
+        let mut bad = report();
+        bad.sessions_per_hour = slo.sessions_per_hour_floor / 2.0;
+        bad.p99_step_ns = slo.p99_step_ns_ceiling + 1;
+        bad.aborted = 3;
+        let findings = slo.check(&bad);
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings[0].contains("throughput collapsed"));
+        assert!(findings[1].contains("p99"));
+        assert!(findings[2].contains("aborted"));
+    }
+
+    #[test]
+    fn workload_mismatch_refuses_to_compare() {
+        let slo = ServeSlo::bless(&report());
+        let mut other = report();
+        other.sessions = 10;
+        let findings = slo.check(&other);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].contains("workload mismatch"));
+    }
+
+    #[test]
+    fn tiny_blessed_latencies_keep_a_sane_ceiling() {
+        let mut fast = report();
+        fast.p99_step_ns = 100;
+        let slo = ServeSlo::bless(&fast);
+        assert_eq!(slo.p99_step_ns_ceiling, MIN_P99_CEILING_NS);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: ServeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.series, r.series);
+        assert_eq!(back.sessions_per_hour, r.sessions_per_hour);
+    }
+}

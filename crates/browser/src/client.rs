@@ -375,6 +375,7 @@ impl Browser {
                     let backoff = self.faults.retry.backoff_ms(attempts);
                     self.clock.advance(backoff);
                     self.fault_stats.retries += 1;
+                    self.fault_stats.backoff_ms += backoff;
                     self.sink.emit_with(|| Event::RetryScheduled {
                         attempt: attempts as u64,
                         backoff_ms: backoff,

@@ -269,7 +269,7 @@ impl Deserialize for FaultPlan {
 }
 
 /// What the fault layer did during one run; recorded in `CrawlReport`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultStats {
     /// Faults injected, of any kind.
     pub injected: u64,
@@ -283,6 +283,10 @@ pub struct FaultStats {
     pub session_expiries: u64,
     /// Stale-element rejections.
     pub stale_elements: u64,
+    /// Virtual milliseconds the clock advanced waiting out retry
+    /// backoff — the time cost of resilience, a pure function of the
+    /// fault schedule.
+    pub backoff_ms: f64,
 }
 
 fn splitmix64(mut x: u64) -> u64 {

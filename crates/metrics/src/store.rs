@@ -35,6 +35,7 @@ use mak::framework::engine::{CrawlReport, EngineConfig};
 use mak_obs::aggregate::Counter;
 use mak_obs::event::Event;
 use mak_obs::sink::SharedSink;
+use mak_telemetry::{Domain, TelemetryHandle};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -220,6 +221,28 @@ impl CacheStats {
         }
         counter
     }
+
+    /// Entry counts *and byte totals* per application.
+    pub fn per_app_stats(&self) -> BTreeMap<String, PairStats> {
+        let mut out: BTreeMap<String, PairStats> = BTreeMap::new();
+        for ((app, _), stats) in &self.per_pair {
+            let slot = out.entry(app.clone()).or_default();
+            slot.entries += stats.entries;
+            slot.bytes += stats.bytes;
+        }
+        out
+    }
+
+    /// Entry counts *and byte totals* per crawler.
+    pub fn per_crawler_stats(&self) -> BTreeMap<String, PairStats> {
+        let mut out: BTreeMap<String, PairStats> = BTreeMap::new();
+        for ((_, crawler), stats) in &self.per_pair {
+            let slot = out.entry(crawler.clone()).or_default();
+            slot.entries += stats.entries;
+            slot.bytes += stats.bytes;
+        }
+        out
+    }
 }
 
 /// The content-addressed run cache (see the [module docs](self)).
@@ -231,6 +254,7 @@ pub struct RunStore {
     hits: AtomicU64,
     misses: AtomicU64,
     sink: SharedSink,
+    telemetry: TelemetryHandle,
 }
 
 impl RunStore {
@@ -244,6 +268,7 @@ impl RunStore {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             sink: SharedSink::none(),
+            telemetry: TelemetryHandle::none(),
         }
     }
 
@@ -255,6 +280,48 @@ impl RunStore {
     pub fn with_shared_sink(mut self, sink: SharedSink) -> Self {
         self.sink = sink;
         self
+    }
+
+    /// Attaches a telemetry handle; the store counts
+    /// `mak_cache_hits_total` / `mak_cache_misses_total` (labeled by app
+    /// and crawler) and read/written byte totals into it. The default
+    /// handle is inert, so an unattached store pays one skipped branch
+    /// per lookup.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Counts one lookup outcome. Cache traffic depends on prior on-disk
+    /// state, so these families live in the wall-clock domain: excluded
+    /// from deterministic artifacts.
+    fn count_lookup(&self, hit: bool, app: &str, crawler: &str, bytes_read: u64) {
+        self.telemetry.with(|r| {
+            let metric = if hit { "mak_cache_hits_total" } else { "mak_cache_misses_total" };
+            r.register_counter(metric, Domain::Wall, "Run-cache lookups, by outcome");
+            r.inc(metric, &[("app", app), ("crawler", crawler)], 1);
+            if bytes_read > 0 {
+                r.register_counter(
+                    "mak_cache_io_bytes_total",
+                    Domain::Wall,
+                    "Bytes moved through the run cache, by direction",
+                );
+                r.inc("mak_cache_io_bytes_total", &[("direction", "read")], bytes_read);
+            }
+        });
+    }
+
+    /// Counts bytes written by one `save`.
+    fn count_write(&self, bytes_written: u64) {
+        self.telemetry.with(|r| {
+            r.register_counter(
+                "mak_cache_io_bytes_total",
+                Domain::Wall,
+                "Bytes moved through the run cache, by direction",
+            );
+            r.inc("mak_cache_io_bytes_total", &[("direction", "written")], bytes_written);
+        });
     }
 
     /// The store implied by the environment: `MAK_CACHE_DIR` (default
@@ -334,6 +401,7 @@ impl RunStore {
     ) -> Option<CrawlReport> {
         if self.mode == CacheMode::Off {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.count_lookup(false, app, crawler, 0);
             self.sink.emit_with(|| Event::CacheMiss {
                 app: app.to_owned(),
                 crawler: crawler.to_owned(),
@@ -342,13 +410,15 @@ impl RunStore {
             return None;
         }
         let path = self.entry_path(app, crawler, seed, self.key(app, crawler, seed, config));
-        let report = std::fs::read_to_string(&path)
-            .ok()
+        let text = std::fs::read_to_string(&path).ok();
+        let entry_bytes = text.as_ref().map_or(0, |t| t.len() as u64);
+        let report = text
             .and_then(|text| serde_json::from_str::<CrawlReport>(&text).ok())
             .filter(|r| r.app == app && r.crawler == crawler && r.seed == seed);
         match report {
             Some(r) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.count_lookup(true, app, crawler, entry_bytes);
                 self.sink.emit_with(|| Event::CacheHit {
                     app: app.to_owned(),
                     crawler: crawler.to_owned(),
@@ -358,6 +428,7 @@ impl RunStore {
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.count_lookup(false, app, crawler, 0);
                 self.sink.emit_with(|| Event::CacheMiss {
                     app: app.to_owned(),
                     crawler: crawler.to_owned(),
@@ -387,6 +458,8 @@ impl RunStore {
         };
         if let Err(e) = self.write_atomic(&path, json.as_bytes()) {
             mak_obs::progress!("run cache: write {}: {e}", path.display());
+        } else {
+            self.count_write(json.len() as u64);
         }
     }
 
@@ -608,5 +681,60 @@ mod tests {
     #[test]
     fn fingerprint_is_stable_within_a_process() {
         assert_eq!(workspace_fingerprint(), workspace_fingerprint());
+    }
+
+    #[test]
+    fn telemetry_counts_lookups_and_bytes() {
+        let root = tmp_root("telemetry");
+        let (handle, registry) = TelemetryHandle::shared();
+        let store = RunStore::at(&root, CacheMode::ReadWrite).with_telemetry(handle);
+        let cfg = EngineConfig::default();
+        assert!(store.load("addressbook", "bfs", 1, &cfg).is_none());
+        store.save(&sample_report(1), &cfg);
+        assert!(store.load("addressbook", "bfs", 1, &cfg).is_some());
+        let entry_bytes = store.stats().bytes;
+        let reg = registry.lock().unwrap();
+        let labels = [("app", "addressbook"), ("crawler", "bfs")];
+        assert_eq!(reg.counter_value("mak_cache_hits_total", &labels), 1.0);
+        assert_eq!(reg.counter_value("mak_cache_misses_total", &labels), 1.0);
+        assert_eq!(
+            reg.counter_value("mak_cache_io_bytes_total", &[("direction", "written")]),
+            entry_bytes as f64
+        );
+        assert_eq!(
+            reg.counter_value("mak_cache_io_bytes_total", &[("direction", "read")]),
+            entry_bytes as f64
+        );
+        drop(reg);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn per_app_and_per_crawler_stats_fold_bytes() {
+        let root = tmp_root("dimstats");
+        let store = RunStore::at(&root, CacheMode::ReadWrite);
+        let cfg = EngineConfig::default();
+        for seed in 0..2 {
+            store.save(&sample_report(seed), &cfg);
+        }
+        let mut other = sample_report(0);
+        other.app = "vanilla".into();
+        other.crawler = "mak".into();
+        store.save(&other, &cfg);
+        let stats = store.stats();
+        let by_app = stats.per_app_stats();
+        let by_crawler = stats.per_crawler_stats();
+        assert_eq!(by_app["addressbook"].entries, 2);
+        assert_eq!(by_app["vanilla"].entries, 1);
+        assert_eq!(by_crawler["bfs"].entries, 2);
+        assert_eq!(by_crawler["mak"].entries, 1);
+        assert!(by_app["addressbook"].bytes > 0);
+        assert_eq!(
+            by_app.values().map(|s| s.bytes).sum::<u64>(),
+            stats.bytes,
+            "per-app bytes partition the total"
+        );
+        assert_eq!(by_crawler.values().map(|s| s.bytes).sum::<u64>(), stats.bytes);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

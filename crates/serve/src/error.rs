@@ -34,6 +34,20 @@ pub enum SubmitError {
     },
 }
 
+impl SubmitError {
+    /// A stable, label-safe slug naming the variant — the `reason` label
+    /// on the service's `quota_rejections_total` counter, and the key the
+    /// per-tenant accounting test joins on.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            SubmitError::UnknownApp(_) => "unknown_app",
+            SubmitError::UnknownCrawler(_) => "unknown_crawler",
+            SubmitError::QuotaExceeded { .. } => "quota_exceeded",
+            SubmitError::BudgetExhausted { .. } => "budget_exhausted",
+        }
+    }
+}
+
 impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -54,11 +54,13 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod metrics;
 pub mod scheduler;
 pub mod service;
 pub mod tenant;
 
 pub use error::SubmitError;
-pub use scheduler::{ScheduleOrder, StepLatencies};
+pub use metrics::ServiceMetrics;
+pub use scheduler::{Checkpoint, ScheduleOrder, StepLatencies};
 pub use service::{CompletedSession, CrawlService, ServiceConfig, SessionId, SessionSpec};
 pub use tenant::{TenantLedger, TenantQuota};

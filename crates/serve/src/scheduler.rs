@@ -83,24 +83,31 @@ pub struct StepLatencies {
 }
 
 impl StepLatencies {
-    /// Total steps across all samples.
+    /// Total steps across all samples (saturating: a pathological sample
+    /// set cannot wrap the sum).
     pub fn total_steps(&self) -> u64 {
-        self.samples.iter().map(|&(_, n)| n as u64).sum()
+        self.samples.iter().fold(0u64, |acc, &(_, n)| acc.saturating_add(n as u64))
     }
 
-    /// The `q`-quantile (0.0–1.0) of per-step latency in nanoseconds,
-    /// weighted by steps, or `None` without samples.
+    /// The `q`-quantile (0.0–1.0, clamped) of per-step latency in
+    /// nanoseconds, weighted by steps. `None` when there are no samples
+    /// with positive weight: a quantile of nothing is not zero, and
+    /// callers (the load bench, the SLO gate) must treat the two cases
+    /// differently. Zero-weight samples carry no steps and are ignored.
     pub fn quantile_ns(&self, q: f64) -> Option<u64> {
-        if self.samples.is_empty() {
+        let mut sorted: Vec<(u64, u32)> =
+            self.samples.iter().copied().filter(|&(_, n)| n > 0).collect();
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted = self.samples.clone();
         sorted.sort_unstable();
-        let total: u64 = sorted.iter().map(|&(_, n)| n as u64).sum();
-        let target = (q.clamp(0.0, 1.0) * total as f64) as u64;
+        let total = self.total_steps();
+        // `as u64` saturates on overflow/NaN in Rust, and the `.min`
+        // keeps a rounded-up target from walking past the end.
+        let target = ((q.clamp(0.0, 1.0) * total as f64) as u64).min(total);
         let mut seen = 0u64;
         for &(ns, n) in &sorted {
-            seen += n as u64;
+            seen = seen.saturating_add(n as u64);
             if seen >= target {
                 return Some(ns);
             }
@@ -108,9 +115,30 @@ impl StepLatencies {
         sorted.last().map(|&(ns, _)| ns)
     }
 
+    /// All samples as `(nanoseconds per step, steps)` pairs — feed for
+    /// the wall-domain latency histogram.
+    pub fn samples(&self) -> &[(u64, u32)] {
+        &self.samples
+    }
+
     fn merge(&mut self, other: StepLatencies) {
         self.samples.extend(other.samples);
     }
+}
+
+/// One point of the drain progress time-series, recorded every
+/// [`checkpoint_every`](crate::ServiceConfig::checkpoint_every) session
+/// completions. Wall-clock domain: the *order* sessions finish in is
+/// schedule-dependent, so checkpoints describe throughput, never
+/// outcomes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Checkpoint {
+    /// Seconds since the drain started.
+    pub wall_secs: f64,
+    /// Sessions completed so far.
+    pub sessions_done: u64,
+    /// Virtual-clock steps executed so far (across all sessions).
+    pub steps_done: u64,
 }
 
 /// Everything the worker pool shares.
@@ -121,28 +149,55 @@ struct Pool {
     /// Tasks not yet finished or aborted — the termination condition.
     remaining: AtomicUsize,
     aborted: AtomicU64,
+    /// Steal operations (a worker taking from a sibling's deque).
+    steals: AtomicU64,
+    /// High-water mark of observed queue depth (injector or a victim
+    /// deque at steal time) — a contention signal, not an exact census.
+    queue_peak: AtomicU64,
+    /// Sessions completed so far; drives checkpointing.
+    completed: AtomicU64,
+    /// Virtual-clock steps executed so far, across all sessions.
+    steps_done: AtomicU64,
+    /// Record a [`Checkpoint`] every N completions (0 = off).
+    checkpoint_every: u64,
+    checkpoints: Mutex<Vec<Checkpoint>>,
+    started: Instant,
     steps_per_slice: usize,
     order: ScheduleOrder,
     sample_latency: bool,
 }
 
+impl Pool {
+    fn note_depth(&self, depth: usize) {
+        self.queue_peak.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+}
+
+/// Scheduler knobs for one [`drain`] call.
+pub(crate) struct DrainConfig {
+    pub threads: usize,
+    pub steps_per_slice: usize,
+    pub order: ScheduleOrder,
+    pub sample_latency: bool,
+    pub checkpoint_every: u64,
+}
+
 /// What `drain` hands back: finished sessions (submission order is NOT
-/// preserved — callers key by id), abort count, and latency samples.
+/// preserved — callers key by id), abort count, latency samples, and
+/// wall-clock scheduler telemetry.
 pub(crate) struct DrainOutcome {
     pub finished: Vec<FinishedTask>,
     pub aborted: u64,
     pub latencies: StepLatencies,
+    pub wall_secs: f64,
+    pub steals: u64,
+    pub queue_peak: u64,
+    pub checkpoints: Vec<Checkpoint>,
 }
 
-/// Runs every task to completion across `threads` workers.
-pub(crate) fn drain(
-    tasks: Vec<SessionTask>,
-    threads: usize,
-    steps_per_slice: usize,
-    order: ScheduleOrder,
-    sample_latency: bool,
-) -> DrainOutcome {
-    let threads = threads.max(1);
+/// Runs every task to completion across `config.threads` workers.
+pub(crate) fn drain(tasks: Vec<SessionTask>, config: DrainConfig) -> DrainOutcome {
+    let threads = config.threads.max(1);
     let total = tasks.len();
     let pool = Pool {
         injector: Mutex::new(tasks.into()),
@@ -150,9 +205,16 @@ pub(crate) fn drain(
         done: Mutex::new(Vec::with_capacity(total)),
         remaining: AtomicUsize::new(total),
         aborted: AtomicU64::new(0),
-        steps_per_slice: steps_per_slice.max(1),
-        order,
-        sample_latency,
+        steals: AtomicU64::new(0),
+        queue_peak: AtomicU64::new(total as u64),
+        completed: AtomicU64::new(0),
+        steps_done: AtomicU64::new(0),
+        checkpoint_every: config.checkpoint_every,
+        checkpoints: Mutex::new(Vec::new()),
+        started: Instant::now(),
+        steps_per_slice: config.steps_per_slice.max(1),
+        order: config.order,
+        sample_latency: config.sample_latency,
     };
     let mut latencies = StepLatencies::default();
     {
@@ -169,6 +231,10 @@ pub(crate) fn drain(
         finished: pool.done.into_inner().unwrap_or_else(|p| p.into_inner()),
         aborted: pool.aborted.into_inner(),
         latencies,
+        wall_secs: pool.started.elapsed().as_secs_f64(),
+        steals: pool.steals.into_inner(),
+        queue_peak: pool.queue_peak.into_inner(),
+        checkpoints: pool.checkpoints.into_inner().unwrap_or_else(|p| p.into_inner()),
     }
 }
 
@@ -207,6 +273,7 @@ fn next_task(pool: &Pool, me: usize, rng: &mut Option<StdRng>) -> Option<Session
     {
         let mut injector = pool.injector.lock().unwrap();
         if !injector.is_empty() {
+            pool.note_depth(injector.len());
             // Grab a batch proportional to our share of the backlog so a
             // hundred thousand submissions do not serialize on this lock.
             let batch = (injector.len() / pool.locals.len()).clamp(1, 4096);
@@ -231,6 +298,8 @@ fn next_task(pool: &Pool, me: usize, rng: &mut Option<StdRng>) -> Option<Session
         if len == 0 {
             continue;
         }
+        pool.note_depth(len);
+        pool.steals.fetch_add(1, Ordering::Relaxed);
         let take = len.div_ceil(2);
         let mut local = pool.locals[me].lock().unwrap();
         for _ in 0..take {
@@ -289,8 +358,9 @@ fn run_slice(pool: &Pool, me: usize, mut task: SessionTask, latencies: &mut Step
         }
     };
     task.slices += 1;
+    let ran = task.session.steps_taken() - steps_before;
+    pool.steps_done.fetch_add(ran, Ordering::Relaxed);
     if let Some(started) = started {
-        let ran = task.session.steps_taken() - steps_before;
         if let Some(ns_per_step) = (started.elapsed().as_nanos() as u64).checked_div(ran) {
             latencies.samples.push((ns_per_step, ran.min(u32::MAX as u64) as u32));
         }
@@ -307,6 +377,15 @@ fn run_slice(pool: &Pool, me: usize, mut task: SessionTask, latencies: &mut Step
             slices,
             steps,
         });
+        let completed = pool.completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if pool.checkpoint_every > 0 && completed.is_multiple_of(pool.checkpoint_every) {
+            let point = Checkpoint {
+                wall_secs: pool.started.elapsed().as_secs_f64(),
+                sessions_done: completed,
+                steps_done: pool.steps_done.load(Ordering::Relaxed),
+            };
+            pool.checkpoints.lock().unwrap_or_else(|p| p.into_inner()).push(point);
+        }
         pool.remaining.fetch_sub(1, Ordering::AcqRel);
     } else {
         pool.locals[me].lock().unwrap().push_back(task);
@@ -324,5 +403,53 @@ mod tests {
         assert_eq!(lat.quantile_ns(0.5), Some(100));
         assert_eq!(lat.quantile_ns(0.99), Some(1_000));
         assert_eq!(StepLatencies::default().quantile_ns(0.5), None);
+    }
+
+    #[test]
+    fn empty_and_zero_weight_sample_sets_have_no_quantile() {
+        assert_eq!(StepLatencies::default().quantile_ns(0.0), None);
+        assert_eq!(StepLatencies::default().quantile_ns(1.0), None);
+        // Zero-weight samples carry no steps: still no quantile.
+        let lat = StepLatencies { samples: vec![(500, 0), (900, 0)] };
+        assert_eq!(lat.quantile_ns(0.5), None);
+        assert_eq!(lat.total_steps(), 0);
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile() {
+        let lat = StepLatencies { samples: vec![(250, 1)] };
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(lat.quantile_ns(q), Some(250));
+        }
+    }
+
+    #[test]
+    fn out_of_range_quantiles_clamp() {
+        let lat = StepLatencies { samples: vec![(100, 50), (1_000, 50)] };
+        assert_eq!(lat.quantile_ns(-3.0), Some(100));
+        assert_eq!(lat.quantile_ns(7.5), Some(1_000));
+        assert_eq!(lat.quantile_ns(f64::NAN), Some(100)); // NaN clamps to the floor
+    }
+
+    #[test]
+    fn zero_weight_samples_do_not_skew_quantiles() {
+        // A zero-weight outlier below the real data must not become the
+        // answer for low quantiles.
+        let lat = StepLatencies { samples: vec![(1, 0), (100, 10)] };
+        assert_eq!(lat.quantile_ns(0.0), Some(100));
+        assert_eq!(lat.quantile_ns(1.0), Some(100));
+    }
+
+    #[test]
+    fn near_max_weights_do_not_overflow() {
+        // Five slices each claiming u32::MAX steps: the step total would
+        // overflow u32 math and stress f64 rounding; the saturating sum
+        // and clamped target keep every quantile inside the sample set.
+        let w = u32::MAX;
+        let lat = StepLatencies { samples: vec![(10, w), (20, w), (30, w), (40, w), (50, w)] };
+        assert_eq!(lat.total_steps(), 5 * u64::from(w));
+        assert_eq!(lat.quantile_ns(0.0), Some(10));
+        assert_eq!(lat.quantile_ns(0.5), Some(30));
+        assert_eq!(lat.quantile_ns(1.0), Some(50));
     }
 }

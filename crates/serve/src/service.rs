@@ -16,7 +16,8 @@
 //! one PhpBB2 model.
 
 use crate::error::SubmitError;
-use crate::scheduler::{self, ScheduleOrder, SessionTask, StepLatencies};
+use crate::metrics::ServiceMetrics;
+use crate::scheduler::{self, Checkpoint, DrainConfig, ScheduleOrder, SessionTask, StepLatencies};
 use crate::tenant::{TenantLedger, TenantQuota};
 use mak::framework::engine::{CrawlReport, EngineConfig};
 use mak::framework::session::Session;
@@ -51,6 +52,13 @@ pub struct ServiceConfig {
     /// Record wall-clock per-step latency samples during drains (the
     /// load bench turns this on; it costs two `Instant` reads per slice).
     pub sample_latency: bool,
+    /// Record a throughput [`Checkpoint`] every N session completions
+    /// during drains (0 = off) — the load bench's time-series feed.
+    pub checkpoint_every: u64,
+    /// Fold session outcomes into the service's [`ServiceMetrics`]
+    /// registry. On by default; the load bench turns it off to measure
+    /// the cost of collection itself.
+    pub collect_metrics: bool,
 }
 
 impl Default for ServiceConfig {
@@ -65,6 +73,8 @@ impl Default for ServiceConfig {
             default_quota: TenantQuota::default(),
             order: ScheduleOrder::RoundRobin,
             sample_latency: false,
+            checkpoint_every: 0,
+            collect_metrics: true,
         }
     }
 }
@@ -149,12 +159,15 @@ pub struct CrawlService {
     next_id: SessionId,
     aborted_total: u64,
     last_latencies: StepLatencies,
+    last_checkpoints: Vec<Checkpoint>,
+    metrics: ServiceMetrics,
 }
 
 impl CrawlService {
     /// An empty service; no worker threads run until a drain.
     pub fn new(config: ServiceConfig) -> Self {
         let ledger = TenantLedger::new(config.default_quota);
+        let metrics = ServiceMetrics::new(config.collect_metrics);
         CrawlService {
             config,
             ledger,
@@ -163,6 +176,8 @@ impl CrawlService {
             next_id: 0,
             aborted_total: 0,
             last_latencies: StepLatencies::default(),
+            last_checkpoints: Vec::new(),
+            metrics,
         }
     }
 
@@ -180,6 +195,20 @@ impl CrawlService {
     /// does not burn budget); [`SubmitError::QuotaExceeded`] /
     /// [`SubmitError::BudgetExhausted`] from the tenant ledger.
     pub fn submit(&mut self, spec: SessionSpec) -> Result<SessionId, SubmitError> {
+        let (tenant, app, crawler) = (spec.tenant.clone(), spec.app.clone(), spec.crawler.clone());
+        match self.admit(spec) {
+            Ok(id) => {
+                self.metrics.record_submitted(&tenant, &app, &crawler);
+                Ok(id)
+            }
+            Err(err) => {
+                self.metrics.record_rejection(&tenant, &err);
+                Err(err)
+            }
+        }
+    }
+
+    fn admit(&mut self, spec: SessionSpec) -> Result<SessionId, SubmitError> {
         let model = match self.models.get(&spec.app) {
             Some(model) => model.clone(),
             None => {
@@ -228,25 +257,55 @@ impl CrawlService {
         &self.last_latencies
     }
 
+    /// Throughput checkpoints from the most recent drain (empty unless
+    /// [`ServiceConfig::checkpoint_every`] is set). Wall-clock domain.
+    pub fn last_checkpoints(&self) -> &[Checkpoint] {
+        &self.last_checkpoints
+    }
+
+    /// The service's metrics: counters fold on every submit and drain
+    /// (unless [`ServiceConfig::collect_metrics`] is off). The
+    /// virtual-domain snapshot is deterministic; see [`ServiceMetrics`].
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
     /// Runs every in-flight session to the end of its virtual budget on
-    /// the worker pool, releases their quota slots, and returns the
-    /// completed sessions in submission (id) order.
+    /// the worker pool, releases their quota slots, folds outcomes into
+    /// the metrics registry (in session-id order, so virtual-domain
+    /// snapshots stay deterministic), and returns the completed sessions
+    /// in submission (id) order.
     pub fn run_to_drain(&mut self) -> Vec<CompletedSession> {
         let tasks = std::mem::take(&mut self.pending);
-        let outcome = scheduler::drain(
+        let mut outcome = scheduler::drain(
             tasks,
-            self.config.threads,
-            self.config.steps_per_slice,
-            self.config.order,
-            self.config.sample_latency,
+            DrainConfig {
+                threads: self.config.threads,
+                steps_per_slice: self.config.steps_per_slice,
+                order: self.config.order,
+                sample_latency: self.config.sample_latency,
+                checkpoint_every: self.config.checkpoint_every,
+            },
         );
         self.aborted_total += outcome.aborted;
+        self.metrics.record_aborted(outcome.aborted);
+        self.metrics.record_drain(
+            outcome.wall_secs,
+            outcome.steals,
+            outcome.queue_peak,
+            &outcome.latencies,
+        );
         self.last_latencies = outcome.latencies;
-        let mut done: Vec<CompletedSession> = outcome
+        self.last_checkpoints = outcome.checkpoints;
+        // Id order before folding: completion order is schedule-dependent,
+        // the fold must not be.
+        outcome.finished.sort_unstable_by_key(|t| t.id);
+        let done: Vec<CompletedSession> = outcome
             .finished
             .into_iter()
             .map(|t| {
                 self.ledger.release(&t.tenant);
+                self.metrics.record_completed(&t.tenant, t.steps, &t.report);
                 let events_jsonl = t.events.map(|cell| {
                     let sink = Arc::try_unwrap(cell)
                         .expect("session finished; no other handle survives")
@@ -270,7 +329,6 @@ impl CrawlService {
                 }
             })
             .collect();
-        done.sort_unstable_by_key(|c| c.id);
         done
     }
 }

@@ -46,6 +46,66 @@ fn slot_accounting_returns_to_zero_after_drain() {
     }
 }
 
+/// Per-tenant accounting: every typed `SubmitError` the admission
+/// boundary returns is mirrored, one for one, by the
+/// `mak_serve_quota_rejections_total{tenant, reason}` counter — the
+/// registry and the error channel can never drift apart.
+#[test]
+fn rejection_counters_match_typed_submit_errors_exactly() {
+    use std::collections::BTreeMap;
+
+    let mut service = CrawlService::new(ServiceConfig::default());
+    service.set_quota("capped", TenantQuota { max_concurrent: 2, max_total: Some(4) });
+
+    let mut typed: BTreeMap<(String, &'static str), u64> = BTreeMap::new();
+    let mut count = |tenant: &str, result: Result<u64, SubmitError>| {
+        if let Err(err) = result {
+            *typed.entry((tenant.to_owned(), err.reason())).or_default() += 1;
+        }
+    };
+
+    // Two admitted, then three concurrent-quota rejections.
+    for seed in 0..5 {
+        count("capped", service.submit(spec("capped", seed)));
+    }
+    // Unknown names, checked before quota.
+    let mut bad_app = spec("capped", 9);
+    bad_app.app = "geocities".into();
+    count("capped", service.submit(bad_app));
+    let mut bad_crawler = spec("capped", 9);
+    bad_crawler.crawler = "googlebot".into();
+    count("capped", service.submit(bad_crawler));
+    // Drain, refill to the lifetime budget, then exhaust it twice.
+    service.run_to_drain();
+    for seed in 5..9 {
+        count("capped", service.submit(spec("capped", seed)));
+    }
+    // A sibling tenant's rejections are accounted separately.
+    let mut sibling_bad = spec("other", 1);
+    sibling_bad.app = "myspace".into();
+    count("other", service.submit(sibling_bad));
+
+    assert_eq!(typed[&("capped".to_owned(), "quota_exceeded")], 3);
+    assert_eq!(typed[&("capped".to_owned(), "budget_exhausted")], 2);
+    assert_eq!(typed[&("capped".to_owned(), "unknown_app")], 1);
+    assert_eq!(typed[&("capped".to_owned(), "unknown_crawler")], 1);
+    assert_eq!(typed[&("other".to_owned(), "unknown_app")], 1);
+
+    let registry = service.metrics().registry();
+    for ((tenant, reason), expected) in &typed {
+        let counted = registry.counter_value(
+            "mak_serve_quota_rejections_total",
+            &[("tenant", tenant), ("reason", reason)],
+        );
+        assert_eq!(counted, *expected as f64, "counter for {tenant}/{reason}");
+    }
+    assert_eq!(
+        registry.counter_total("mak_serve_quota_rejections_total"),
+        typed.values().sum::<u64>() as f64,
+        "no rejection is counted anywhere else"
+    );
+}
+
 /// The lifetime budget spans drains: once spent it never recovers, while
 /// other tenants are unaffected.
 #[test]

@@ -1,0 +1,159 @@
+//! Prometheus text exposition (version 0.0.4) rendering.
+//!
+//! One `# HELP`/`# TYPE` header per family, one line per sample;
+//! histograms expand into cumulative `_bucket` lines (with the implicit
+//! `+Inf` bucket) plus `_sum` and `_count`. Rendering is a pure function
+//! of the snapshot, so equal snapshots yield byte-identical text.
+
+use crate::snapshot::{FamilySnapshot, Label, MetricsSnapshot, SampleSnapshot};
+use std::fmt::Write;
+
+/// Renders a snapshot in text exposition format.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for family in &snapshot.families {
+        render_family(&mut out, family);
+    }
+    out
+}
+
+fn render_family(out: &mut String, family: &FamilySnapshot) {
+    if !family.help.is_empty() {
+        let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+    }
+    let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind);
+    for sample in &family.samples {
+        if family.kind == "histogram" {
+            render_histogram(out, family, sample);
+        } else {
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                family.name,
+                label_block(&sample.labels, None),
+                fmt_value(sample.value)
+            );
+        }
+    }
+}
+
+fn render_histogram(out: &mut String, family: &FamilySnapshot, sample: &SampleSnapshot) {
+    for (bound, cumulative) in family.buckets.iter().zip(&sample.bucket_counts) {
+        let le = fmt_value(*bound);
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            family.name,
+            label_block(&sample.labels, Some(&le)),
+            cumulative
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{}_bucket{} {}",
+        family.name,
+        label_block(&sample.labels, Some("+Inf")),
+        sample.count
+    );
+    let _ = writeln!(
+        out,
+        "{}_sum{} {}",
+        family.name,
+        label_block(&sample.labels, None),
+        fmt_value(sample.sum)
+    );
+    let _ = writeln!(
+        out,
+        "{}_count{} {}",
+        family.name,
+        label_block(&sample.labels, None),
+        sample.count
+    );
+}
+
+/// Renders `{k="v",...}` (with an optional trailing `le`), or nothing for
+/// an unlabeled sample.
+fn label_block(labels: &[Label], le: Option<&str>) -> String {
+    let mut parts: Vec<String> =
+        labels.iter().map(|l| format!("{}=\"{}\"", l.key, escape_value(&l.value))).collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{}\"", escape_value(le)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Label-value escaping: backslash, double quote, and newline.
+fn escape_value(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Help-text escaping: backslash and newline (quotes are legal there).
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// `f64` via `Display`: shortest round-trip form, integral values render
+/// without a trailing `.0` — both deterministic.
+fn fmt_value(value: f64) -> String {
+    format!("{value}")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::{Domain, MetricsRegistry};
+
+    #[test]
+    fn counters_and_gauges_render_with_labels() {
+        let mut reg = MetricsRegistry::new();
+        reg.register_counter("hits_total", Domain::Virtual, "cache hits");
+        reg.inc("hits_total", &[("app", "phpbb2"), ("crawler", "mak")], 7);
+        reg.register_gauge("depth", Domain::Wall, "");
+        reg.set_gauge("depth", &[], 3.5);
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(
+            text,
+            "# TYPE depth gauge\n\
+             depth 3.5\n\
+             # HELP hits_total cache hits\n\
+             # TYPE hits_total counter\n\
+             hits_total{app=\"phpbb2\",crawler=\"mak\"} 7\n"
+        );
+    }
+
+    #[test]
+    fn histograms_expand_buckets_sum_count() {
+        let mut reg = MetricsRegistry::new();
+        reg.register_histogram("lat_ns", Domain::Wall, "latency", &[100.0, 1000.0]);
+        reg.observe("lat_ns", &[("app", "a")], 50.0);
+        reg.observe("lat_ns", &[("app", "a")], 5000.0);
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(
+            text,
+            "# HELP lat_ns latency\n\
+             # TYPE lat_ns histogram\n\
+             lat_ns_bucket{app=\"a\",le=\"100\"} 1\n\
+             lat_ns_bucket{app=\"a\",le=\"1000\"} 1\n\
+             lat_ns_bucket{app=\"a\",le=\"+Inf\"} 2\n\
+             lat_ns_sum{app=\"a\"} 5050\n\
+             lat_ns_count{app=\"a\"} 2\n"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut reg = MetricsRegistry::new();
+        reg.register_counter("c", Domain::Virtual, "multi\nline \\ help");
+        reg.inc("c", &[("tenant", "a\"b\\c\nd")], 1);
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(
+            text,
+            "# HELP c multi\\nline \\\\ help\n\
+             # TYPE c counter\n\
+             c{tenant=\"a\\\"b\\\\c\\nd\"} 1\n"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Point-in-time snapshots of a registry: plain serde-friendly structs,
+//! rendered as JSON or Prometheus text exposition.
+//!
+//! A snapshot is fully ordered — families by name, samples by label set —
+//! so two registries with equal contents render byte-identical documents.
+//! That is what lets CI diff virtual-domain snapshots across thread
+//! counts instead of parsing and comparing them field by field.
+
+use serde::{Deserialize, Serialize};
+
+/// One `key="value"` label.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Label {
+    /// Label name (e.g. `tenant`, `app`, `crawler`).
+    pub key: String,
+    /// Label value.
+    pub value: String,
+}
+
+/// One labeled sample. Counters and gauges use [`value`]; histograms use
+/// [`bucket_counts`]/[`sum`]/[`count`] (and leave `value` at zero).
+///
+/// [`value`]: SampleSnapshot::value
+/// [`bucket_counts`]: SampleSnapshot::bucket_counts
+/// [`sum`]: SampleSnapshot::sum
+/// [`count`]: SampleSnapshot::count
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleSnapshot {
+    /// The sample's label set, sorted by key.
+    pub labels: Vec<Label>,
+    /// Counter or gauge value.
+    pub value: f64,
+    /// Cumulative observations per declared histogram bound.
+    pub bucket_counts: Vec<u64>,
+    /// Histogram sum of observations.
+    pub sum: f64,
+    /// Histogram observation count.
+    pub count: u64,
+}
+
+/// One metric family: metadata plus every labeled sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilySnapshot {
+    /// Metric name (e.g. `mak_serve_steps_total`).
+    pub name: String,
+    /// Help text for the `# HELP` line.
+    pub help: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: String,
+    /// `"virtual"` or `"wall"` — which clock the family belongs to.
+    pub domain: String,
+    /// Histogram upper bounds (empty for counters and gauges).
+    pub buckets: Vec<f64>,
+    /// Samples, ordered by label set.
+    pub samples: Vec<SampleSnapshot>,
+}
+
+/// A full registry snapshot: ordered families, ordered samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Families, ordered by name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a pretty-printed JSON document (ends with
+    /// a newline).
+    pub fn to_json(&self) -> String {
+        let mut out = serde_json::to_string_pretty(self).expect("snapshot serializes");
+        out.push('\n');
+        out
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        crate::prometheus::render(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            families: vec![FamilySnapshot {
+                name: "steps_total".into(),
+                help: "total steps".into(),
+                kind: "counter".into(),
+                domain: "virtual".into(),
+                buckets: Vec::new(),
+                samples: vec![SampleSnapshot {
+                    labels: vec![Label { key: "app".into(), value: "phpbb2".into() }],
+                    value: 42.0,
+                    bucket_counts: Vec::new(),
+                    sum: 0.0,
+                    count: 0,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample_snapshot();
+        let json = snap.to_json();
+        assert!(json.ends_with('\n'));
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn equal_snapshots_render_identically() {
+        let a = sample_snapshot();
+        let b = sample_snapshot();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_prometheus(), b.to_prometheus());
+    }
+}

@@ -36,6 +36,10 @@
 //!   --faults <profile>  inject deterministic faults: none, light, moderate,
 //!                       or heavy (crawl only; part of the cache key)
 //!   --chaos             fuzz under the moderate fault profile (fuzz only)
+//!   --metrics <file>    after `serve` drains, write the service metrics as
+//!                       Prometheus text to <file> and as a JSON snapshot to
+//!                       <file>.json (virtual-domain families are deterministic;
+//!                       wall-clock families are marked `domain: wall`)
 //!
 //! `crawl` and `compare` consult the run cache under `results/cache/`
 //! (`MAK_CACHE=off|rw|ro` to control, `MAK_CACHE_DIR` to relocate).
@@ -70,6 +74,9 @@ struct Options {
     faults: Option<mak_browser::fault::FaultPlan>,
     /// `fuzz --chaos`: run the campaign under the moderate fault profile.
     chaos: bool,
+    /// `serve --metrics`: write the service's metrics here after the
+    /// drain (Prometheus text at the path, JSON snapshot at `.json`).
+    metrics: Option<String>,
 }
 
 impl Default for Options {
@@ -84,6 +91,7 @@ impl Default for Options {
             trace: None,
             faults: None,
             chaos: false,
+            metrics: None,
         }
     }
 }
@@ -140,6 +148,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--chaos" => {
                 opts.chaos = true;
             }
+            "--metrics" => {
+                opts.metrics = Some(it.next().ok_or("--metrics needs a file path")?.clone());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -161,7 +172,7 @@ fn usage() -> ExitCode {
          scan <app>|serve <app>|fuzz|cache <stats|clear>|trace <summarize FILE|diff A B|check FILE>> \
          [--crawler NAME] [--minutes F] [--seed N] \
          [--seeds N] [--apps N] [--replay FILE] [--trace FILE] \
-         [--faults PROFILE] [--chaos]"
+         [--faults PROFILE] [--chaos] [--metrics FILE]"
     );
     ExitCode::FAILURE
 }
@@ -302,11 +313,17 @@ fn cmd_cache_stats() -> ExitCode {
     println!("entries     : {}", stats.entries);
     println!("size        : {:.1} MiB", stats.bytes as f64 / (1024.0 * 1024.0));
     if !stats.per_pair.is_empty() {
-        let fmt = |counts: &mak_obs::aggregate::Counter| {
-            counts.iter().map(|(k, n)| format!("{k} ({n})")).collect::<Vec<_>>().join(", ")
+        let fmt = |stats: &std::collections::BTreeMap<String, mak_metrics::store::PairStats>| {
+            stats
+                .iter()
+                .map(|(k, s)| {
+                    format!("{k} ({} entries, {:.1} KiB)", s.entries, s.bytes as f64 / 1024.0)
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
         };
-        println!("per app     : {}", fmt(&stats.per_app()));
-        println!("per crawler : {}", fmt(&stats.per_crawler()));
+        println!("per app     : {}", fmt(&stats.per_app_stats()));
+        println!("per crawler : {}", fmt(&stats.per_crawler_stats()));
         println!("per (app, crawler):");
         for ((app, crawler), pair) in &stats.per_pair {
             println!(
@@ -613,7 +630,10 @@ fn cmd_serve(app: &str, opts: &Options) -> ExitCode {
     if let Some(plan) = &opts.faults {
         config.faults = plan.clone();
     }
-    let service_config = ServiceConfig::default();
+    // Metrics output should include the wall-clock latency histogram,
+    // so sampling rides along with --metrics.
+    let service_config =
+        ServiceConfig { sample_latency: opts.metrics.is_some(), ..ServiceConfig::default() };
     let threads = service_config.threads;
     let mut service = CrawlService::new(service_config);
     for s in 0..opts.seeds {
@@ -656,6 +676,19 @@ fn cmd_serve(app: &str, opts: &Options) -> ExitCode {
         mean(&lines),
         service.aborted(),
     );
+    if let Some(path) = &opts.metrics {
+        let snapshot = service.metrics().snapshot();
+        if let Err(e) = std::fs::write(path, snapshot.to_prometheus()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let json_path = format!("{path}.json");
+        if let Err(e) = std::fs::write(&json_path, snapshot.to_json()) {
+            eprintln!("cannot write {json_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[wrote {path} and {json_path}]");
+    }
     if service.aborted() > 0 {
         ExitCode::FAILURE
     } else {
