@@ -13,6 +13,7 @@
 use crate::policy::{sample_discrete, BanditPolicy};
 use mak_obs::event::Event;
 use mak_obs::sink::SinkHandle;
+use mak_obs::span::Phase;
 use rand::Rng;
 
 /// Exp3.1 over `K` arms. Rewards must lie in `[0, 1]`.
@@ -164,6 +165,10 @@ impl BanditPolicy for Exp31 {
     }
 
     fn choose<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        // The draw is instantaneous in virtual time (the clock charge is
+        // the engine's policy-overhead line); when profiling, mark it at
+        // the latched clock so the Perfetto timeline shows each draw.
+        self.sink.span_instant(Phase::BanditChoose);
         self.advance_epochs();
         if self.k == 1 {
             return 0;
@@ -179,6 +184,7 @@ impl BanditPolicy for Exp31 {
     /// Panics if `arm >= K`. Rewards are clamped to `[0, 1]` (the paper
     /// guarantees this range by construction via the logistic squash).
     fn update(&mut self, arm: usize, reward: f64) {
+        self.sink.span_instant(Phase::RewardUpdate);
         assert!(arm < self.k, "arm {arm} out of range (K = {})", self.k);
         let reward = reward.clamp(0.0, 1.0);
         let gamma = self.gamma();

@@ -22,8 +22,10 @@ use mak_metrics::stats::{mean, sample_std};
 use mak_obs::aggregate::Aggregator;
 use mak_obs::event::Event;
 use mak_obs::sink::{SharedSink, SinkHandle, VecSink};
+use mak_obs::span::PhaseTotals;
 use mak_websim::apps;
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// One matrix cell's harness cost, from its `CellFinished` event.
@@ -39,6 +41,10 @@ struct PerfCell {
     /// Interactions per wall-clock second — the harness throughput.
     steps_per_sec: f64,
     cached: bool,
+    /// Where the cell's *virtual* time went (from the `CrawlReport`, so
+    /// cache hits keep their breakdown); the buckets sum to
+    /// `virtual_secs` within float noise.
+    phase: PhaseTotals,
 }
 
 /// Session cache totals for the matrix pass.
@@ -65,6 +71,14 @@ struct PerfProfile {
     steps_per_virtual_sec: f64,
 }
 
+/// Per-app phase totals folded over every crawler and seed — the
+/// denominator of the blessed per-phase share ceilings `regress` gates.
+#[derive(Debug, Serialize)]
+struct AppPhases {
+    app: String,
+    phase: PhaseTotals,
+}
+
 /// The `results/BENCH_perf.json` document.
 #[derive(Debug, Serialize)]
 struct PerfReport {
@@ -74,6 +88,8 @@ struct PerfReport {
     cells: Vec<PerfCell>,
     cache: PerfCache,
     profile: PerfProfile,
+    /// Per-app virtual-time phase breakdown, summed over the matrix.
+    phase_by_app: Vec<AppPhases>,
 }
 
 fn profile_run() -> PerfProfile {
@@ -152,7 +168,10 @@ fn main() {
 
     // Harness-profiling artifact. Cell order follows the worker schedule,
     // so sort for a stable layout (the wall-clock values themselves are
-    // inherently run-dependent).
+    // inherently run-dependent). Phase breakdowns come from the reports
+    // (deterministic and cached), keyed per cell.
+    let report_phases: BTreeMap<(&str, &str, u64), PhaseTotals> =
+        reports.iter().map(|r| ((r.app.as_str(), r.crawler.as_str(), r.seed), r.phase)).collect();
     let mut cells: Vec<PerfCell> = cells_collected
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -180,11 +199,23 @@ fn main() {
                     0.0
                 },
                 cached: *cached,
+                phase: report_phases
+                    .get(&(app.as_str(), crawler.as_str(), *seed))
+                    .copied()
+                    .unwrap_or_default(),
             }),
             _ => None,
         })
         .collect();
     cells.sort_by(|a, b| (&a.app, &a.crawler, a.seed).cmp(&(&b.app, &b.crawler, b.seed)));
+    let mut phase_by_app: BTreeMap<&str, PhaseTotals> = BTreeMap::new();
+    for report in &reports {
+        phase_by_app.entry(report.app.as_str()).or_default().add(&report.phase);
+    }
+    let phase_by_app: Vec<AppPhases> = phase_by_app
+        .into_iter()
+        .map(|(app, phase)| AppPhases { app: app.to_owned(), phase })
+        .collect();
     let hits = store.session_hits();
     let misses = store.session_misses();
     let looked_up = hits + misses;
@@ -199,6 +230,7 @@ fn main() {
             hit_rate: if looked_up == 0 { 0.0 } else { hits as f64 / looked_up as f64 },
         },
         profile: profile_run(),
+        phase_by_app,
     };
     write_result(
         "BENCH_perf.json",

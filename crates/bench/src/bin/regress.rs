@@ -27,10 +27,18 @@
 //! re-blesses the SLOs alongside the coverage baselines; the gate skips
 //! with a note when the serve report is absent, and `MAK_SERVE_SLO=off`
 //! disables it outright.
+//!
+//! Finally, the **per-phase share gate**: the per-app virtual-time phase
+//! breakdown in `results/BENCH_perf.json` (written by the `perf` binary)
+//! is held to the blessed share ceilings in `results/phase_gate.json`
+//! (see [`mak_bench::phase`]). `--bless` re-derives the ceilings, the
+//! gate skips with a note when either file is absent, and
+//! `MAK_PHASE_GATE=off` disables it.
 
 use mak::framework::engine::EngineConfig;
 use mak::spec::CRAWLER_NAMES;
 use mak_bench::gate::{compare, measure, Baselines, CellResult, GateConfig, Tolerances};
+use mak_bench::phase::{PerfPhaseView, PhaseGate};
 use mak_bench::slo::{ServeReport, ServeSlo};
 use mak_bench::{results_dir, store, threads, write_result};
 use mak_metrics::experiment::{run_matrix_cached_observed, RunMatrix};
@@ -120,6 +128,70 @@ fn serve_slo_gate(bless: bool) -> Result<Vec<String>, String> {
     Ok(findings)
 }
 
+/// The per-phase half of the gate. With `bless`, derives and writes
+/// `results/phase_gate.json` from the current perf report's per-app
+/// phase breakdown. Without, returns the share findings (empty = pass).
+/// Mirrors [`serve_slo_gate`]: missing files skip with a note, corrupt
+/// files are an `Err`, `MAK_PHASE_GATE=off` disables.
+fn phase_gate(bless: bool) -> Result<Vec<String>, String> {
+    if std::env::var("MAK_PHASE_GATE").map(|v| v == "off").unwrap_or(false) {
+        println!("phase gate skipped (MAK_PHASE_GATE=off)");
+        return Ok(Vec::new());
+    }
+    let report_path = results_dir().join("BENCH_perf.json");
+    let text = match std::fs::read_to_string(&report_path) {
+        Ok(t) => t,
+        Err(_) => {
+            println!(
+                "phase gate skipped: {} absent (generate with: \
+                 cargo run --release -p mak-bench --bin perf)",
+                report_path.display()
+            );
+            return Ok(Vec::new());
+        }
+    };
+    let view: PerfPhaseView = serde_json::from_str(&text)
+        .map_err(|e| format!("{} is not a valid perf report: {e}", report_path.display()))?;
+
+    if bless {
+        let gate = PhaseGate::bless(&view);
+        write_result(
+            "phase_gate.json",
+            &serde_json::to_string_pretty(&gate).expect("phase gate serializes"),
+        );
+        println!(
+            "blessed per-phase share ceilings for {} apps ({} seeds x {} min)",
+            gate.apps.len(),
+            gate.blessed_seeds,
+            gate.blessed_budget_minutes
+        );
+        return Ok(Vec::new());
+    }
+
+    let gate_path = results_dir().join("phase_gate.json");
+    let gate_text = match std::fs::read_to_string(&gate_path) {
+        Ok(t) => t,
+        Err(_) => {
+            println!(
+                "phase gate skipped: {} absent (bless with: \
+                 cargo run --release -p mak-bench --bin regress -- --bless)",
+                gate_path.display()
+            );
+            return Ok(Vec::new());
+        }
+    };
+    let gate: PhaseGate = serde_json::from_str(&gate_text)
+        .map_err(|e| format!("{} is not a valid phase gate file: {e}", gate_path.display()))?;
+    let findings = gate.check(&view);
+    if findings.is_empty() {
+        println!(
+            "phase gate passed: {} apps within their blessed per-phase share ceilings",
+            gate.apps.len()
+        );
+    }
+    Ok(findings)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bless = args.iter().any(|a| a == "--bless");
@@ -182,6 +254,10 @@ fn main() -> ExitCode {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
+        if let Err(e) = phase_gate(true) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -217,6 +293,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         Ok(serve_findings) => findings.extend(serve_findings),
+    }
+    match phase_gate(false) {
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        Ok(phase_findings) => findings.extend(phase_findings),
     }
 
     if findings.is_empty() {

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod gate;
+pub mod phase;
 pub mod slo;
 
 use mak::framework::engine::EngineConfig;

@@ -11,6 +11,7 @@ use crate::fault::{self, FaultKind, FaultPlan, FaultStats};
 use crate::page::Page;
 use mak_obs::event::Event;
 use mak_obs::sink::SinkHandle;
+use mak_obs::span::{Phase, PhaseTotals};
 use mak_websim::dom::{FieldKind, FormSpec, Interactable};
 use mak_websim::http::{Body, Method, Request, SessionId, Status};
 use mak_websim::server::AppHost;
@@ -87,6 +88,10 @@ pub struct Browser {
     /// index of the stream and never touches `rng`.
     fault_counter: u64,
     fault_stats: FaultStats,
+    /// Always-on per-phase attribution of every clock charge (see
+    /// [`PhaseTotals`]); the clock advances themselves are untouched, so
+    /// the virtual timeline is bit-identical with or without readers.
+    phase: PhaseTotals,
 }
 
 impl std::fmt::Debug for Browser {
@@ -138,6 +143,7 @@ impl Browser {
             fault_stream_seed,
             fault_counter: 0,
             fault_stats: FaultStats::default(),
+            phase: PhaseTotals::default(),
         }
     }
 
@@ -182,6 +188,14 @@ impl Browser {
         &self.fault_stats
     }
 
+    /// Where the virtual time went so far: every clock charge attributed
+    /// to one leaf phase. The buckets partition
+    /// [`VirtualClock::elapsed_ms`] exactly (up to float summation
+    /// order).
+    pub fn phase_totals(&self) -> &PhaseTotals {
+        &self.phase
+    }
+
     /// The hosted application (measurement side).
     pub fn host(&self) -> &AppHost {
         &self.host
@@ -197,6 +211,8 @@ impl Browser {
     /// engine once per decision; see [`CostModel`]).
     pub fn charge_policy_overhead(&mut self, ms: f64) {
         self.clock.advance(ms);
+        self.phase.policy_ms += ms;
+        self.sink.span_set_now(self.clock.elapsed_ms());
     }
 
     /// Loads the application's seed URL — the start of every crawl.
@@ -237,6 +253,13 @@ impl Browser {
     ///
     /// Same conditions as [`navigate`](Self::navigate).
     pub fn execute(&mut self, action: &Interactable) -> Result<Page, BrowseError> {
+        let span = self.sink.span_open(Phase::ExecuteAction, self.clock.elapsed_ms());
+        let result = self.execute_inner(action);
+        self.sink.span_close(span, self.clock.elapsed_ms());
+        result
+    }
+
+    fn execute_inner(&mut self, action: &Interactable) -> Result<Page, BrowseError> {
         if !self.faults.is_none() {
             if self.clock.expired() {
                 return Err(BrowseError::BudgetExhausted);
@@ -250,7 +273,9 @@ impl Browser {
                     self.host.app().base_latency_ms(),
                     kind.round_trips(&self.faults),
                 );
+                let start = self.clock.elapsed_ms();
                 self.clock.advance(wait);
+                self.charge_render(start, wait);
                 self.fault_stats.injected += 1;
                 self.fault_stats.stale_elements += 1;
                 let url = action_target(action).normalized().to_owned();
@@ -356,7 +381,9 @@ impl Browser {
                         self.host.app().base_latency_ms(),
                         kind.round_trips(&self.faults),
                     );
+                    let start = self.clock.elapsed_ms();
                     self.clock.advance(wait);
+                    self.charge_render(start, wait);
                     self.fault_stats.injected += 1;
                     attempts += 1;
                     let url = req.url.normalized().to_owned();
@@ -373,7 +400,11 @@ impl Browser {
                         return Err(BrowseError::Transient { kind, attempts });
                     }
                     let backoff = self.faults.retry.backoff_ms(attempts);
+                    let start = self.clock.elapsed_ms();
                     self.clock.advance(backoff);
+                    self.phase.backoff_ms += backoff;
+                    self.sink.span_leaf(Phase::Backoff, start, backoff);
+                    self.sink.span_set_now(self.clock.elapsed_ms());
                     self.fault_stats.retries += 1;
                     self.fault_stats.backoff_ms += backoff;
                     self.sink.emit_with(|| Event::RetryScheduled {
@@ -411,7 +442,9 @@ impl Browser {
                 Body::Redirect(location) => {
                     // Redirect hop: charge a headers-only round trip.
                     let hop_ms = latency * 0.5;
+                    let start = self.clock.elapsed_ms();
                     self.clock.advance(hop_ms);
+                    self.charge_render(start, hop_ms);
                     self.sink.emit_with(|| Event::RedirectFollowed {
                         url: location.normalized().to_owned(),
                         fetch_ms: hop_ms,
@@ -438,7 +471,9 @@ impl Browser {
                         latency,
                         page.interactables().len(),
                     );
+                    let start = self.clock.elapsed_ms();
                     self.clock.advance(cost.total());
+                    self.charge_fetch(start, cost.fetch_ms, cost.think_ms, cost.interact_ms);
                     self.sink.emit_with(|| Event::PageFetched {
                         url: page.url().normalized().to_owned(),
                         status: page.status().code(),
@@ -454,7 +489,9 @@ impl Browser {
                 }
                 Body::Empty => {
                     let cost = self.cost.fetch_cost_parts(&mut self.rng, latency, 0);
+                    let start = self.clock.elapsed_ms();
                     self.clock.advance(cost.total());
+                    self.charge_fetch(start, cost.fetch_ms, cost.think_ms, cost.interact_ms);
                     let page = Page::empty(resp.status, req.url);
                     self.sink.emit_with(|| Event::PageFetched {
                         url: page.url().normalized().to_owned(),
@@ -470,6 +507,36 @@ impl Browser {
                     return Ok(page);
                 }
             }
+        }
+    }
+}
+
+impl Browser {
+    /// Attributes a network-shaped charge (fault wait, redirect hop)
+    /// already advanced on the clock: bucket it under `Render` and emit
+    /// the leaf span when profiling. Never advances the clock itself.
+    fn charge_render(&mut self, start_ms: f64, ms: f64) {
+        self.phase.render_ms += ms;
+        self.sink.span_leaf(Phase::Render, start_ms, ms);
+        self.sink.span_set_now(self.clock.elapsed_ms());
+    }
+
+    /// Attributes one fetch charge (already advanced as a single
+    /// `cost.total()` so the timeline is unchanged) to its three parts,
+    /// laying the leaf spans out consecutively from `start_ms`.
+    fn charge_fetch(&mut self, start_ms: f64, fetch_ms: f64, think_ms: f64, interact_ms: f64) {
+        self.phase.render_ms += fetch_ms;
+        self.phase.think_ms += think_ms;
+        self.phase.extract_ms += interact_ms;
+        if self.sink.spans_active() {
+            self.sink.span_leaf(Phase::Render, start_ms, fetch_ms);
+            self.sink.span_leaf(Phase::Think, start_ms + fetch_ms, think_ms);
+            self.sink.span_leaf(
+                Phase::ExtractInteractables,
+                start_ms + fetch_ms + think_ms,
+                interact_ms,
+            );
+            self.sink.span_set_now(self.clock.elapsed_ms());
         }
     }
 }
@@ -696,6 +763,85 @@ mod tests {
             }
         }
         assert!(b.clock().expired());
+    }
+
+    #[test]
+    fn phase_totals_partition_elapsed_time() {
+        // Every clock charge lands in exactly one PhaseTotals bucket, so
+        // the buckets sum to the elapsed virtual time (float-association
+        // noise only). Includes redirects (login flows) and interactions.
+        let mut b = browser("phpbb2", 30.0);
+        let mut page = b.open_seed().unwrap();
+        let origin = b.origin().clone();
+        for _ in 0..20 {
+            let Some(action) = page.valid_interactables(&origin).next().cloned() else { break };
+            match b.execute(&action) {
+                Ok(next) => page = next,
+                Err(_) => break,
+            }
+        }
+        b.charge_policy_overhead(25.0);
+        let elapsed = b.clock().elapsed_ms();
+        let totals = b.phase_totals();
+        assert!(elapsed > 0.0);
+        assert!(
+            (totals.total_ms() - elapsed).abs() <= 1e-6 * elapsed,
+            "phase buckets must partition elapsed time: {} vs {elapsed}",
+            totals.total_ms(),
+        );
+        assert!(totals.render_ms > 0.0);
+        assert!(totals.think_ms > 0.0);
+        assert_eq!(totals.policy_ms, 25.0);
+    }
+
+    #[test]
+    fn faulty_phase_totals_still_partition_and_fill_backoff() {
+        let mut b = faulty_browser("addressbook", FaultPlan::uniform(0.4), 11);
+        for _ in 0..40 {
+            let _ = b.open_seed();
+        }
+        let elapsed = b.clock().elapsed_ms();
+        let totals = b.phase_totals();
+        assert!(b.fault_stats().retries > 0, "the plan fired");
+        assert!(totals.backoff_ms > 0.0, "retry backoff is attributed");
+        assert_eq!(totals.backoff_ms, b.fault_stats().backoff_ms);
+        assert!(
+            (totals.total_ms() - elapsed).abs() <= 1e-6 * elapsed,
+            "fault waits and backoffs stay inside the partition",
+        );
+    }
+
+    #[test]
+    fn execute_emits_a_span_tree_when_profiling() {
+        use mak_obs::sink::VecSink;
+        let mut b = browser("addressbook", 30.0);
+        let (handle, cell) = SinkHandle::shared(VecSink::new());
+        b.set_sink(handle.with_spans());
+        let page = b.open_seed().unwrap();
+        let origin = b.origin().clone();
+        let link = page
+            .valid_interactables(&origin)
+            .find(|i| matches!(i, Interactable::Link { .. }))
+            .cloned()
+            .unwrap();
+        b.execute(&link).unwrap();
+
+        let events = cell.lock().unwrap().events().to_vec();
+        let spans: Vec<(u64, String)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanClosed { parent, phase, .. } => Some((*parent, phase.clone())),
+                _ => None,
+            })
+            .collect();
+        let exec = spans.iter().find(|(_, p)| p == "ExecuteAction").expect("umbrella span");
+        assert_eq!(exec.0, 0, "no engine around it, so ExecuteAction is a root");
+        // The executed link's fetch parts nest under the umbrella; the
+        // seed fetch's parts (before the umbrella opened) are roots.
+        assert!(
+            spans.iter().filter(|(parent, _)| *parent != 0).count() >= 3,
+            "fetch leaf spans nest under ExecuteAction: {spans:?}",
+        );
     }
 
     #[test]

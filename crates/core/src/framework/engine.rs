@@ -10,6 +10,7 @@ use crate::framework::crawler::Crawler;
 use mak_browser::cost::CostModel;
 use mak_browser::fault::{FaultPlan, FaultStats};
 use mak_obs::sink::SinkHandle;
+use mak_obs::span::PhaseTotals;
 use mak_websim::server::WebApp;
 use serde::{Deserialize, Serialize};
 
@@ -77,9 +78,10 @@ pub struct CoverageSample {
 /// The measurable outcome of one crawl run.
 ///
 /// Serde impls are manual (matching the derive's field order exactly):
-/// the `faults` field is emitted only when a fault actually fired, so
-/// zero-fault reports — golden snapshots, cache entries, baselines —
-/// keep their pre-fault-injection byte layout.
+/// the `faults` field is emitted only when a fault actually fired, and
+/// the `phase` breakdown only when non-empty, so degenerate reports —
+/// and anything written before either field existed — keep their prior
+/// byte layout and still parse.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CrawlReport {
     /// Crawler identifier.
@@ -110,6 +112,9 @@ pub struct CrawlReport {
     pub trace: Vec<TraceEntry>,
     /// Fault/retry/recovery counts (all zeros without a fault plan).
     pub faults: FaultStats,
+    /// Where the virtual time went: per-phase totals partitioning
+    /// `elapsed_secs` exactly (see `mak_obs::span::PhaseTotals`).
+    pub phase: PhaseTotals,
 }
 
 impl Serialize for CrawlReport {
@@ -130,6 +135,9 @@ impl Serialize for CrawlReport {
         ];
         if self.faults != FaultStats::default() {
             fields.push(("faults".to_owned(), self.faults.to_value()));
+        }
+        if self.phase != PhaseTotals::default() {
+            fields.push(("phase".to_owned(), self.phase.to_value()));
         }
         serde::Value::Object(fields)
     }
@@ -157,6 +165,11 @@ impl Deserialize for CrawlReport {
             faults: match v.get("faults") {
                 Some(stats) => FaultStats::from_value(stats)?,
                 None => FaultStats::default(),
+            },
+            // Absent in pre-profiling reports: an empty breakdown.
+            phase: match v.get("phase") {
+                Some(phase) => PhaseTotals::from_value(phase)?,
+                None => PhaseTotals::default(),
             },
         })
     }
@@ -283,6 +296,38 @@ mod tests {
             assert!(w[1].secs >= w[0].secs, "trace times are monotone");
         }
         assert!(traced.trace.iter().all(|t| t.action == "Head"), "bfs always plays Head");
+    }
+
+    #[test]
+    fn report_phase_breakdown_partitions_elapsed_time() {
+        let mut c = StaticCrawler::bfs(3);
+        let report = run_crawl(&mut c, apps::build("addressbook").unwrap(), &short(), 3);
+        let elapsed_ms = report.elapsed_secs * 1000.0;
+        let total = report.phase.total_ms();
+        assert!(
+            (total - elapsed_ms).abs() <= 1e-6 * elapsed_ms,
+            "phase buckets must sum to the elapsed budget: {total} vs {elapsed_ms}",
+        );
+        assert!(report.phase.policy_ms > 0.0, "every step charges policy overhead");
+        assert!(report.phase.render_ms > 0.0);
+    }
+
+    #[test]
+    fn report_phase_breakdown_survives_serde_and_its_absence() {
+        let mut c = StaticCrawler::bfs(3);
+        let report = run_crawl(&mut c, apps::build("addressbook").unwrap(), &short(), 3);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: CrawlReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report, "phase field round-trips");
+
+        // A pre-profiling report (no `phase` key) still parses, with an
+        // empty breakdown.
+        let mut stripped = report.clone();
+        stripped.phase = PhaseTotals::default();
+        let legacy_json = serde_json::to_string(&stripped).unwrap();
+        assert!(!legacy_json.contains("\"phase\""), "default breakdown is omitted");
+        let legacy: CrawlReport = serde_json::from_str(&legacy_json).unwrap();
+        assert_eq!(legacy.phase, PhaseTotals::default());
     }
 
     #[test]

@@ -26,6 +26,7 @@ use mak_browser::client::Browser;
 use mak_browser::clock::VirtualClock;
 use mak_obs::event::Event;
 use mak_obs::sink::SinkHandle;
+use mak_obs::span::Phase;
 use mak_websim::coverage::CoverageMode;
 use mak_websim::server::{AppHost, WebApp};
 use std::sync::Arc;
@@ -266,9 +267,12 @@ impl<'c> Session<'c> {
             self.done = true;
             return SessionStatus::Finished;
         }
+        let step_start_ms = self.browser.clock().elapsed_ms();
+        let step_span = self.sink.span_open(Phase::Step, step_start_ms);
         let crawler = self.crawler.get();
         let policy_ms = crawler.policy_overhead_ms(self.browser.cost_model());
         self.browser.charge_policy_overhead(policy_ms);
+        self.sink.span_leaf(Phase::PolicyChoose, step_start_ms, policy_ms);
         let step_index = self.step_index;
         let t_ms = self.browser.clock().elapsed_ms();
         self.sink.emit_with(|| Event::StepStarted { step: step_index, t_ms, policy_ms });
@@ -306,6 +310,7 @@ impl<'c> Session<'c> {
             }
             Err(CrawlEnd::BudgetExhausted) | Err(CrawlEnd::Stuck) => {
                 self.done = true;
+                self.sink.span_close(step_span, self.browser.clock().elapsed_ms());
                 return SessionStatus::Finished;
             }
         }
@@ -319,6 +324,7 @@ impl<'c> Session<'c> {
                 self.next_sample += self.sample_interval_secs;
             }
         }
+        self.sink.span_close(step_span, self.browser.clock().elapsed_ms());
         SessionStatus::Running
     }
 
@@ -389,6 +395,7 @@ impl<'c> Session<'c> {
             lines: self.browser.host().harness_lines_covered(),
         });
         let fault_stats = self.browser.fault_stats().clone();
+        let phase = *self.browser.phase_totals();
         let host = self.browser.finish();
         let tracker = host.tracker();
         let covered_lines: Vec<(u32, u32)> =
@@ -408,6 +415,7 @@ impl<'c> Session<'c> {
             elapsed_secs,
             trace: self.trace,
             faults: fault_stats,
+            phase,
         }
     }
 }

@@ -10,7 +10,7 @@
 //! function of the report, so reruns over the same trace are
 //! byte-identical.
 
-use crate::plot::{LineChart, Series};
+use crate::plot::{BarChart, BarSeries, LineChart, Series};
 use crate::report::markdown_table;
 use mak_obs::flight::FlightReport;
 use std::fmt::Write as _;
@@ -105,6 +105,27 @@ fn arms_chart(report: &FlightReport) -> Option<String> {
     Some(chart.to_svg())
 }
 
+/// The "where the time goes" chart: total seconds per span phase. `None`
+/// for traces recorded without span profiling (pre-span traces included)
+/// — the section is omitted, never an error.
+fn phases_chart(report: &FlightReport) -> Option<String> {
+    if report.span_phases.is_empty() {
+        return None;
+    }
+    let groups: Vec<String> = report.span_phases.keys().cloned().collect();
+    let values: Vec<f64> =
+        report.span_phases.values().map(|stat| stat.total_ms / 1_000.0).collect();
+    let title = format!(
+        "Where the time goes — {} on {} (seed {})",
+        report.crawler, report.app, report.seed
+    );
+    Some(
+        BarChart::new(title, "virtual seconds", groups)
+            .series(BarSeries { name: "total".into(), values })
+            .to_svg(),
+    )
+}
+
 /// The deque-depth trajectory. `None` when the trace carries no
 /// `DequeDepth` events.
 fn deque_chart(report: &FlightReport) -> Option<String> {
@@ -154,6 +175,34 @@ fn markdown(report: &FlightReport, svgs: &[(String, String)]) -> String {
         })
         .collect();
     let _ = writeln!(out, "{}", markdown_table(&["bucket", "seconds", "share"], &rows));
+
+    if !report.span_phases.is_empty() {
+        let _ = writeln!(out, "## Where the time goes (spans)\n");
+        let _ = writeln!(
+            out,
+            "Per-phase span totals. Umbrella phases (`Step`, `ExecuteAction`) \
+             contain the leaves, so shares are relative to elapsed time and \
+             do not sum to 100%.\n"
+        );
+        let elapsed = report.elapsed_ms.max(1.0);
+        let rows: Vec<Vec<String>> = report
+            .span_phases
+            .iter()
+            .map(|(phase, stat)| {
+                vec![
+                    phase.clone(),
+                    stat.count.to_string(),
+                    fmt_ms_as_s(stat.total_ms),
+                    format!("{:.1}%", 100.0 * stat.total_ms / elapsed),
+                ]
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{}",
+            markdown_table(&["phase", "spans", "seconds", "% of elapsed"], &rows)
+        );
+    }
 
     if !report.rewards_per_arm.is_empty() {
         let _ = writeln!(out, "## Reward distribution per arm\n");
@@ -256,6 +305,9 @@ pub fn render(report: &FlightReport) -> RenderedFlight {
     if let Some(svg) = deque_chart(report) {
         svgs.push(("deque".to_owned(), svg));
     }
+    if let Some(svg) = phases_chart(report) {
+        svgs.push(("phases".to_owned(), svg));
+    }
     RenderedFlight { markdown: markdown(report, &svgs), svgs }
 }
 
@@ -275,10 +327,10 @@ mod tests {
     }
 
     #[test]
-    fn renders_all_three_charts_for_a_bandit_trace() {
+    fn renders_all_charts_for_a_bandit_trace() {
         let rendered = render(&mak_report());
         let suffixes: Vec<&str> = rendered.svgs.iter().map(|(s, _)| s.as_str()).collect();
-        assert_eq!(suffixes, vec!["coverage", "arms", "deque"]);
+        assert_eq!(suffixes, vec!["coverage", "arms", "deque", "phases"]);
         for (suffix, svg) in &rendered.svgs {
             assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"), "{suffix}");
         }
@@ -286,6 +338,31 @@ mod tests {
         assert!(rendered.markdown.contains("## Cost breakdown"));
         assert!(rendered.markdown.contains("## Event census"));
         assert!(rendered.markdown.contains("| StepFinished | 1 |"));
+    }
+
+    #[test]
+    fn span_section_renders_from_span_events() {
+        // The samples fixture carries one SpanClosed (Render, 100 ms).
+        let rendered = render(&mak_report());
+        assert!(rendered.markdown.contains("## Where the time goes (spans)"));
+        assert!(rendered.markdown.contains("| Render | 1 | 0.1 |"));
+    }
+
+    #[test]
+    fn pre_span_traces_omit_the_span_section() {
+        // A trace recorded before span profiling existed has no
+        // SpanClosed events: the section and the phases chart are
+        // silently omitted, never an error.
+        let mut rec = FlightRecorder::new();
+        for ev in Event::samples() {
+            if !matches!(ev, Event::SpanClosed { .. }) {
+                rec.on_event(&ev);
+            }
+        }
+        let rendered = render(rec.report());
+        assert!(!rendered.markdown.contains("Where the time goes"));
+        assert!(rendered.svgs.iter().all(|(s, _)| s != "phases"));
+        assert!(rendered.markdown.contains("## Cost breakdown"), "the rest still renders");
     }
 
     #[test]

@@ -88,6 +88,7 @@ mod tests {
             elapsed_secs: 1.0,
             trace: vec![],
             faults: Default::default(),
+            phase: Default::default(),
         }
     }
 

@@ -410,7 +410,9 @@ impl RunStore {
             return None;
         }
         let path = self.entry_path(app, crawler, seed, self.key(app, crawler, seed, config));
+        let io_start = self.sink.is_active().then(std::time::Instant::now);
         let text = std::fs::read_to_string(&path).ok();
+        self.emit_cache_io(io_start);
         let entry_bytes = text.as_ref().map_or(0, |t| t.len() as u64);
         let report = text
             .and_then(|text| serde_json::from_str::<CrawlReport>(&text).ok())
@@ -456,10 +458,31 @@ impl RunStore {
                 return;
             }
         };
-        if let Err(e) = self.write_atomic(&path, json.as_bytes()) {
+        let io_start = self.sink.is_active().then(std::time::Instant::now);
+        let write = self.write_atomic(&path, json.as_bytes());
+        self.emit_cache_io(io_start);
+        if let Err(e) = write {
             mak_obs::progress!("run cache: write {}: {e}", path.display());
         } else {
             self.count_write(json.len() as u64);
+        }
+    }
+
+    /// Emits one bench-side `CacheIo` span covering a cache read or
+    /// write. Wall milliseconds, mirroring the `CellFinished` precedent:
+    /// these flow only through the bench's [`SharedSink`], never into a
+    /// per-crawl trace, so crawl-path determinism is untouched. Span ids
+    /// are 0 — bench-side spans carry no tree.
+    fn emit_cache_io(&self, io_start: Option<std::time::Instant>) {
+        if let Some(start) = io_start {
+            let dur_ms = start.elapsed().as_secs_f64() * 1000.0;
+            self.sink.emit_with(|| Event::SpanClosed {
+                id: 0,
+                parent: 0,
+                phase: mak_obs::span::Phase::CacheIo.as_str().to_owned(),
+                t_ms: 0.0,
+                dur_ms,
+            });
         }
     }
 
@@ -544,6 +567,7 @@ mod tests {
             elapsed_secs: 59.5,
             trace: vec![],
             faults: Default::default(),
+            phase: Default::default(),
         }
     }
 
@@ -673,8 +697,17 @@ mod tests {
         assert!(store.load("addressbook", "bfs", 1, &cfg).is_none());
         store.save(&sample_report(1), &cfg);
         assert!(store.load("addressbook", "bfs", 1, &cfg).is_some());
-        let kinds: Vec<&str> = cell.lock().unwrap().events().iter().map(|e| e.kind()).collect();
-        assert_eq!(kinds, vec!["CacheMiss", "CacheHit"]);
+        let events = cell.lock().unwrap().events().to_vec();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        // Each load wraps its read in a CacheIo span, and the save wraps
+        // its write: read → miss, write, read → hit.
+        assert_eq!(kinds, vec!["SpanClosed", "CacheMiss", "SpanClosed", "SpanClosed", "CacheHit"]);
+        for event in &events {
+            if let Event::SpanClosed { phase, dur_ms, .. } = event {
+                assert_eq!(phase, "CacheIo");
+                assert!(*dur_ms >= 0.0);
+            }
+        }
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -228,6 +228,10 @@ pub struct Aggregator {
     pub elapsed_ms: f64,
     /// Budget attribution.
     pub profile: BudgetProfile,
+    /// Spans closed (`SpanClosed`; 0 on span-less streams).
+    pub spans: u64,
+    /// Total span duration per phase label, in ms, sorted by phase.
+    pub span_phase_ms: BTreeMap<String, f64>,
 }
 
 impl Default for Aggregator {
@@ -257,6 +261,8 @@ impl Default for Aggregator {
             interactions: 0,
             elapsed_ms: 0.0,
             profile: BudgetProfile::default(),
+            spans: 0,
+            span_phase_ms: BTreeMap::new(),
         }
     }
 }
@@ -350,6 +356,10 @@ impl EventSink for Aggregator {
                 self.profile.fetch_ms += backoff_ms;
             }
             Event::FaultRecovered { .. } => self.fault_recoveries += 1,
+            Event::SpanClosed { phase, dur_ms, .. } => {
+                self.spans += 1;
+                *self.span_phase_ms.entry(phase.clone()).or_insert(0.0) += dur_ms;
+            }
             Event::CoverageDelta { .. } | Event::CellFinished { .. } => {}
         }
     }

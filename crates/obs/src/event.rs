@@ -15,6 +15,7 @@
 //! | `CacheHit` / `CacheMiss` | `mak_metrics::store::RunStore` |
 //! | `CellFinished` | `mak_metrics::experiment` (bench-side) |
 //! | `FaultInjected` / `RetryScheduled` / `FaultRecovered` | `mak_browser::client` (fault layer) |
+//! | `SpanClosed` | every span-instrumented site (see [`crate::span`]) |
 //!
 //! All `t_ms` / `*_ms` fields inside a run are **virtual-clock**
 //! milliseconds. `CellFinished::wall_ms` is the one wall-clock field; it
@@ -109,6 +110,12 @@ pub enum Event {
     RetryScheduled { attempt: u64, backoff_ms: f64 },
     /// A navigation succeeded after `attempts` failed attempts.
     FaultRecovered { attempts: u64 },
+    /// A profiling span closed (see [`crate::span`]): work of `phase`
+    /// ran `[t_ms, t_ms + dur_ms]` nested under span `parent` (0 = no
+    /// parent). Ids count up from 1 in allocation order. Times are
+    /// virtual-clock ms inside a crawl; bench-side `CacheIo` spans carry
+    /// wall ms and, like `CellFinished`, never enter a per-crawl trace.
+    SpanClosed { id: u64, parent: u64, phase: String, t_ms: f64, dur_ms: f64 },
 }
 
 impl Event {
@@ -118,7 +125,7 @@ impl Event {
     /// exhaustiveness contract: a variant added without analyzer support
     /// fails to compile (the matches) or fails the workspace
     /// observability tests (this list).
-    pub const ALL_KINDS: [&'static str; 18] = [
+    pub const ALL_KINDS: [&'static str; 19] = [
         "RunStarted",
         "StepStarted",
         "ActionChosen",
@@ -137,6 +144,7 @@ impl Event {
         "FaultInjected",
         "RetryScheduled",
         "FaultRecovered",
+        "SpanClosed",
     ];
 
     /// One synthetic sample of every variant, in [`Event::ALL_KINDS`]
@@ -202,6 +210,13 @@ impl Event {
             },
             Event::RetryScheduled { attempt: 1, backoff_ms: 500.0 },
             Event::FaultRecovered { attempts: 1 },
+            Event::SpanClosed {
+                id: 2,
+                parent: 1,
+                phase: "Render".into(),
+                t_ms: 2.0,
+                dur_ms: 100.0,
+            },
         ]
     }
 
@@ -227,6 +242,7 @@ impl Event {
             Event::FaultInjected { .. } => "FaultInjected",
             Event::RetryScheduled { .. } => "RetryScheduled",
             Event::FaultRecovered { .. } => "FaultRecovered",
+            Event::SpanClosed { .. } => "SpanClosed",
         }
     }
 }

@@ -66,6 +66,16 @@ pub struct DequePoint {
     pub len: u64,
 }
 
+/// Aggregate statistics for one span phase — one row of the "where the
+/// time goes" table.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStat {
+    /// Spans of this phase closed.
+    pub count: u64,
+    /// Total duration, in ms (virtual inside a crawl).
+    pub total_ms: f64,
+}
+
 /// Everything [`FlightRecorder`] extracts from one run's event stream.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FlightReport {
@@ -126,6 +136,10 @@ pub struct FlightReport {
     pub deque_trajectory: Vec<DequePoint>,
     /// Largest deque occupancy seen.
     pub deque_peak: u64,
+    /// Per-phase span statistics (sorted by phase label; empty on
+    /// traces recorded without span collection — renderers omit the
+    /// section instead of erroring).
+    pub span_phases: BTreeMap<String, PhaseStat>,
 }
 
 impl FlightReport {
@@ -285,6 +299,11 @@ impl EventSink for FlightRecorder {
                 r.cost.fetch_ms += backoff_ms;
             }
             Event::FaultRecovered { .. } => r.fault_recoveries += 1,
+            Event::SpanClosed { phase, dur_ms, .. } => {
+                let stat = r.span_phases.entry(phase.clone()).or_default();
+                stat.count += 1;
+                stat.total_ms += dur_ms;
+            }
         }
     }
 }

@@ -36,11 +36,14 @@ pub mod aggregate;
 pub mod event;
 pub mod flight;
 pub mod logger;
+pub mod perfetto;
 pub mod sink;
+pub mod span;
 pub mod trace;
 
 pub use aggregate::Aggregator;
 pub use event::Event;
 pub use flight::{FlightRecorder, FlightReport};
 pub use sink::{EventSink, JsonlSink, SharedSink, SinkHandle, VecSink};
+pub use span::{Phase, PhaseTotals, SpanToken};
 pub use trace::{first_divergence, Divergence, TraceIter};

@@ -20,6 +20,7 @@
 //! handles), plus [`crate::aggregate::Aggregator`].
 
 use crate::event::Event;
+use crate::span::{Phase, SpanState, SpanToken};
 use std::fmt;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
@@ -43,18 +44,24 @@ pub trait EventSink {
 #[derive(Clone, Default)]
 pub struct SinkHandle {
     inner: Option<Arc<Mutex<dyn EventSink + Send>>>,
+    /// Hierarchical-span bookkeeping, present only after
+    /// [`SinkHandle::with_spans`]. Clones share it, so every
+    /// instrumentation site holding a clone of one run's handle links
+    /// its spans into one tree. `None` by default: every span method is
+    /// then a single branch, keeping uninstrumented runs at zero cost.
+    spans: Option<Arc<Mutex<SpanState>>>,
 }
 
 impl SinkHandle {
     /// The inert handle: every emit is a no-op.
     pub fn none() -> Self {
-        SinkHandle { inner: None }
+        SinkHandle { inner: None, spans: None }
     }
 
     /// Wraps a sink, consuming it. Use [`SinkHandle::shared`] when the
     /// sink must be read back after the run.
     pub fn new<S: EventSink + Send + 'static>(sink: S) -> Self {
-        SinkHandle { inner: Some(Arc::new(Mutex::new(sink))) }
+        SinkHandle { inner: Some(Arc::new(Mutex::new(sink))), spans: None }
     }
 
     /// Wraps a sink and also returns the shared cell so the caller can
@@ -63,11 +70,13 @@ impl SinkHandle {
     pub fn shared<S: EventSink + Send + 'static>(sink: S) -> (Self, Arc<Mutex<S>>) {
         let cell = Arc::new(Mutex::new(sink));
         let dynamic: Arc<Mutex<dyn EventSink + Send>> = cell.clone();
-        (SinkHandle { inner: Some(dynamic) }, cell)
+        (SinkHandle { inner: Some(dynamic), spans: None }, cell)
     }
 
     /// Fans one stream out to every given handle (inert ones are
     /// dropped; an all-inert fanout collapses to the inert handle).
+    /// Span state is not carried over — call [`SinkHandle::with_spans`]
+    /// on the result to profile a fanned-out run.
     pub fn fanout(handles: Vec<SinkHandle>) -> Self {
         let live: Vec<SinkHandle> = handles.into_iter().filter(SinkHandle::is_active).collect();
         match live.len() {
@@ -80,6 +89,114 @@ impl SinkHandle {
     /// Whether a sink is attached.
     pub fn is_active(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Enables hierarchical span collection on this handle (see
+    /// [`crate::span`]). A no-op on an inert handle — spans without a
+    /// sink would have nowhere to go. Clones made *after* this call
+    /// share the span stack; instrumentation sites holding such clones
+    /// link their spans into one tree per run.
+    pub fn with_spans(mut self) -> Self {
+        if self.inner.is_some() {
+            self.spans = Some(Arc::new(Mutex::new(SpanState::default())));
+        }
+        self
+    }
+
+    /// Whether span collection is enabled.
+    pub fn spans_active(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    /// Opens a span of `phase` starting at virtual `start_ms`, nested
+    /// under the innermost open span. Returns the token to pass to
+    /// [`SinkHandle::span_close`]; inert (span-less) handles return an
+    /// inert token and the whole pair is two branches.
+    pub fn span_open(&self, phase: Phase, start_ms: f64) -> SpanToken {
+        let Some(state) = &self.spans else { return SpanToken::INERT };
+        let mut guard = match state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let (id, parent) = guard.open(start_ms);
+        SpanToken { id, parent, phase, start_ms }
+    }
+
+    /// Closes an open span at virtual `end_ms`, emitting one
+    /// [`Event::SpanClosed`]. Tolerates out-of-order closes (the stack
+    /// unwinds to the token) and inert tokens (no-op).
+    pub fn span_close(&self, token: SpanToken, end_ms: f64) {
+        if !token.is_active() {
+            return;
+        }
+        if let Some(state) = &self.spans {
+            let mut guard = match state.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.close(token.id, end_ms);
+        }
+        self.emit_with(|| Event::SpanClosed {
+            id: token.id,
+            parent: token.parent,
+            phase: token.phase.as_str().to_owned(),
+            t_ms: token.start_ms,
+            dur_ms: (end_ms - token.start_ms).max(0.0),
+        });
+    }
+
+    /// Emits a leaf span (`[start_ms, start_ms + dur_ms]`) under the
+    /// innermost open span, without touching the stack — the form the
+    /// browser uses for the arithmetic sub-intervals of one cost charge.
+    pub fn span_leaf(&self, phase: Phase, start_ms: f64, dur_ms: f64) {
+        let Some(state) = &self.spans else { return };
+        let (id, parent) = {
+            let mut guard = match state.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.leaf(start_ms + dur_ms)
+        };
+        self.emit_with(|| Event::SpanClosed {
+            id,
+            parent,
+            phase: phase.as_str().to_owned(),
+            t_ms: start_ms,
+            dur_ms,
+        });
+    }
+
+    /// Emits a zero-duration span at the latched virtual time — for
+    /// instrumentation sites with no clock of their own (Exp3.1).
+    pub fn span_instant(&self, phase: Phase) {
+        let Some(state) = &self.spans else { return };
+        let (id, parent, now) = {
+            let mut guard = match state.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let now = guard.now_ms();
+            let (id, parent) = guard.leaf(now);
+            (id, parent, now)
+        };
+        self.emit_with(|| Event::SpanClosed {
+            id,
+            parent,
+            phase: phase.as_str().to_owned(),
+            t_ms: now,
+            dur_ms: 0.0,
+        });
+    }
+
+    /// Latches the virtual clock for [`SinkHandle::span_instant`]
+    /// emitters. Clock holders call this after advancing.
+    pub fn span_set_now(&self, t_ms: f64) {
+        let Some(state) = &self.spans else { return };
+        let mut guard = match state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.set_now(t_ms);
     }
 
     /// Emits an already-built event.
@@ -330,6 +447,93 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         for line in text.lines() {
             let _: Event = serde_json::from_str(line).expect("each line parses");
+        }
+    }
+
+    #[test]
+    fn spans_are_inert_unless_enabled() {
+        // Without with_spans(), every span method is a no-op branch:
+        // no events, inert tokens, nothing to unwind.
+        let (handle, cell) = SinkHandle::shared(VecSink::new());
+        assert!(!handle.spans_active());
+        let token = handle.span_open(Phase::Step, 0.0);
+        assert!(!token.is_active());
+        handle.span_leaf(Phase::Render, 0.0, 10.0);
+        handle.span_instant(Phase::BanditChoose);
+        handle.span_close(token, 50.0);
+        assert!(cell.lock().unwrap().events().is_empty());
+
+        // with_spans() on an inert handle stays inert.
+        assert!(!SinkHandle::none().with_spans().spans_active());
+    }
+
+    #[test]
+    fn spans_nest_and_emit_on_close() {
+        let (handle, cell) = SinkHandle::shared(VecSink::new());
+        let handle = handle.with_spans();
+        assert!(handle.spans_active());
+
+        let outer = handle.span_open(Phase::Step, 0.0);
+        handle.span_leaf(Phase::PolicyChoose, 0.0, 2.0);
+        let inner = handle.span_open(Phase::ExecuteAction, 2.0);
+        handle.span_close(inner, 40.0);
+        handle.span_close(outer, 50.0);
+
+        let events = cell.lock().unwrap().events().to_vec();
+        let spans: Vec<(u64, u64, String, f64, f64)> = events
+            .iter()
+            .map(|e| match e {
+                Event::SpanClosed { id, parent, phase, t_ms, dur_ms } => {
+                    (*id, *parent, phase.clone(), *t_ms, *dur_ms)
+                }
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        // Children close (and emit) before their parents; ids are
+        // allocated in open order, parents follow the stack.
+        assert_eq!(
+            spans,
+            vec![
+                (2, 1, "PolicyChoose".into(), 0.0, 2.0),
+                (3, 1, "ExecuteAction".into(), 2.0, 38.0),
+                (1, 0, "Step".into(), 0.0, 50.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn clones_share_one_span_tree() {
+        let (handle, cell) = SinkHandle::shared(VecSink::new());
+        let handle = handle.with_spans();
+        let clone = handle.clone();
+
+        let outer = handle.span_open(Phase::Step, 0.0);
+        clone.span_leaf(Phase::Render, 0.0, 5.0); // nested via the clone
+        handle.span_close(outer, 10.0);
+
+        let events = cell.lock().unwrap().events().to_vec();
+        match &events[0] {
+            Event::SpanClosed { id, parent, .. } => {
+                assert_eq!((*id, *parent), (2, 1), "clone's leaf nests under the open span");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_instant_uses_the_latched_clock() {
+        let (handle, cell) = SinkHandle::shared(VecSink::new());
+        let handle = handle.with_spans();
+        handle.span_set_now(123.5);
+        handle.span_instant(Phase::RewardUpdate);
+        let events = cell.lock().unwrap().events().to_vec();
+        match &events[0] {
+            Event::SpanClosed { phase, t_ms, dur_ms, .. } => {
+                assert_eq!(phase, "RewardUpdate");
+                assert_eq!(*t_ms, 123.5);
+                assert_eq!(*dur_ms, 0.0);
+            }
+            other => panic!("unexpected event {other:?}"),
         }
     }
 

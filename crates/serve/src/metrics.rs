@@ -29,6 +29,12 @@ use mak_telemetry::{Domain, MetricsRegistry, MetricsSnapshot};
 const SESSION_STEP_BUCKETS: [f64; 8] =
     [10.0, 30.0, 100.0, 300.0, 1_000.0, 3_000.0, 10_000.0, 30_000.0];
 
+/// Per-phase virtual-time histogram bounds, in virtual milliseconds per
+/// completed session (budgets run from fractions of a minute in tests to
+/// the paper's 30 minutes).
+const PHASE_MS_BUCKETS: [f64; 7] =
+    [100.0, 1_000.0, 10_000.0, 60_000.0, 300_000.0, 900_000.0, 1_800_000.0];
+
 /// Step-latency histogram bounds, in wall-clock nanoseconds per step.
 const STEP_LATENCY_BUCKETS: [f64; 10] = [
     500.0,
@@ -127,6 +133,12 @@ impl ServiceMetrics {
             Domain::Virtual,
             "Lifetime budget burn per tenant (admitted sessions)",
         );
+        r.register_histogram(
+            "mak_serve_phase_virtual_ms",
+            Domain::Virtual,
+            "Virtual milliseconds per leaf phase per completed session",
+            &PHASE_MS_BUCKETS,
+        );
         // Wall domain: scheduler mechanics.
         r.register_counter(
             "mak_serve_drains_total",
@@ -152,6 +164,13 @@ impl ServiceMetrics {
             "mak_serve_step_latency_ns",
             Domain::Wall,
             "Wall-clock nanoseconds per virtual step, weighted by steps (needs sample_latency)",
+            &STEP_LATENCY_BUCKETS,
+        );
+        r.register_histogram(
+            "mak_serve_dispatch_ns",
+            Domain::Wall,
+            "Wall-clock nanoseconds per scheduler dispatch — queue locks, injector \
+             batching, and steals before a session runs (needs sample_latency)",
             &STEP_LATENCY_BUCKETS,
         );
         ServiceMetrics { registry: r, enabled }
@@ -201,6 +220,19 @@ impl ServiceMetrics {
         self.registry.inc("mak_serve_interactions_total", &by_kind, report.interactions);
         self.registry.inc("mak_serve_lines_covered_total", &by_kind, report.final_lines_covered);
         self.registry.observe("mak_serve_session_steps", &by_kind, steps as f64);
+        // Leaf phases in the fixed `rows()` order — virtual-domain, so
+        // the fold stays deterministic in session-id order.
+        for (phase, ms) in report.phase.rows() {
+            self.registry.observe(
+                "mak_serve_phase_virtual_ms",
+                &[
+                    ("app", report.app.as_str()),
+                    ("crawler", report.crawler.as_str()),
+                    ("phase", phase.as_str()),
+                ],
+                ms,
+            );
+        }
         let faults = &report.faults;
         if faults.injected > 0 {
             self.registry.inc("mak_serve_faults_injected_total", &by_kind, faults.injected);
@@ -240,6 +272,9 @@ impl ServiceMetrics {
         self.registry.set_gauge_max("mak_serve_queue_depth_peak", &[], queue_peak as f64);
         for &(ns, weight) in latencies.samples() {
             self.registry.observe_n("mak_serve_step_latency_ns", &[], ns as f64, weight as u64);
+        }
+        for &ns in latencies.dispatch_samples() {
+            self.registry.observe("mak_serve_dispatch_ns", &[], ns as f64);
         }
     }
 

@@ -80,6 +80,11 @@ pub(crate) struct FinishedTask {
 pub struct StepLatencies {
     /// `(nanoseconds per step, steps in the slice)` pairs.
     samples: Vec<(u64, u32)>,
+    /// Wall nanoseconds per successful dispatch — the time `next_task`
+    /// spent in queue locks, injector batching, and stealing before it
+    /// handed a session to the worker. Idle polls (no task found) are
+    /// not recorded.
+    dispatch: Vec<u64>,
 }
 
 impl StepLatencies {
@@ -121,8 +126,15 @@ impl StepLatencies {
         &self.samples
     }
 
+    /// Dispatch-path samples, wall nanoseconds per acquired task — feed
+    /// for the wall-domain `SchedulerDispatch` histogram.
+    pub fn dispatch_samples(&self) -> &[u64] {
+        &self.dispatch
+    }
+
     fn merge(&mut self, other: StepLatencies) {
         self.samples.extend(other.samples);
+        self.dispatch.extend(other.dispatch);
     }
 }
 
@@ -250,6 +262,7 @@ fn worker(pool: &Pool, me: usize) -> StepLatencies {
     };
     let mut latencies = StepLatencies::default();
     loop {
+        let dispatch_started = pool.sample_latency.then(Instant::now);
         let Some(task) = next_task(pool, me, &mut rng) else {
             if pool.remaining.load(Ordering::Acquire) == 0 {
                 break;
@@ -259,6 +272,9 @@ fn worker(pool: &Pool, me: usize) -> StepLatencies {
             std::thread::yield_now();
             continue;
         };
+        if let Some(started) = dispatch_started {
+            latencies.dispatch.push(started.elapsed().as_nanos() as u64);
+        }
         run_slice(pool, me, task, &mut latencies);
     }
     latencies
@@ -398,7 +414,7 @@ mod tests {
 
     #[test]
     fn weighted_quantiles_interpolate_over_steps() {
-        let lat = StepLatencies { samples: vec![(100, 90), (1_000, 10)] };
+        let lat = StepLatencies { samples: vec![(100, 90), (1_000, 10)], dispatch: vec![] };
         assert_eq!(lat.total_steps(), 100);
         assert_eq!(lat.quantile_ns(0.5), Some(100));
         assert_eq!(lat.quantile_ns(0.99), Some(1_000));
@@ -410,14 +426,14 @@ mod tests {
         assert_eq!(StepLatencies::default().quantile_ns(0.0), None);
         assert_eq!(StepLatencies::default().quantile_ns(1.0), None);
         // Zero-weight samples carry no steps: still no quantile.
-        let lat = StepLatencies { samples: vec![(500, 0), (900, 0)] };
+        let lat = StepLatencies { samples: vec![(500, 0), (900, 0)], dispatch: vec![] };
         assert_eq!(lat.quantile_ns(0.5), None);
         assert_eq!(lat.total_steps(), 0);
     }
 
     #[test]
     fn single_sample_answers_every_quantile() {
-        let lat = StepLatencies { samples: vec![(250, 1)] };
+        let lat = StepLatencies { samples: vec![(250, 1)], dispatch: vec![] };
         for q in [0.0, 0.5, 0.99, 1.0] {
             assert_eq!(lat.quantile_ns(q), Some(250));
         }
@@ -425,7 +441,7 @@ mod tests {
 
     #[test]
     fn out_of_range_quantiles_clamp() {
-        let lat = StepLatencies { samples: vec![(100, 50), (1_000, 50)] };
+        let lat = StepLatencies { samples: vec![(100, 50), (1_000, 50)], dispatch: vec![] };
         assert_eq!(lat.quantile_ns(-3.0), Some(100));
         assert_eq!(lat.quantile_ns(7.5), Some(1_000));
         assert_eq!(lat.quantile_ns(f64::NAN), Some(100)); // NaN clamps to the floor
@@ -435,7 +451,7 @@ mod tests {
     fn zero_weight_samples_do_not_skew_quantiles() {
         // A zero-weight outlier below the real data must not become the
         // answer for low quantiles.
-        let lat = StepLatencies { samples: vec![(1, 0), (100, 10)] };
+        let lat = StepLatencies { samples: vec![(1, 0), (100, 10)], dispatch: vec![] };
         assert_eq!(lat.quantile_ns(0.0), Some(100));
         assert_eq!(lat.quantile_ns(1.0), Some(100));
     }
@@ -446,7 +462,10 @@ mod tests {
         // overflow u32 math and stress f64 rounding; the saturating sum
         // and clamped target keep every quantile inside the sample set.
         let w = u32::MAX;
-        let lat = StepLatencies { samples: vec![(10, w), (20, w), (30, w), (40, w), (50, w)] };
+        let lat = StepLatencies {
+            samples: vec![(10, w), (20, w), (30, w), (40, w), (50, w)],
+            dispatch: vec![],
+        };
         assert_eq!(lat.total_steps(), 5 * u64::from(w));
         assert_eq!(lat.quantile_ns(0.0), Some(10));
         assert_eq!(lat.quantile_ns(0.5), Some(30));

@@ -95,6 +95,11 @@ pub struct SessionSpec {
     /// Capture the session's event stream and return it as JSONL bytes
     /// on completion.
     pub record_events: bool,
+    /// Also open hierarchical phase spans on the session's sink, so the
+    /// captured stream carries `SpanClosed` events (Perfetto export,
+    /// per-phase flight sections). Implies event capture: span records
+    /// ride the same stream.
+    pub record_spans: bool,
 }
 
 impl SessionSpec {
@@ -112,6 +117,7 @@ impl SessionSpec {
             seed,
             config: EngineConfig::default(),
             record_events: false,
+            record_spans: false,
         }
     }
 
@@ -124,6 +130,13 @@ impl SessionSpec {
     /// Requests the session's JSONL event stream alongside its report.
     pub fn record_events(mut self, record: bool) -> Self {
         self.record_events = record;
+        self
+    }
+
+    /// Requests phase spans in the recorded stream (implies
+    /// [`record_events`](Self::record_events)).
+    pub fn record_spans(mut self, record: bool) -> Self {
+        self.record_spans = record;
         self
     }
 }
@@ -222,8 +235,9 @@ impl CrawlService {
             .ok_or_else(|| SubmitError::UnknownCrawler(spec.crawler.clone()))?;
         self.ledger.admit(&spec.tenant)?;
 
-        let (sink, events) = if spec.record_events {
+        let (sink, events) = if spec.record_events || spec.record_spans {
             let (handle, cell) = SinkHandle::shared(VecSink::new());
+            let handle = if spec.record_spans { handle.with_spans() } else { handle };
             (handle, Some(cell))
         } else {
             (SinkHandle::none(), None)

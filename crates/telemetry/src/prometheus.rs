@@ -143,6 +143,96 @@ mod tests {
         );
     }
 
+    /// Decodes a label value per the text-format 0.0.4 rules — the
+    /// inverse a scraper applies to `\\`, `\"`, and `\n`.
+    fn unescape(escaped: &str) -> String {
+        let mut out = String::with_capacity(escaped.len());
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some(other) => panic!("invalid escape \\{other} in {escaped:?}"),
+                None => panic!("dangling backslash in {escaped:?}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip() {
+        // Every hostile value must render to a single well-formed sample
+        // line whose quoted block decodes back to the original bytes.
+        let hostile = [
+            "plain",
+            "back\\slash",
+            "quo\"te",
+            "new\nline",
+            "\\",
+            "\"",
+            "\n",
+            "\\n",
+            "a\\\"b",
+            "trailing\\",
+            "\\\\\"\nmixed",
+            "already\\nescaped\\\\looking",
+        ];
+        for value in hostile {
+            let mut reg = MetricsRegistry::new();
+            reg.register_counter("c_total", Domain::Virtual, "");
+            reg.inc("c_total", &[("v", value)], 1);
+            let text = reg.snapshot().to_prometheus();
+            let line = text
+                .lines()
+                .find(|l| l.starts_with("c_total{"))
+                .unwrap_or_else(|| panic!("no sample line for {value:?} in {text:?}"));
+            assert!(line.ends_with("} 1"), "line stays parseable: {line:?}");
+            let start = line.find('"').expect("opening quote") + 1;
+            let end = line.rfind('"').expect("closing quote");
+            let escaped = &line[start..end];
+            assert!(!escaped.contains('\n'), "raw newline would split the line");
+            assert_eq!(unescape(escaped), value, "round trip of {escaped:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_values_in_histogram_labels_round_trip() {
+        // The histogram expansion repeats the label block four ways
+        // (`_bucket` x2, `_sum`, `_count`); each copy must decode.
+        let value = "p99 \"goal\"\nwith \\ slash";
+        let mut reg = MetricsRegistry::new();
+        reg.register_histogram("h_ms", Domain::Virtual, "", &[10.0]);
+        reg.observe("h_ms", &[("tier", value)], 3.0);
+        let text = reg.snapshot().to_prometheus();
+        let sample_lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(sample_lines.len(), 4, "{text:?}");
+        for line in sample_lines {
+            let start = line.find("tier=\"").expect("tier label") + "tier=\"".len();
+            let rest = &line[start..];
+            // The value ends at the first unescaped quote.
+            let mut end = None;
+            let bytes = rest.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        end = Some(i);
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            let escaped = &rest[..end.expect("closing quote")];
+            assert_eq!(unescape(escaped), value, "in line {line:?}");
+        }
+    }
+
     #[test]
     fn label_values_are_escaped() {
         let mut reg = MetricsRegistry::new();

@@ -6,15 +6,21 @@
 //! mak-cli crawl <app> [options]      run one crawl and print a report
 //! mak-cli compare <app> [options]    run every crawler on one app
 //! mak-cli profile <app> <crawler>    run one instrumented crawl and print where
-//!                                    the virtual budget went
+//!                                    the virtual budget went; --perfetto FILE
+//!                                    also records the hierarchical span tree
+//!                                    and writes it as Chrome/Perfetto
+//!                                    trace_events JSON (load at
+//!                                    ui.perfetto.dev or chrome://tracing)
 //! mak-cli scan <app> [options]       crawl then probe for reflected inputs
 //! mak-cli serve <app> [options]      multiplex many concurrent sessions through
 //!                                    the in-process crawl service and summarize
 //! mak-cli fuzz [options]             fuzz generated apps under the invariant oracles
 //! mak-cli fuzz --replay <file>       re-run a saved failure artifact
-//! mak-cli cache stats                summarize the on-disk run cache (under
+//! mak-cli cache stats [--json]       summarize the on-disk run cache (under
 //!                                    MAK_LOG=debug, also size the hot-path
-//!                                    interner tables on a fixed probe crawl)
+//!                                    interner tables on a fixed probe crawl);
+//!                                    --json prints a machine-readable document
+//!                                    instead of the table
 //! mak-cli cache clear                delete every cached run
 //! mak-cli trace summarize <file>     fold a recorded JSONL trace into a flight
 //!                                    report (markdown + SVGs under results/)
@@ -40,6 +46,9 @@
 //!                       Prometheus text to <file> and as a JSON snapshot to
 //!                       <file>.json (virtual-domain families are deterministic;
 //!                       wall-clock families are marked `domain: wall`)
+//!   --perfetto <file>   record phase spans during `profile` and write them as
+//!                       Chrome/Perfetto trace_events JSON (virtual-clock
+//!                       timestamps, so the file is byte-deterministic)
 //!
 //! `crawl` and `compare` consult the run cache under `results/cache/`
 //! (`MAK_CACHE=off|rw|ro` to control, `MAK_CACHE_DIR` to relocate).
@@ -77,6 +86,9 @@ struct Options {
     /// `serve --metrics`: write the service's metrics here after the
     /// drain (Prometheus text at the path, JSON snapshot at `.json`).
     metrics: Option<String>,
+    /// `profile --perfetto`: record the span tree and write it here as
+    /// Chrome/Perfetto `trace_events` JSON.
+    perfetto: Option<String>,
 }
 
 impl Default for Options {
@@ -92,6 +104,7 @@ impl Default for Options {
             faults: None,
             chaos: false,
             metrics: None,
+            perfetto: None,
         }
     }
 }
@@ -151,6 +164,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--metrics" => {
                 opts.metrics = Some(it.next().ok_or("--metrics needs a file path")?.clone());
             }
+            "--perfetto" => {
+                opts.perfetto = Some(it.next().ok_or("--perfetto needs a file path")?.clone());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -169,10 +185,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mak-cli <apps|crawlers|crawl <app>|compare <app>|profile <app> <crawler>|\
-         scan <app>|serve <app>|fuzz|cache <stats|clear>|trace <summarize FILE|diff A B|check FILE>> \
+         scan <app>|serve <app>|fuzz|cache <stats [--json]|clear>|\
+         trace <summarize FILE|diff A B|check FILE>> \
          [--crawler NAME] [--minutes F] [--seed N] \
          [--seeds N] [--apps N] [--replay FILE] [--trace FILE] \
-         [--faults PROFILE] [--chaos] [--metrics FILE]"
+         [--faults PROFILE] [--chaos] [--metrics FILE] [--perfetto FILE]"
     );
     ExitCode::FAILURE
 }
@@ -304,9 +321,51 @@ fn cmd_trace_check(path: &str) -> ExitCode {
     }
 }
 
-fn cmd_cache_stats() -> ExitCode {
+/// The `cache stats --json` document: the same numbers as the table, in
+/// a stable machine-readable shape for scripting.
+#[derive(serde::Serialize)]
+struct CacheStatsJson {
+    dir: String,
+    mode: String,
+    fingerprint: String,
+    entries: u64,
+    bytes: u64,
+    per_pair: Vec<CachePairJson>,
+}
+
+/// One `(app, crawler)` row of [`CacheStatsJson`].
+#[derive(serde::Serialize)]
+struct CachePairJson {
+    app: String,
+    crawler: String,
+    entries: u64,
+    bytes: u64,
+}
+
+fn cmd_cache_stats(json: bool) -> ExitCode {
     let store = RunStore::from_env();
     let stats = store.stats();
+    if json {
+        let doc = CacheStatsJson {
+            dir: store.root().display().to_string(),
+            mode: format!("{:?}", store.mode()),
+            fingerprint: format!("{:016x}", store.fingerprint()),
+            entries: stats.entries as u64,
+            bytes: stats.bytes,
+            per_pair: stats
+                .per_pair
+                .iter()
+                .map(|((app, crawler), pair)| CachePairJson {
+                    app: app.clone(),
+                    crawler: crawler.clone(),
+                    entries: pair.entries as u64,
+                    bytes: pair.bytes,
+                })
+                .collect(),
+        };
+        println!("{}", serde_json::to_string_pretty(&doc).expect("cache stats serialize"));
+        return ExitCode::SUCCESS;
+    }
     println!("cache dir   : {}", store.root().display());
     println!("mode        : {:?}", store.mode());
     println!("fingerprint : {:016x}", store.fingerprint());
@@ -535,10 +594,45 @@ fn cmd_profile(app: &str, crawler_name: &str, opts: &Options) -> ExitCode {
     };
     let config = EngineConfig::with_budget_minutes(opts.minutes.unwrap_or(30.0));
     let started = std::time::Instant::now();
-    let (handle, cell) = SinkHandle::shared(Aggregator::new());
-    run_crawl_with_sink(&mut *crawler, app_model, &config, opts.seed, &handle);
+    let agg = match &opts.perfetto {
+        // A Perfetto export needs the raw span events, so buffer the
+        // stream and fold the aggregate afterwards; the span machinery is
+        // only switched on here, keeping the plain profile zero-overhead.
+        Some(path) => {
+            use mak_obs::sink::EventSink;
+            let (handle, cell) = SinkHandle::shared(mak_obs::sink::VecSink::new());
+            let handle = handle.with_spans();
+            run_crawl_with_sink(&mut *crawler, app_model, &config, opts.seed, &handle);
+            drop(crawler);
+            drop(handle);
+            let cell = cell.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut trace = mak_obs::perfetto::PerfettoTrace::new(format!(
+                "{app} / {crawler_name} / seed {}",
+                opts.seed
+            ));
+            let mut agg = Aggregator::new();
+            for event in cell.events() {
+                trace.push(event);
+                agg.on_event(event);
+            }
+            if let Err(e) = std::fs::write(path, trace.to_json()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("[wrote {path}: {} spans]", trace.len());
+            agg
+        }
+        None => {
+            let (handle, cell) = SinkHandle::shared(Aggregator::new());
+            run_crawl_with_sink(&mut *crawler, app_model, &config, opts.seed, &handle);
+            drop(crawler);
+            drop(handle);
+            let mutex = std::sync::Arc::try_unwrap(cell)
+                .unwrap_or_else(|_| panic!("all sink clones dropped"));
+            mutex.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    };
     let wall = started.elapsed();
-    let agg = cell.lock().unwrap();
 
     println!(
         "{} on {} (seed {}): {} steps, {} pages (+{} redirects), {} lines, {:.0}s virtual",
@@ -555,6 +649,12 @@ fn cmd_profile(app: &str, crawler_name: &str, opts: &Options) -> ExitCode {
     let elapsed = agg.elapsed_ms.max(1.0);
     for (bucket, ms) in agg.profile.rows() {
         println!("  {bucket:<9} {:>9.1}s  {:>5.1}%", ms / 1000.0, 100.0 * ms / elapsed);
+    }
+    if agg.spans > 0 {
+        println!("\nspan phase attribution ({} spans):", agg.spans);
+        for (phase, ms) in agg.span_phase_ms.iter() {
+            println!("  {phase:<20} {:>9.1}s  {:>5.1}%", ms / 1000.0, 100.0 * ms / elapsed);
+        }
     }
     if !agg.steps_per_arm.is_empty() {
         println!("\nper-arm usage:");
@@ -783,11 +883,12 @@ fn main() -> ExitCode {
                 usage()
             }
         },
-        "cache" => match args.get(1).map(String::as_str) {
-            Some("stats") => cmd_cache_stats(),
-            Some("clear") => cmd_cache_clear(),
+        "cache" => match (args.get(1).map(String::as_str), args.get(2).map(String::as_str)) {
+            (Some("stats"), None) => cmd_cache_stats(false),
+            (Some("stats"), Some("--json")) => cmd_cache_stats(true),
+            (Some("clear"), None) => cmd_cache_clear(),
             _ => {
-                eprintln!("`cache` needs a subcommand: stats or clear");
+                eprintln!("`cache` needs a subcommand: stats [--json] or clear");
                 usage()
             }
         },

@@ -198,6 +198,41 @@ fn flight_recorder_covers_every_event_variant() {
 }
 
 #[test]
+fn pre_span_traces_still_summarize() {
+    // Backward compatibility: traces recorded before the span layer
+    // existed carry no `SpanClosed` events. They must keep folding and
+    // rendering cleanly — the span section is simply omitted, never an
+    // error.
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/pre_span_trace.jsonl");
+    let mut rec = FlightRecorder::new();
+    for ev in mak_obs::trace::read(fixture).expect("fixture opens") {
+        rec.on_event(&ev.expect("fixture parses"));
+    }
+    let report = rec.into_report();
+    assert!(report.events > 0, "fixture is a real trace");
+    assert!(report.span_phases.is_empty(), "pre-span traces have no span stats");
+    let rendered = mak_metrics::flight::render(&report);
+    assert!(
+        !rendered.markdown.contains("Where the time goes"),
+        "span section omitted for span-free traces"
+    );
+    assert!(rendered.svgs.iter().all(|(suffix, _)| suffix != "phases"));
+
+    // And the CLI front door agrees: `trace summarize` exits zero.
+    let out_dir = std::env::temp_dir().join(format!("mak_pre_span_{}", std::process::id()));
+    std::fs::create_dir_all(&out_dir).expect("temp out dir");
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_mak-cli"))
+        .args(["trace", "summarize", fixture])
+        .current_dir(&out_dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("mak-cli runs");
+    std::fs::remove_dir_all(&out_dir).ok();
+    assert!(status.success(), "summarizing a pre-span trace must not fail");
+}
+
+#[test]
 fn stream_carries_only_virtual_time() {
     // Every event's times are derived from the virtual clock, so the
     // stream's final timestamp matches the report's virtual elapsed time
