@@ -26,7 +26,7 @@
 //! not a results generator — nothing here feeds the paper tables.
 
 use mak::framework::engine::EngineConfig;
-use mak_bench::slo::ServeReport;
+use mak_bench::slo::{RecoveryBench, ServeReport};
 use mak_bench::write_result;
 use mak_serve::{CrawlService, ServiceConfig, SessionSpec, TenantQuota};
 use std::time::Instant;
@@ -43,6 +43,18 @@ fn main() {
     let sessions = env_u64("MAK_SERVE_SESSIONS", 100_000);
     let budget_minutes = env_f64("MAK_SERVE_BUDGET_MINUTES", 0.5);
     let collect_metrics = std::env::var("MAK_SERVE_METRICS").map(|v| v != "off").unwrap_or(true);
+    // `MAK_SERVE_CRASH_AT=N` switches the binary into recovery mode:
+    // run N scheduler steps with cadence checkpointing on
+    // (`MAK_SERVE_CKPT_EVERY` steps apart, default 8), drop the service
+    // without draining — a simulated hard crash — then recover a fresh
+    // service from disk and finish. Adds a `recovery` section to the
+    // report; throughput numbers then cover only the post-crash drain.
+    let crash_at = env_u64("MAK_SERVE_CRASH_AT", 0);
+    let checkpoint_every_steps = env_u64("MAK_SERVE_CKPT_EVERY", 8);
+    let ckpt_dir = std::env::temp_dir().join(format!("mak-serve-crash-{}", std::process::id()));
+    if crash_at > 0 {
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
     let config = ServiceConfig {
         sample_latency: true,
         collect_metrics,
@@ -51,6 +63,8 @@ fn main() {
         // One tenant holds every session, so the default quota must
         // clear the target concurrency.
         default_quota: TenantQuota::concurrent(usize::MAX),
+        checkpoint_dir: (crash_at > 0).then(|| ckpt_dir.clone()),
+        checkpoint_every_steps,
         ..ServiceConfig::default()
     };
     let threads = config.threads as u64;
@@ -64,7 +78,7 @@ fn main() {
     let apps = ["addressbook", "vanilla", "phpbb2"];
     let crawlers = ["mak", "bfs", "random"];
     let engine = EngineConfig::with_budget_minutes(budget_minutes);
-    let mut service = CrawlService::new(config);
+    let mut service = CrawlService::new(config.clone());
 
     let submit_started = Instant::now();
     for seed in 0..sessions {
@@ -85,10 +99,52 @@ fn main() {
     );
 
     let drain_started = Instant::now();
-    let done = service.run_to_drain();
+    let (done, recovery) = if crash_at > 0 {
+        // Phase 1: run to the crash point, then drop the service with
+        // no graceful drain — in-memory state is gone, exactly like a
+        // kill. Only sessions whose cadence wrote a checkpoint survive.
+        let before = service.run_for_steps(crash_at);
+        let completed_before_crash = before.len() as u64;
+        drop(service);
+        mak_obs::progress!(
+            "serve: simulated crash at {crash_at} steps ({completed_before_crash} already done); recovering"
+        );
+
+        // Phase 2: a fresh service recovers whatever reached disk.
+        let recover_started = Instant::now();
+        service = CrawlService::new(config.clone());
+        let rec = service.recover().expect("recover from checkpoint dir");
+        let recover_wall_secs = recover_started.elapsed().as_secs_f64();
+
+        // Phase 3: drain the survivors to completion.
+        let resume_started = Instant::now();
+        let mut done = service.run_to_drain();
+        let resume_drain_wall_secs = resume_started.elapsed().as_secs_f64();
+        mak_obs::progress!(
+            "serve: recovered {} sessions in {recover_wall_secs:.3}s, drained in {resume_drain_wall_secs:.1}s ({} lost, {} quarantined)",
+            rec.restored,
+            sessions - completed_before_crash - rec.restored,
+            rec.corrupt_quarantined,
+        );
+        let recovery = RecoveryBench {
+            crash_at_steps: crash_at,
+            checkpoint_every_steps,
+            completed_before_crash,
+            restored: rec.restored,
+            lost: sessions - completed_before_crash - rec.restored,
+            corrupt_quarantined: rec.corrupt_quarantined,
+            recover_wall_secs,
+            resume_drain_wall_secs,
+        };
+        done.extend(before);
+        (done, Some(recovery))
+    } else {
+        (service.run_to_drain(), None)
+    };
     let drain_wall_secs = drain_started.elapsed().as_secs_f64();
 
-    assert_eq!(done.len() as u64 + service.aborted(), sessions);
+    let lost = recovery.as_ref().map_or(0, |r| r.lost);
+    assert_eq!(done.len() as u64 + service.aborted() + lost, sessions);
     let latencies = service.last_latencies();
     let total_steps = latencies.total_steps();
     let report = ServeReport {
@@ -114,6 +170,7 @@ fn main() {
             .gauge_value("mak_serve_queue_depth_peak", &[])
             .unwrap_or(0.0) as u64,
         series: service.last_checkpoints().to_vec(),
+        recovery,
     };
     mak_obs::progress!(
         "serve: {} sessions in {:.1}s ({:.0} sessions/hour, {:.0} steps/s, p50 {}ns p99 {}ns, {} aborted)",
@@ -135,5 +192,8 @@ fn main() {
         write_result("serve_metrics_virtual.json", &service.metrics().virtual_snapshot().to_json());
     } else {
         mak_obs::progress!("serve: metrics collection off (MAK_SERVE_METRICS=off)");
+    }
+    if crash_at > 0 {
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
     }
 }

@@ -59,6 +59,38 @@ pub struct ServeReport {
     /// Drain progress time-series: one point per
     /// `checkpoint_every` completions (wall-clock domain).
     pub series: Vec<Checkpoint>,
+    /// Crash-recovery cycle measurements — present only when the serve
+    /// binary ran with `MAK_SERVE_CRASH_AT` (absent fields deserialize
+    /// to `None`, so reports from before this field remain readable).
+    pub recovery: Option<RecoveryBench>,
+}
+
+/// One measured crash-recovery cycle: the serve binary ran the workload
+/// to `MAK_SERVE_CRASH_AT` scheduler steps with cadence checkpointing
+/// on, dropped the service without draining (a simulated hard crash),
+/// then recovered a fresh service from the on-disk checkpoints and ran
+/// the survivors to completion. Wall-clock numbers are machine-dependent
+/// and never SLO-gated; session outcomes stay bit-deterministic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryBench {
+    /// Scheduler steps executed before the simulated crash.
+    pub crash_at_steps: u64,
+    /// Cadence: steps a session runs between checkpoint writes.
+    pub checkpoint_every_steps: u64,
+    /// Sessions that finished before the crash point.
+    pub completed_before_crash: u64,
+    /// Sessions re-admitted from on-disk checkpoints.
+    pub restored: u64,
+    /// Sessions lost to the crash (in flight, never checkpointed —
+    /// the loss window the cadence bounds).
+    pub lost: u64,
+    /// Checkpoint files quarantined as unreadable during recovery.
+    pub corrupt_quarantined: u64,
+    /// Wall-clock seconds to scan, decode, and re-admit every
+    /// checkpoint — the recovery latency.
+    pub recover_wall_secs: f64,
+    /// Wall-clock seconds to drain the recovered sessions to completion.
+    pub resume_drain_wall_secs: f64,
 }
 
 /// Fraction of the blessed sessions/hour kept as the floor: the gate
@@ -165,6 +197,7 @@ mod tests {
             steals: 12,
             queue_peak: 1_000,
             series: vec![Checkpoint { wall_secs: 5.0, sessions_done: 500, steps_done: 500_000 }],
+            recovery: None,
         }
     }
 

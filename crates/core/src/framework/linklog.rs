@@ -63,6 +63,39 @@ impl LinkLog {
     }
 }
 
+/// Checkpointing: the log serializes as its URLs in insertion order, which
+/// [`Interner::from_ordered`] maps back to identical symbol ids.
+impl serde::Serialize for LinkLog {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(
+            self.seen.ordered_strings().map(|s| serde::Value::Str(s.to_owned())).collect(),
+        )
+    }
+}
+
+impl serde::Deserialize for LinkLog {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let items = match v {
+            serde::Value::Array(items) => items,
+            other => {
+                return Err(serde::Error::custom(format!("expected LinkLog array, got {other:?}")))
+            }
+        };
+        let mut urls = Vec::with_capacity(items.len());
+        for item in items {
+            match item {
+                serde::Value::Str(s) => urls.push(s.as_str()),
+                other => {
+                    return Err(serde::Error::custom(format!(
+                        "expected URL string in LinkLog, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(LinkLog { seen: Interner::from_ordered(urls) })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

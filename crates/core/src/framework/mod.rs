@@ -17,6 +17,7 @@
 //!   a session to completion, while the `mak-serve` scheduler interleaves
 //!   thousands of them across worker threads.
 
+pub mod checkpoint;
 pub mod crawler;
 pub mod engine;
 pub mod linklog;

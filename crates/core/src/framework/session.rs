@@ -20,15 +20,17 @@
 //! pure function of `(app, crawler, seed, config)`, which is the
 //! serving layer's per-session determinism contract (see `mak-serve`).
 
+use crate::framework::checkpoint::{SessionCheckpoint, CHECKPOINT_VERSION};
 use crate::framework::crawler::{CrawlEnd, Crawler, StepReport};
 use crate::framework::engine::{CoverageSample, CrawlReport, EngineConfig, TraceEntry};
-use mak_browser::client::Browser;
+use mak_browser::client::{Browser, BrowserState};
 use mak_browser::clock::VirtualClock;
 use mak_obs::event::Event;
 use mak_obs::sink::SinkHandle;
 use mak_obs::span::Phase;
 use mak_websim::coverage::CoverageMode;
 use mak_websim::server::{AppHost, WebApp};
+use serde::{Deserialize as _, Serialize as _};
 use std::sync::Arc;
 
 /// What [`Session::step`] reports back to the driving loop.
@@ -109,6 +111,9 @@ pub struct Session<'c> {
     trace: Vec<TraceEntry>,
     step_index: u64,
     done: bool,
+    /// The full engine configuration, kept so checkpoints are
+    /// self-contained ([`Session::snapshot`] embeds it).
+    config: EngineConfig,
 }
 
 impl std::fmt::Debug for Session<'_> {
@@ -250,7 +255,152 @@ impl<'c> Session<'c> {
             trace: Vec::new(),
             step_index: 0,
             done: false,
+            config: config.clone(),
         }
+    }
+
+    /// Captures the complete state of this session as a self-contained
+    /// [`SessionCheckpoint`]. Call only *between* steps (never from inside
+    /// a step); a session restored from the checkpoint continues
+    /// bit-identically — same report, same trace, and an event stream
+    /// equal to the uninterrupted run's suffix after a `SessionResumed`
+    /// marker.
+    ///
+    /// # Errors
+    ///
+    /// When the crawler does not implement
+    /// [`Crawler::snapshot_state`](crate::framework::crawler::Crawler::snapshot_state).
+    pub fn snapshot(&self) -> Result<SessionCheckpoint, serde::Error> {
+        let crawler = self.crawler.get_ref();
+        let crawler_state = crawler.snapshot_state().ok_or_else(|| {
+            serde::Error::custom(format!(
+                "crawler `{}` does not support checkpointing",
+                crawler.name()
+            ))
+        })?;
+        Ok(SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
+            app: self.app_name.clone(),
+            crawler: crawler.name().to_owned(),
+            seed: self.seed,
+            config: self.config.clone(),
+            step_index: self.step_index,
+            done: self.done,
+            next_sample: self.next_sample,
+            series: self.series.clone(),
+            trace: self.trace.clone(),
+            browser: self.browser.snapshot().to_value(),
+            crawler_state,
+            spans: self.sink.span_snapshot(),
+        })
+    }
+
+    /// Rebuilds a session from a checkpoint over a *shared* application
+    /// model. `crawler` must be freshly built under the checkpoint's name
+    /// and seed (e.g. via [`build_crawler`](crate::spec::build_crawler));
+    /// its mutable state is overwritten from the checkpoint. The restored
+    /// session emits a `SessionResumed` event (not `RunStarted`) and then
+    /// continues bit-identically to the interrupted run.
+    ///
+    /// # Errors
+    ///
+    /// When the checkpoint's app/crawler names do not match, or any
+    /// payload fails validation. Corrupt checkpoints produce errors, never
+    /// panics.
+    pub fn restore(
+        app: Arc<dyn WebApp>,
+        crawler: Box<dyn Crawler>,
+        checkpoint: &SessionCheckpoint,
+        sink: SinkHandle,
+    ) -> Result<Session<'static>, serde::Error> {
+        let state = BrowserState::from_value(&checkpoint.browser)?;
+        let host = AppHost::restore_shared(app, &state.host)?;
+        Session::resume(host, CrawlerSlot::Owned(crawler), checkpoint, state, sink)
+    }
+
+    /// Owned-model variant of [`Session::restore`], for applications that
+    /// are not worth sharing (tests, generated testkit apps).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::restore`].
+    pub fn restore_owned(
+        app: Box<dyn WebApp>,
+        crawler: Box<dyn Crawler>,
+        checkpoint: &SessionCheckpoint,
+        sink: SinkHandle,
+    ) -> Result<Session<'static>, serde::Error> {
+        let state = BrowserState::from_value(&checkpoint.browser)?;
+        let host = AppHost::restore_owned(app, &state.host)?;
+        Session::resume(host, CrawlerSlot::Owned(crawler), checkpoint, state, sink)
+    }
+
+    fn resume(
+        mut host: AppHost,
+        mut crawler: CrawlerSlot<'static>,
+        checkpoint: &SessionCheckpoint,
+        state: BrowserState,
+        sink: SinkHandle,
+    ) -> Result<Session<'static>, serde::Error> {
+        if host.app().name() != checkpoint.app {
+            return Err(serde::Error::custom(format!(
+                "checkpoint is for app `{}`, given `{}`",
+                checkpoint.app,
+                host.app().name()
+            )));
+        }
+        if crawler.get_ref().name() != checkpoint.crawler {
+            return Err(serde::Error::custom(format!(
+                "checkpoint is for crawler `{}`, given `{}`",
+                checkpoint.crawler,
+                crawler.get_ref().name()
+            )));
+        }
+        // Seed the span allocator before any clone is distributed, so the
+        // browser, host, and crawler all link into the continued id space.
+        let sink = match checkpoint.spans {
+            Some((next_id, now_ms)) => sink.with_spans_restored(next_id, now_ms),
+            None => sink,
+        };
+        let live = host.app().coverage_mode() == CoverageMode::Live;
+        let total_declared_lines = host.app().code_model().total_lines();
+        host.set_sink(sink.clone());
+        let mut browser = Browser::restore(
+            host,
+            checkpoint.seed,
+            checkpoint.config.cost.clone(),
+            checkpoint.config.faults.clone(),
+            &state,
+        );
+        browser.set_sink(sink.clone());
+        crawler.get().restore_state(&checkpoint.crawler_state)?;
+        crawler.get().attach_sink(sink.clone());
+
+        sink.emit_with(|| Event::SessionResumed {
+            app: checkpoint.app.clone(),
+            crawler: checkpoint.crawler.clone(),
+            seed: checkpoint.seed,
+            step: checkpoint.step_index,
+            t_ms: browser.clock().elapsed_ms(),
+        });
+
+        Ok(Session {
+            crawler,
+            browser,
+            sink,
+            app_name: checkpoint.app.clone(),
+            seed: checkpoint.seed,
+            live,
+            record_trace: checkpoint.config.record_trace,
+            sample_interval_secs: checkpoint.config.sample_interval_secs,
+            total_declared_lines,
+            series: checkpoint.series.clone(),
+            next_sample: checkpoint.next_sample,
+            trace: checkpoint.trace.clone(),
+            step_index: checkpoint.step_index,
+            done: checkpoint.done,
+            config: checkpoint.config.clone(),
+        })
     }
 
     /// Performs one engine iteration: charge the crawler's policy
@@ -495,6 +645,120 @@ mod tests {
             assert_eq!(session.step(), SessionStatus::Finished);
         }
         assert_eq!(session.steps_taken(), steps);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically_for_every_crawler() {
+        // The durability contract at its core: snapshot mid-run, rebuild
+        // from the serialized checkpoint, and the restored session's final
+        // report is byte-identical to never having stopped. Exercised for
+        // all six registry crawlers plus the ensemble extension, with
+        // traces recorded so per-step actions and rewards are compared too.
+        let mut cfg = EngineConfig::with_budget_minutes(1.0);
+        cfg.record_trace = true;
+        for crawler in ["mak", "webexplor", "qexplore", "bfs", "dfs", "random", "mak-ensemble2"] {
+            let seed = 11;
+            let app = apps::build_shared("phpbb2").unwrap();
+            let uninterrupted = Session::with_shared_app(
+                app.clone(),
+                build_crawler(crawler, seed).unwrap(),
+                &cfg,
+                seed,
+            )
+            .finish();
+
+            let mut session = Session::with_shared_app(
+                app.clone(),
+                build_crawler(crawler, seed).unwrap(),
+                &cfg,
+                seed,
+            );
+            for _ in 0..7 {
+                assert!(session.step().is_running(), "{crawler} ended too early");
+            }
+            let checkpoint = session.snapshot().unwrap();
+            drop(session);
+
+            // Round-trip through JSON: what the serving layer writes to
+            // disk is what a restore actually sees.
+            let json = serde_json::to_string(&checkpoint.to_value()).unwrap();
+            let back = SessionCheckpoint::from_value(&serde_json::from_str(&json).unwrap())
+                .unwrap_or_else(|e| panic!("{crawler}: {e}"));
+            assert_eq!(back, checkpoint, "{crawler} checkpoint JSON round-trip");
+
+            let restored = Session::restore(
+                app,
+                build_crawler(crawler, seed).unwrap(),
+                &back,
+                SinkHandle::none(),
+            )
+            .unwrap_or_else(|e| panic!("{crawler}: {e}"));
+            assert_eq!(restored.steps_taken(), 7);
+            assert_eq!(restored.finish(), uninterrupted, "{crawler} diverged after restore");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical_under_heavy_faults() {
+        let mut cfg = EngineConfig::with_budget_minutes(1.0);
+        cfg.record_trace = true;
+        cfg.faults = mak_browser::fault::FaultPlan::profile("heavy").unwrap();
+        for crawler in ["mak", "qexplore"] {
+            let seed = 23;
+            let app = apps::build_shared("oscommerce2").unwrap();
+            let uninterrupted = Session::with_shared_app(
+                app.clone(),
+                build_crawler(crawler, seed).unwrap(),
+                &cfg,
+                seed,
+            )
+            .finish();
+            let mut session = Session::with_shared_app(
+                app.clone(),
+                build_crawler(crawler, seed).unwrap(),
+                &cfg,
+                seed,
+            );
+            for _ in 0..9 {
+                assert!(session.step().is_running());
+            }
+            let checkpoint = session.snapshot().unwrap();
+            let restored = Session::restore(
+                app,
+                build_crawler(crawler, seed).unwrap(),
+                &checkpoint,
+                SinkHandle::none(),
+            )
+            .unwrap();
+            assert_eq!(restored.finish(), uninterrupted, "{crawler} under heavy faults");
+        }
+    }
+
+    #[test]
+    fn restore_refuses_mismatched_identity() {
+        let cfg = short();
+        let mut session = Session::new(
+            apps::build("addressbook").unwrap(),
+            build_crawler("mak", 3).unwrap(),
+            &cfg,
+            3,
+        );
+        session.step();
+        let checkpoint = session.snapshot().unwrap();
+        let wrong_app = Session::restore(
+            apps::build_shared("vanilla").unwrap(),
+            build_crawler("mak", 3).unwrap(),
+            &checkpoint,
+            SinkHandle::none(),
+        );
+        assert!(wrong_app.is_err(), "app name mismatch must be rejected");
+        let wrong_crawler = Session::restore(
+            apps::build_shared("addressbook").unwrap(),
+            build_crawler("bfs", 3).unwrap(),
+            &checkpoint,
+            SinkHandle::none(),
+        );
+        assert!(wrong_crawler.is_err(), "crawler name mismatch must be rejected");
     }
 
     #[test]

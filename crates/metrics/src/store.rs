@@ -253,6 +253,7 @@ pub struct RunStore {
     fingerprint: u64,
     hits: AtomicU64,
     misses: AtomicU64,
+    corrupt: AtomicU64,
     sink: SharedSink,
     telemetry: TelemetryHandle,
 }
@@ -267,6 +268,7 @@ impl RunStore {
             fingerprint: workspace_fingerprint(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
             sink: SharedSink::none(),
             telemetry: TelemetryHandle::none(),
         }
@@ -371,6 +373,13 @@ impl RunStore {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries this store instance found on disk but could not use —
+    /// truncated writes, bit flips, schema drift, or an identity mismatch.
+    /// Every one is also a [`session_misses`](Self::session_misses) miss.
+    pub fn session_corrupt(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
     /// The content-address of one run cell.
     pub fn key(&self, app: &str, crawler: &str, seed: u64, config: &EngineConfig) -> u128 {
         let material = KeyMaterial {
@@ -390,8 +399,14 @@ impl RunStore {
     }
 
     /// Loads the cached report for a cell, if present and readable.
-    /// Corrupt or mismatched entries are treated as misses (and will be
-    /// overwritten by the next [`save`](Self::save)).
+    ///
+    /// Corrupt or mismatched entries — truncated JSON, bit flips, an
+    /// entry whose embedded identity disagrees with its file name — are
+    /// treated as misses, never panics: the caller re-executes the run
+    /// and the next [`save`](Self::save) overwrites the bad bytes. The
+    /// first such entry warns once per process on stderr (gated by
+    /// `MAK_LOG`, like all cache chatter); the rest are counted silently
+    /// ([`session_corrupt`](Self::session_corrupt)).
     pub fn load(
         &self,
         app: &str,
@@ -415,8 +430,24 @@ impl RunStore {
         self.emit_cache_io(io_start);
         let entry_bytes = text.as_ref().map_or(0, |t| t.len() as u64);
         let report = text
-            .and_then(|text| serde_json::from_str::<CrawlReport>(&text).ok())
-            .filter(|r| r.app == app && r.crawler == crawler && r.seed == seed);
+            .and_then(|text| match serde_json::from_str::<CrawlReport>(&text) {
+                Ok(report) => Some(report),
+                Err(e) => {
+                    self.note_corrupt(&path, &format!("parse error: {e}"));
+                    None
+                }
+            })
+            .and_then(|r| {
+                if r.app == app && r.crawler == crawler && r.seed == seed {
+                    Some(r)
+                } else {
+                    self.note_corrupt(
+                        &path,
+                        &format!("identity mismatch: entry is {}/{}/s{}", r.app, r.crawler, r.seed),
+                    );
+                    None
+                }
+            });
         match report {
             Some(r) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -439,6 +470,23 @@ impl RunStore {
                 None
             }
         }
+    }
+
+    /// Counts one unusable on-disk entry and warns about the first in
+    /// the process. One line total, not one per entry: a damaged cache
+    /// directory can hold thousands of bad files, and the remedy (let
+    /// the runs re-execute, or `mak-cli cache clear`) is the same for
+    /// all of them.
+    fn note_corrupt(&self, path: &Path, reason: &str) {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        WARNED.call_once(|| {
+            mak_obs::progress!(
+                "run cache: ignoring corrupt entry {} ({reason}); treating as a miss — \
+                 further corrupt entries are counted silently",
+                path.display()
+            );
+        });
     }
 
     /// Persists a freshly executed report under its cell's key. A no-op
@@ -661,8 +709,62 @@ mod tests {
         let path = store.entry_path("addressbook", "bfs", 9, key);
         std::fs::write(&path, "{ not json").expect("corrupt the entry");
         assert!(store.load("addressbook", "bfs", 9, &cfg).is_none());
+        assert_eq!(store.session_corrupt(), 1);
         store.save(&report, &cfg); // heals the entry
         assert!(store.load("addressbook", "bfs", 9, &cfg).is_some());
+        assert_eq!(store.session_corrupt(), 1, "a healed entry is no longer corrupt");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// The disk is not trusted: a single flipped bit, a write cut short
+    /// mid-entry, or an entry renamed over the wrong cell must each
+    /// degrade to a cache miss — rerun and overwrite — never a panic and
+    /// never a wrong report served as a hit.
+    #[test]
+    fn bit_flipped_and_truncated_entries_degrade_to_misses() {
+        let root = tmp_root("bitrot");
+        let store = RunStore::at(&root, CacheMode::ReadWrite);
+        let cfg = EngineConfig::default();
+
+        // Truncation: keep only the first half of the entry's bytes,
+        // simulating a torn write by a crashed process.
+        store.save(&sample_report(1), &cfg);
+        let path1 =
+            store.entry_path("addressbook", "bfs", 1, store.key("addressbook", "bfs", 1, &cfg));
+        let bytes = std::fs::read(&path1).expect("entry exists");
+        std::fs::write(&path1, &bytes[..bytes.len() / 2]).expect("truncate");
+        assert!(store.load("addressbook", "bfs", 1, &cfg).is_none(), "truncated entry is a miss");
+
+        // Bit flip in the middle of the payload. Flipping a bit inside a
+        // JSON number or string may still parse, so flip one inside a
+        // structural character region: corrupt the `"crawler"` key name.
+        store.save(&sample_report(2), &cfg);
+        let path2 =
+            store.entry_path("addressbook", "bfs", 2, store.key("addressbook", "bfs", 2, &cfg));
+        let mut bytes = std::fs::read(&path2).expect("entry exists");
+        let at = std::str::from_utf8(&bytes).unwrap().find("\"crawler\"").expect("key present");
+        bytes[at] ^= 0x01; // '"' -> '#': unquoted key, invalid JSON
+        std::fs::write(&path2, &bytes).expect("flip");
+        assert!(store.load("addressbook", "bfs", 2, &cfg).is_none(), "bit-flipped entry is a miss");
+
+        // Identity mismatch: a well-formed entry for the wrong cell
+        // copied over this cell's file (e.g. a bad manual restore).
+        store.save(&sample_report(3), &cfg);
+        let path3 =
+            store.entry_path("addressbook", "bfs", 3, store.key("addressbook", "bfs", 3, &cfg));
+        let other = serde_json::to_string(&sample_report(99)).unwrap();
+        std::fs::write(&path3, other).expect("swap in foreign entry");
+        assert!(store.load("addressbook", "bfs", 3, &cfg).is_none(), "foreign entry is a miss");
+
+        assert_eq!(store.session_corrupt(), 3);
+        assert_eq!(store.session_hits(), 0);
+        assert_eq!(store.session_misses(), 3);
+
+        // Re-saving heals every cell.
+        for seed in 1..=3 {
+            store.save(&sample_report(seed), &cfg);
+            assert_eq!(store.load("addressbook", "bfs", seed, &cfg), Some(sample_report(seed)));
+        }
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -302,6 +302,14 @@ impl EventSink for Aggregator {
                 self.seed = *seed;
                 self.budget_ms = *budget_ms;
             }
+            Event::SessionResumed { app, crawler, seed, t_ms, .. } => {
+                // Resumed streams carry their identity here; the clock
+                // picks up from the checkpoint.
+                self.app = app.clone();
+                self.crawler = crawler.clone();
+                self.seed = *seed;
+                self.elapsed_ms = *t_ms;
+            }
             Event::StepStarted { policy_ms, .. } => {
                 self.profile.policy_ms += policy_ms;
             }

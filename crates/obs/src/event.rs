@@ -28,6 +28,12 @@ use serde::{Deserialize, Serialize};
 pub enum Event {
     /// A crawl began: identity of the cell plus the virtual budget.
     RunStarted { app: String, crawler: String, seed: u64, budget_ms: f64 },
+    /// A checkpointed crawl resumed mid-run: identity of the cell plus
+    /// where the restored session picks up. Emitted *instead of*
+    /// `RunStarted` by a restored session, so a resumed JSONL stream is
+    /// `SessionResumed` followed by exactly the events the uninterrupted
+    /// run would have produced from `step` onward.
+    SessionResumed { app: String, crawler: String, seed: u64, step: u64, t_ms: f64 },
     /// The engine is about to run step `step`; `policy_ms` is the
     /// virtual policy-overhead charge made before the step.
     StepStarted { step: u64, t_ms: f64, policy_ms: f64 },
@@ -125,8 +131,9 @@ impl Event {
     /// exhaustiveness contract: a variant added without analyzer support
     /// fails to compile (the matches) or fails the workspace
     /// observability tests (this list).
-    pub const ALL_KINDS: [&'static str; 19] = [
+    pub const ALL_KINDS: [&'static str; 20] = [
         "RunStarted",
+        "SessionResumed",
         "StepStarted",
         "ActionChosen",
         "PageFetched",
@@ -156,6 +163,13 @@ impl Event {
                 crawler: "mak".into(),
                 seed: 1,
                 budget_ms: 60_000.0,
+            },
+            Event::SessionResumed {
+                app: "app".into(),
+                crawler: "mak".into(),
+                seed: 1,
+                step: 4,
+                t_ms: 6_000.0,
             },
             Event::StepStarted { step: 0, t_ms: 0.0, policy_ms: 2.0 },
             Event::ActionChosen { arm: "Head".into(), probs: vec![0.4, 0.3, 0.3] },
@@ -225,6 +239,7 @@ impl Event {
     pub fn kind(&self) -> &'static str {
         match self {
             Event::RunStarted { .. } => "RunStarted",
+            Event::SessionResumed { .. } => "SessionResumed",
             Event::StepStarted { .. } => "StepStarted",
             Event::ActionChosen { .. } => "ActionChosen",
             Event::PageFetched { .. } => "PageFetched",

@@ -121,6 +121,9 @@ pub struct FlightReport {
     pub fault_recoveries: u64,
     /// Exp3.1 policy updates completed.
     pub policy_updates: u64,
+    /// `SessionResumed` markers seen — 0 for an uninterrupted run, ≥ 1
+    /// for a stream recorded after checkpoint/restore.
+    pub resumes: u64,
     /// Virtual-budget attribution per cost bucket.
     pub cost: BudgetProfile,
     /// Every bandit arm choice, in order.
@@ -225,6 +228,19 @@ impl EventSink for FlightRecorder {
                 r.crawler = crawler.clone();
                 r.seed = *seed;
                 r.budget_ms = *budget_ms;
+            }
+            Event::SessionResumed { app, crawler, seed, step, t_ms } => {
+                // A resumed stream carries its identity here instead of in
+                // `RunStarted`; splice it in and pick the clock up where
+                // the checkpoint left it. Steps before the resume point are
+                // not in this stream, so seed the step counter too.
+                r.app = app.clone();
+                r.crawler = crawler.clone();
+                r.seed = *seed;
+                r.resumes += 1;
+                r.steps = r.steps.max(*step);
+                self.now_ms = *t_ms;
+                r.elapsed_ms = *t_ms;
             }
             Event::StepStarted { t_ms, policy_ms, .. } => {
                 self.now_ms = *t_ms;

@@ -108,6 +108,30 @@ impl SinkHandle {
         self.spans.is_some()
     }
 
+    /// The span allocator's `(next_id, latched now_ms)`, for
+    /// checkpointing; `None` without span collection. Call only between
+    /// steps, when no span is open.
+    pub fn span_snapshot(&self) -> Option<(u64, f64)> {
+        let state = self.spans.as_ref()?;
+        let guard = match state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Some(guard.snapshot())
+    }
+
+    /// Enables span collection with the allocator seeded from a
+    /// checkpoint, so ids continue exactly where the interrupted run's
+    /// left off and post-resume `SpanClosed` events are byte-identical
+    /// to the uninterrupted run's. A no-op on an inert handle, like
+    /// [`SinkHandle::with_spans`].
+    pub fn with_spans_restored(mut self, next_id: u64, now_ms: f64) -> Self {
+        if self.inner.is_some() {
+            self.spans = Some(Arc::new(Mutex::new(SpanState::restore(next_id, now_ms))));
+        }
+        self
+    }
+
     /// Opens a span of `phase` starting at virtual `start_ms`, nested
     /// under the innermost open span. Returns the token to pass to
     /// [`SinkHandle::span_close`]; inert (span-less) handles return an

@@ -189,6 +189,20 @@ impl SpanState {
         self.now_ms
     }
 
+    /// `(next_id, now_ms)` for checkpointing. Only meaningful between
+    /// steps, when the open-span stack is empty — the id allocator and
+    /// latched clock are all that must survive a restore for post-resume
+    /// `SpanClosed` events to be byte-identical.
+    pub(crate) fn snapshot(&self) -> (u64, f64) {
+        debug_assert!(self.stack.is_empty(), "snapshot with open spans");
+        (self.next_id, self.now_ms)
+    }
+
+    /// Rebuilds the allocator mid-run with an empty stack.
+    pub(crate) fn restore(next_id: u64, now_ms: f64) -> Self {
+        SpanState { next_id, stack: Vec::new(), now_ms }
+    }
+
     /// Latches the virtual time.
     pub(crate) fn set_now(&mut self, t_ms: f64) {
         self.now_ms = t_ms;

@@ -21,6 +21,12 @@ pub enum SubmitError {
         in_flight: usize,
         /// The tenant's concurrent-session cap.
         limit: usize,
+        /// Machine-readable backoff hint: virtual-clock steps of drain
+        /// progress after which a resubmission is worth attempting (one
+        /// scheduling slice — the finest granularity at which an
+        /// in-flight session can complete and free a slot). `None` when
+        /// the ledger is used standalone; the service always fills it.
+        retry_after_steps: Option<u64>,
     },
     /// The tenant has consumed its lifetime session budget; no amount of
     /// draining restores it.
@@ -53,11 +59,17 @@ impl fmt::Display for SubmitError {
         match self {
             SubmitError::UnknownApp(app) => write!(f, "unknown app `{app}`"),
             SubmitError::UnknownCrawler(c) => write!(f, "unknown crawler `{c}`"),
-            SubmitError::QuotaExceeded { tenant, in_flight, limit } => write!(
-                f,
-                "tenant `{tenant}` at concurrent-session quota ({in_flight}/{limit}); \
-                 retry after drain"
-            ),
+            SubmitError::QuotaExceeded { tenant, in_flight, limit, retry_after_steps } => {
+                write!(
+                    f,
+                    "tenant `{tenant}` at concurrent-session quota ({in_flight}/{limit}); \
+                     retry after drain"
+                )?;
+                if let Some(steps) = retry_after_steps {
+                    write!(f, " (~{steps} steps)")?;
+                }
+                Ok(())
+            }
             SubmitError::BudgetExhausted { tenant, submitted, budget } => write!(
                 f,
                 "tenant `{tenant}` exhausted its lifetime session budget ({submitted}/{budget})"
@@ -74,9 +86,15 @@ mod tests {
 
     #[test]
     fn errors_render_actionably() {
-        let e = SubmitError::QuotaExceeded { tenant: "acme".into(), in_flight: 8, limit: 8 };
+        let e = SubmitError::QuotaExceeded {
+            tenant: "acme".into(),
+            in_flight: 8,
+            limit: 8,
+            retry_after_steps: Some(64),
+        };
         assert!(e.to_string().contains("acme"));
         assert!(e.to_string().contains("8/8"));
+        assert!(e.to_string().contains("~64 steps"));
         let e = SubmitError::BudgetExhausted { tenant: "acme".into(), submitted: 100, budget: 100 };
         assert!(e.to_string().contains("lifetime"));
     }

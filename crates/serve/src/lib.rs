@@ -20,7 +20,18 @@
 //!   byte-exact JSONL alongside its [`CrawlReport`];
 //! - **resilience**: an [`EngineConfig::faults`] plan on a submission
 //!   injects the PR 5 chaos layer per session — faulty sessions retry,
-//!   back off, and finish their budget without wedging the scheduler.
+//!   back off, and finish their budget without wedging the scheduler;
+//! - **durability** ([`checkpoint`]): with a
+//!   [`checkpoint_dir`](service::ServiceConfig::checkpoint_dir)
+//!   configured, every session checkpoints to an atomic, CRC-guarded
+//!   on-disk store at admission and on a step cadence;
+//!   [`CrawlService::drain`](service::CrawlService::drain) parks all
+//!   pending work and
+//!   [`CrawlService::recover`](service::CrawlService::recover) re-admits
+//!   it — in the same or a fresh process, after a graceful stop or a
+//!   `kill -9` — finishing bit-identically to an uninterrupted run
+//!   (`tests/recovery.rs`); corrupt files are quarantined, never
+//!   trusted.
 //!
 //! ## Determinism contract
 //!
@@ -53,14 +64,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod error;
 pub mod metrics;
 pub mod scheduler;
 pub mod service;
 pub mod tenant;
 
+pub use checkpoint::{CheckpointStats, CheckpointStore, LoadOutcome, StoredSession};
 pub use error::SubmitError;
 pub use metrics::ServiceMetrics;
 pub use scheduler::{Checkpoint, ScheduleOrder, StepLatencies};
-pub use service::{CompletedSession, CrawlService, ServiceConfig, SessionId, SessionSpec};
+pub use service::{
+    CompletedSession, CrawlService, RecoveryReport, ServiceConfig, SessionId, SessionSpec,
+};
 pub use tenant::{TenantLedger, TenantQuota};

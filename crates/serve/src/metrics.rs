@@ -139,6 +139,35 @@ impl ServiceMetrics {
             "Virtual milliseconds per leaf phase per completed session",
             &PHASE_MS_BUCKETS,
         );
+        // Durability: checkpoint traffic and recovery outcomes. Write
+        // and byte counts are virtual-domain — cadence boundaries are a
+        // pure function of each session's step count and the slice
+        // length, and the payload bytes are content-deterministic.
+        r.register_counter(
+            "mak_serve_checkpoint_writes_total",
+            Domain::Virtual,
+            "Durable session checkpoints written",
+        );
+        r.register_counter(
+            "mak_serve_checkpoint_bytes_total",
+            Domain::Virtual,
+            "Payload bytes across durable checkpoint writes",
+        );
+        r.register_counter(
+            "mak_serve_checkpoint_restores_total",
+            Domain::Virtual,
+            "Sessions restored from durable checkpoints",
+        );
+        r.register_counter(
+            "mak_serve_checkpoint_corrupt_total",
+            Domain::Virtual,
+            "Checkpoint files quarantined as corrupt or unrebuildable",
+        );
+        r.register_gauge(
+            "mak_serve_retry_after_steps",
+            Domain::Virtual,
+            "Backoff hint handed out with the latest quota rejection, per tenant",
+        );
         // Wall domain: scheduler mechanics.
         r.register_counter(
             "mak_serve_drains_total",
@@ -173,6 +202,11 @@ impl ServiceMetrics {
              batching, and steals before a session runs (needs sample_latency)",
             &STEP_LATENCY_BUCKETS,
         );
+        r.register_counter(
+            "mak_serve_checkpoint_write_failures_total",
+            Domain::Wall,
+            "Checkpoint writes that failed at the filesystem layer (environmental)",
+        );
         ServiceMetrics { registry: r, enabled }
     }
 
@@ -200,6 +234,43 @@ impl ServiceMetrics {
             &[("tenant", tenant), ("reason", error.reason())],
             1,
         );
+        // Surface the machine-readable backoff hint in the exposition so
+        // scrapers see the same advice the rejected caller got.
+        if let SubmitError::QuotaExceeded { retry_after_steps: Some(steps), .. } = error {
+            self.registry.set_gauge(
+                "mak_serve_retry_after_steps",
+                &[("tenant", tenant)],
+                *steps as f64,
+            );
+        }
+    }
+
+    /// Folds one batch of checkpoint-store counter deltas. Zero deltas
+    /// are skipped so a service with durability off (or idle) exposes no
+    /// checkpoint series at all — existing snapshots stay byte-stable.
+    pub(crate) fn record_checkpoints(&mut self, delta: crate::checkpoint::CheckpointStats) {
+        if !self.enabled {
+            return;
+        }
+        if delta.writes > 0 {
+            self.registry.inc("mak_serve_checkpoint_writes_total", &[], delta.writes);
+        }
+        if delta.bytes > 0 {
+            self.registry.inc("mak_serve_checkpoint_bytes_total", &[], delta.bytes);
+        }
+        if delta.restores > 0 {
+            self.registry.inc("mak_serve_checkpoint_restores_total", &[], delta.restores);
+        }
+        if delta.corrupt_quarantined > 0 {
+            self.registry.inc("mak_serve_checkpoint_corrupt_total", &[], delta.corrupt_quarantined);
+        }
+        if delta.write_failures > 0 {
+            self.registry.inc(
+                "mak_serve_checkpoint_write_failures_total",
+                &[],
+                delta.write_failures,
+            );
+        }
     }
 
     /// One completed session's outcome. MUST be called in session-id
@@ -328,7 +399,12 @@ mod tests {
         m.record_rejection("t", &SubmitError::UnknownCrawler("y".into()));
         m.record_rejection(
             "t",
-            &SubmitError::QuotaExceeded { tenant: "t".into(), in_flight: 1, limit: 1 },
+            &SubmitError::QuotaExceeded {
+                tenant: "t".into(),
+                in_flight: 1,
+                limit: 1,
+                retry_after_steps: Some(64),
+            },
         );
         let r = m.registry();
         for reason in ["unknown_app", "unknown_crawler", "quota_exceeded"] {

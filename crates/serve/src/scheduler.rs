@@ -24,6 +24,7 @@
 //!
 //! [`steps_per_slice`]: crate::ServiceConfig::steps_per_slice
 
+use crate::checkpoint::{CheckpointStore, StoredSession};
 use mak::framework::engine::CrawlReport;
 use mak::framework::session::Session;
 use mak_obs::sink::VecSink;
@@ -55,12 +56,45 @@ pub enum ScheduleOrder {
 pub(crate) struct SessionTask {
     pub id: u64,
     pub tenant: String,
+    /// The submission's registry names, carried for checkpoint metadata
+    /// (a parked session must record what to rebuild from).
+    pub app: String,
+    pub crawler: String,
     pub session: Session<'static>,
     /// Buffer behind the session's event sink when the submission asked
     /// for its JSONL stream.
     pub events: Option<Arc<Mutex<VecSink>>>,
+    pub record_events: bool,
+    pub record_spans: bool,
     /// Scheduling quanta this session has consumed so far.
     pub slices: u64,
+    /// `steps_taken` at the last durable checkpoint — drives the
+    /// every-N-steps cadence.
+    pub last_ckpt_steps: u64,
+}
+
+impl SessionTask {
+    /// The task as the checkpoint store persists it.
+    pub(crate) fn to_stored(&self) -> Result<StoredSession, serde::Error> {
+        Ok(StoredSession {
+            id: self.id,
+            tenant: self.tenant.clone(),
+            app: self.app.clone(),
+            crawler: self.crawler.clone(),
+            record_events: self.record_events,
+            record_spans: self.record_spans,
+            checkpoint: self.session.snapshot()?,
+        })
+    }
+}
+
+/// Durable-checkpoint knobs for one drain: where to write and how often.
+#[derive(Clone)]
+pub(crate) struct CheckpointHook {
+    pub store: Arc<CheckpointStore>,
+    /// Write a session's checkpoint once it has run this many steps past
+    /// its previous one (0 = only on drain/eviction, never mid-run).
+    pub every_steps: u64,
 }
 
 /// A drained session: the task's bookkeeping plus its sealed report.
@@ -177,6 +211,12 @@ struct Pool {
     steps_per_slice: usize,
     order: ScheduleOrder,
     sample_latency: bool,
+    /// Durable checkpointing at cadence, when configured.
+    checkpoint: Option<CheckpointHook>,
+    /// Stop dispatching once this many total steps have run — the crash/
+    /// partial-drain mode. Unfinished tasks are handed back to the
+    /// caller.
+    step_limit: Option<u64>,
 }
 
 impl Pool {
@@ -192,6 +232,10 @@ pub(crate) struct DrainConfig {
     pub order: ScheduleOrder,
     pub sample_latency: bool,
     pub checkpoint_every: u64,
+    /// Durable-checkpoint store + cadence (None = durability off).
+    pub durable: Option<CheckpointHook>,
+    /// Total-step budget for this drain call (None = run to completion).
+    pub step_limit: Option<u64>,
 }
 
 /// What `drain` hands back: finished sessions (submission order is NOT
@@ -199,6 +243,10 @@ pub(crate) struct DrainConfig {
 /// wall-clock scheduler telemetry.
 pub(crate) struct DrainOutcome {
     pub finished: Vec<FinishedTask>,
+    /// Tasks still mid-budget when a `step_limit` stopped the drain
+    /// (always empty for unbounded drains). Order is schedule-dependent;
+    /// callers sort by id.
+    pub unfinished: Vec<SessionTask>,
     pub aborted: u64,
     pub latencies: StepLatencies,
     pub wall_secs: f64,
@@ -227,6 +275,8 @@ pub(crate) fn drain(tasks: Vec<SessionTask>, config: DrainConfig) -> DrainOutcom
         steps_per_slice: config.steps_per_slice.max(1),
         order: config.order,
         sample_latency: config.sample_latency,
+        checkpoint: config.durable,
+        step_limit: config.step_limit,
     };
     let mut latencies = StepLatencies::default();
     {
@@ -239,8 +289,15 @@ pub(crate) fn drain(tasks: Vec<SessionTask>, config: DrainConfig) -> DrainOutcom
             }
         });
     }
+    // Tasks stranded by a step limit: everything still queued.
+    let mut unfinished: Vec<SessionTask> =
+        pool.injector.into_inner().unwrap_or_else(|p| p.into_inner()).into();
+    for local in pool.locals {
+        unfinished.extend(local.into_inner().unwrap_or_else(|p| p.into_inner()));
+    }
     DrainOutcome {
         finished: pool.done.into_inner().unwrap_or_else(|p| p.into_inner()),
+        unfinished,
         aborted: pool.aborted.into_inner(),
         latencies,
         wall_secs: pool.started.elapsed().as_secs_f64(),
@@ -262,6 +319,12 @@ fn worker(pool: &Pool, me: usize) -> StepLatencies {
     };
     let mut latencies = StepLatencies::default();
     loop {
+        // Crash/partial-drain mode: stop dispatching once the pool's
+        // step budget is spent. Stranded tasks stay queued for the
+        // caller to collect.
+        if pool.step_limit.is_some_and(|limit| pool.steps_done.load(Ordering::Relaxed) >= limit) {
+            break;
+        }
         let dispatch_started = pool.sample_latency.then(Instant::now);
         let Some(task) = next_task(pool, me, &mut rng) else {
             if pool.remaining.load(Ordering::Acquire) == 0 {
@@ -354,8 +417,22 @@ fn pop_ordered(
 fn run_slice(pool: &Pool, me: usize, mut task: SessionTask, latencies: &mut StepLatencies) {
     let started = pool.sample_latency.then(Instant::now);
     let steps_before = task.session.steps_taken();
+    // Under a step limit, trim the slice so the drain stops close to the
+    // requested point (concurrent workers may still overshoot by at most
+    // one slice each — the limit simulates a crash, not a barrier).
+    let quantum = match pool.step_limit {
+        Some(limit) => {
+            let done = pool.steps_done.load(Ordering::Relaxed);
+            if done >= limit {
+                pool.locals[me].lock().unwrap().push_back(task);
+                return;
+            }
+            (pool.steps_per_slice as u64).min(limit - done) as usize
+        }
+        None => pool.steps_per_slice,
+    };
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        for _ in 0..pool.steps_per_slice {
+        for _ in 0..quantum {
             if !task.session.step().is_running() {
                 break;
             }
@@ -382,8 +459,12 @@ fn run_slice(pool: &Pool, me: usize, mut task: SessionTask, latencies: &mut Step
         }
     }
     if task.session.is_finished() {
+        if let Some(hook) = &pool.checkpoint {
+            // The session is done; its parked state is obsolete.
+            let _ = hook.store.remove(task.id);
+        }
         let steps = task.session.steps_taken();
-        let SessionTask { id, tenant, session, events, slices } = task;
+        let SessionTask { id, tenant, session, events, slices, .. } = task;
         let report = session.finish();
         pool.done.lock().unwrap_or_else(|p| p.into_inner()).push(FinishedTask {
             id,
@@ -404,6 +485,19 @@ fn run_slice(pool: &Pool, me: usize, mut task: SessionTask, latencies: &mut Step
         }
         pool.remaining.fetch_sub(1, Ordering::AcqRel);
     } else {
+        if let Some(hook) = &pool.checkpoint {
+            let ran_total = task.session.steps_taken();
+            if hook.every_steps > 0 && ran_total - task.last_ckpt_steps >= hook.every_steps {
+                // Between steps is the only sound snapshot point, and the
+                // end of a slice is exactly that. Write failures are
+                // counted by the store and never fatal to the session —
+                // durability degrades, the crawl does not.
+                if let Ok(stored) = task.to_stored() {
+                    task.last_ckpt_steps = ran_total;
+                    let _ = hook.store.save(&stored);
+                }
+            }
+        }
         pool.locals[me].lock().unwrap().push_back(task);
     }
 }

@@ -15,9 +15,12 @@
 //! clones the `Arc`. One hundred thousand in-flight PhpBB2 crawls hold
 //! one PhpBB2 model.
 
+use crate::checkpoint::{CheckpointStats, CheckpointStore, LoadOutcome, StoredSession};
 use crate::error::SubmitError;
 use crate::metrics::ServiceMetrics;
-use crate::scheduler::{self, Checkpoint, DrainConfig, ScheduleOrder, SessionTask, StepLatencies};
+use crate::scheduler::{
+    self, Checkpoint, CheckpointHook, DrainConfig, ScheduleOrder, SessionTask, StepLatencies,
+};
 use crate::tenant::{TenantLedger, TenantQuota};
 use mak::framework::engine::{CrawlReport, EngineConfig};
 use mak::framework::session::Session;
@@ -26,6 +29,8 @@ use mak_obs::sink::{SinkHandle, VecSink};
 use mak_websim::apps;
 use mak_websim::server::WebApp;
 use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Service-assigned session identifier, unique for the service lifetime
@@ -59,6 +64,17 @@ pub struct ServiceConfig {
     /// registry. On by default; the load bench turns it off to measure
     /// the cost of collection itself.
     pub collect_metrics: bool,
+    /// Directory for durable session checkpoints (`None` = durability
+    /// off). When set, sessions checkpoint every
+    /// [`checkpoint_every_steps`](Self::checkpoint_every_steps) steps
+    /// and on [`drain`](CrawlService::drain), and
+    /// [`recover`](CrawlService::recover) re-admits parked sessions
+    /// after a restart or crash.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Mid-run checkpoint cadence in virtual-clock steps (0 = only on
+    /// explicit drain/eviction, never mid-run). Rounded up to slice
+    /// boundaries: between steps is the only sound snapshot point.
+    pub checkpoint_every_steps: u64,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +91,8 @@ impl Default for ServiceConfig {
             sample_latency: false,
             checkpoint_every: 0,
             collect_metrics: true,
+            checkpoint_dir: None,
+            checkpoint_every_steps: 256,
         }
     }
 }
@@ -174,13 +192,30 @@ pub struct CrawlService {
     last_latencies: StepLatencies,
     last_checkpoints: Vec<Checkpoint>,
     metrics: ServiceMetrics,
+    /// Durable checkpoint store (present iff `checkpoint_dir` is set).
+    store: Option<Arc<CheckpointStore>>,
+    /// Store counters already folded into `metrics` — the fold is by
+    /// delta so counters stay monotone across drains and recoveries.
+    folded_ckpt: CheckpointStats,
 }
 
 impl CrawlService {
     /// An empty service; no worker threads run until a drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ServiceConfig::checkpoint_dir`] is set but cannot be
+    /// created — silently running without durability would betray the
+    /// operator who asked for it.
     pub fn new(config: ServiceConfig) -> Self {
         let ledger = TenantLedger::new(config.default_quota);
         let metrics = ServiceMetrics::new(config.collect_metrics);
+        let store = config.checkpoint_dir.as_ref().map(|dir| {
+            Arc::new(
+                CheckpointStore::open(dir)
+                    .unwrap_or_else(|e| panic!("checkpoint dir {}: {e}", dir.display())),
+            )
+        });
         CrawlService {
             config,
             ledger,
@@ -191,6 +226,8 @@ impl CrawlService {
             last_latencies: StepLatencies::default(),
             last_checkpoints: Vec::new(),
             metrics,
+            store,
+            folded_ckpt: CheckpointStats::default(),
         }
     }
 
@@ -233,7 +270,21 @@ impl CrawlService {
         };
         let crawler = build_crawler(&spec.crawler, spec.seed)
             .ok_or_else(|| SubmitError::UnknownCrawler(spec.crawler.clone()))?;
-        self.ledger.admit(&spec.tenant)?;
+        let slice = self.config.steps_per_slice as u64;
+        self.ledger.admit(&spec.tenant).map_err(|err| match err {
+            // The ledger leaves the backoff hint blank; the service knows
+            // its slice length — the soonest a neighbor can finish and
+            // free a slot.
+            SubmitError::QuotaExceeded { tenant, in_flight, limit, .. } => {
+                SubmitError::QuotaExceeded {
+                    tenant,
+                    in_flight,
+                    limit,
+                    retry_after_steps: Some(slice),
+                }
+            }
+            other => other,
+        })?;
 
         let (sink, events) = if spec.record_events || spec.record_spans {
             let (handle, cell) = SinkHandle::shared(VecSink::new());
@@ -245,7 +296,28 @@ impl CrawlService {
         let session = Session::shared_with_sink(model, crawler, &spec.config, spec.seed, sink);
         let id = self.next_id;
         self.next_id += 1;
-        self.pending.push(SessionTask { id, tenant: spec.tenant, session, events, slices: 0 });
+        self.pending.push(SessionTask {
+            id,
+            tenant: spec.tenant,
+            app: spec.app,
+            crawler: spec.crawler,
+            session,
+            events,
+            record_events: spec.record_events,
+            record_spans: spec.record_spans,
+            slices: 0,
+            last_ckpt_steps: 0,
+        });
+        // Admission-time checkpoint: a durable service records the
+        // session *before* its first step, so a hard crash loses nothing
+        // — a session killed inside its first cadence window simply
+        // replays from step zero, bit-identically. Best-effort like the
+        // cadence writes: a transient failure is counted, not fatal.
+        if let Some(store) = &self.store {
+            if let Ok(stored) = self.pending.last().expect("just pushed").to_stored() {
+                let _ = store.save(&stored);
+            }
+        }
         Ok(id)
     }
 
@@ -290,7 +362,26 @@ impl CrawlService {
     /// snapshots stay deterministic), and returns the completed sessions
     /// in submission (id) order.
     pub fn run_to_drain(&mut self) -> Vec<CompletedSession> {
+        self.run_scheduler(None)
+    }
+
+    /// Like [`run_to_drain`](Self::run_to_drain), but stops dispatching
+    /// once roughly `max_steps` virtual-clock steps have run across all
+    /// sessions (each worker may overshoot by at most one slice).
+    /// Sessions still mid-budget stay in flight — pending, quota held —
+    /// and a later run continues them. This is the crash-simulation and
+    /// incremental-drain mode; outcomes of sessions that do complete are
+    /// identical to an unbounded drain.
+    pub fn run_for_steps(&mut self, max_steps: u64) -> Vec<CompletedSession> {
+        self.run_scheduler(Some(max_steps))
+    }
+
+    fn run_scheduler(&mut self, step_limit: Option<u64>) -> Vec<CompletedSession> {
         let tasks = std::mem::take(&mut self.pending);
+        let durable = self.store.as_ref().map(|store| CheckpointHook {
+            store: store.clone(),
+            every_steps: self.config.checkpoint_every_steps,
+        });
         let mut outcome = scheduler::drain(
             tasks,
             DrainConfig {
@@ -299,8 +390,14 @@ impl CrawlService {
                 order: self.config.order,
                 sample_latency: self.config.sample_latency,
                 checkpoint_every: self.config.checkpoint_every,
+                durable,
+                step_limit,
             },
         );
+        // Survivors of a bounded run stay in flight, in id order so the
+        // next run's injector sees a deterministic queue.
+        outcome.unfinished.sort_unstable_by_key(|t| t.id);
+        self.pending = std::mem::take(&mut outcome.unfinished);
         self.aborted_total += outcome.aborted;
         self.metrics.record_aborted(outcome.aborted);
         self.metrics.record_drain(
@@ -343,8 +440,187 @@ impl CrawlService {
                 }
             })
             .collect();
+        self.fold_checkpoint_stats();
         done
     }
+
+    /// Folds the checkpoint store's counter deltas into the metrics
+    /// registry. Safe to call repeatedly; each delta folds once.
+    fn fold_checkpoint_stats(&mut self) {
+        let Some(store) = &self.store else { return };
+        let now = store.stats();
+        let prev = std::mem::replace(&mut self.folded_ckpt, now);
+        self.metrics.record_checkpoints(CheckpointStats {
+            writes: now.writes - prev.writes,
+            bytes: now.bytes - prev.bytes,
+            restores: now.restores - prev.restores,
+            corrupt_quarantined: now.corrupt_quarantined - prev.corrupt_quarantined,
+            write_failures: now.write_failures - prev.write_failures,
+        });
+    }
+
+    /// Checkpoints and parks every in-flight session: each one's full
+    /// mid-crawl state goes durably to the checkpoint directory, its
+    /// quota slot is released, and the service's pending queue empties.
+    /// The graceful half of crash recovery — a later
+    /// [`recover`](Self::recover) (same process or the next one) picks
+    /// the sessions back up bit-identically.
+    ///
+    /// Returns the number of sessions parked.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no [`checkpoint_dir`](ServiceConfig::checkpoint_dir) is
+    /// configured, or on serialization/filesystem failures — in which
+    /// case already-parked sessions are on disk and the failing session
+    /// (plus the rest) remain in flight, so nothing is lost either way.
+    pub fn drain(&mut self) -> io::Result<u64> {
+        let Some(store) = self.store.clone() else {
+            return Err(io::Error::other("drain requires ServiceConfig::checkpoint_dir"));
+        };
+        let mut parked = 0usize;
+        let result: io::Result<()> = self.pending.iter().try_for_each(|task| {
+            let stored = task.to_stored().map_err(io::Error::other)?;
+            store.save(&stored)?;
+            parked += 1;
+            Ok(())
+        });
+        // The successfully parked prefix leaves the service either way;
+        // on error the failing session and everything after it stay in
+        // flight, still runnable.
+        for task in self.pending.drain(..parked) {
+            self.ledger.release(&task.tenant);
+        }
+        self.fold_checkpoint_stats();
+        result.map(|()| parked as u64)
+    }
+
+    /// Re-admits every parked session from the checkpoint directory:
+    /// each checkpoint is CRC-verified (corrupt files are quarantined
+    /// and counted, never trusted, never fatal), its tenant re-admitted
+    /// under the *current* quota (rejections leave the checkpoint on
+    /// disk for a later attempt), and the session restored to the exact
+    /// mid-crawl state it parked with — its remaining run is
+    /// bit-identical to never having stopped.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no [`checkpoint_dir`](ServiceConfig::checkpoint_dir) is
+    /// configured, or on directory-listing/file-read failures.
+    pub fn recover(&mut self) -> io::Result<RecoveryReport> {
+        let Some(store) = self.store.clone() else {
+            return Err(io::Error::other("recover requires ServiceConfig::checkpoint_dir"));
+        };
+        let mut report = RecoveryReport::default();
+        // A restored session's file stays on disk until its next cadence
+        // write or completion (small crash window beats a durability
+        // gap), so a repeat recover() must skip what is already live.
+        let live: std::collections::BTreeSet<SessionId> =
+            self.pending.iter().map(|t| t.id).collect();
+        for outcome in store.load_all()? {
+            let stored = match outcome {
+                LoadOutcome::Loaded(stored) if live.contains(&stored.id) => continue,
+                LoadOutcome::Loaded(stored) => *stored,
+                LoadOutcome::Quarantined { file, reason } => {
+                    report.corrupt_quarantined += 1;
+                    report.quarantined.push((file, reason));
+                    continue;
+                }
+            };
+            match self.readmit(stored) {
+                Ok(id) => {
+                    store.note_restored();
+                    report.restored += 1;
+                    self.next_id = self.next_id.max(id + 1);
+                }
+                Err(ReadmitError::Rejected(id, err)) => report.rejected.push((id, err)),
+                Err(ReadmitError::Invalid(id, reason)) => {
+                    // CRC-clean but semantically unusable (e.g. an app
+                    // model that left the registry): quarantine like any
+                    // other corruption.
+                    store.quarantine(id, &reason);
+                    report.corrupt_quarantined += 1;
+                    report.quarantined.push((format!("session {id}"), reason));
+                }
+            }
+        }
+        self.fold_checkpoint_stats();
+        Ok(report)
+    }
+
+    fn readmit(&mut self, stored: StoredSession) -> Result<SessionId, ReadmitError> {
+        let id = stored.id;
+        let model = match self.models.get(&stored.app) {
+            Some(model) => model.clone(),
+            None => match apps::build_shared(&stored.app) {
+                Some(model) => {
+                    self.models.insert(stored.app.clone(), model.clone());
+                    model
+                }
+                None => {
+                    return Err(ReadmitError::Invalid(id, format!("unknown app `{}`", stored.app)))
+                }
+            },
+        };
+        let Some(crawler) = build_crawler(&stored.crawler, stored.checkpoint.seed) else {
+            return Err(ReadmitError::Invalid(id, format!("unknown crawler `{}`", stored.crawler)));
+        };
+        if let Err(err) = self.ledger.admit(&stored.tenant) {
+            return Err(ReadmitError::Rejected(id, err));
+        }
+        let (sink, events) = if stored.record_events || stored.record_spans {
+            // A fresh buffer: the recovered stream opens with
+            // `SessionResumed` and carries exactly the uninterrupted
+            // run's suffix from there.
+            let (handle, cell) = SinkHandle::shared(VecSink::new());
+            (handle, Some(cell))
+        } else {
+            (SinkHandle::none(), None)
+        };
+        let session = match Session::restore(model, crawler, &stored.checkpoint, sink) {
+            Ok(session) => session,
+            Err(err) => {
+                self.ledger.release(&stored.tenant);
+                return Err(ReadmitError::Invalid(id, err.to_string()));
+            }
+        };
+        self.pending.push(SessionTask {
+            id,
+            tenant: stored.tenant,
+            app: stored.app,
+            crawler: stored.crawler,
+            last_ckpt_steps: session.steps_taken(),
+            session,
+            events,
+            record_events: stored.record_events,
+            record_spans: stored.record_spans,
+            slices: 0,
+        });
+        Ok(id)
+    }
+}
+
+enum ReadmitError {
+    /// The tenant's current quota refused the session; the checkpoint
+    /// stays on disk.
+    Rejected(SessionId, SubmitError),
+    /// The checkpoint verified but cannot be rebuilt; quarantined.
+    Invalid(SessionId, String),
+}
+
+/// What [`CrawlService::recover`] found on disk.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Sessions restored and re-admitted.
+    pub restored: u64,
+    /// Files quarantined (CRC/header/payload corruption, or verified
+    /// checkpoints that no longer rebuild).
+    pub corrupt_quarantined: u64,
+    /// `(file or session, reason)` per quarantined entry.
+    pub quarantined: Vec<(String, String)>,
+    /// Sessions whose tenants' current quotas refused re-admission;
+    /// their checkpoints remain on disk.
+    pub rejected: Vec<(SessionId, SubmitError)>,
 }
 
 #[cfg(test)]

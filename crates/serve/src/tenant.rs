@@ -101,6 +101,9 @@ impl TenantLedger {
                 tenant: tenant.to_owned(),
                 in_flight: state.in_flight,
                 limit: quota.max_concurrent,
+                // The ledger knows quotas, not schedules; the service
+                // fills the hint with its slice length.
+                retry_after_steps: None,
             });
         }
         state.in_flight += 1;

@@ -21,6 +21,22 @@ fn quota_rejection_leaves_in_flight_sessions_intact() {
     }
     let err = service.submit(spec("capped", 3)).unwrap_err();
     assert!(matches!(err, SubmitError::QuotaExceeded { in_flight: 3, limit: 3, .. }));
+    // The rejection carries a machine-readable backoff hint: one
+    // scheduling slice, the soonest an in-flight neighbor can finish.
+    let SubmitError::QuotaExceeded { retry_after_steps, .. } = &err else {
+        panic!("expected QuotaExceeded, got {err}");
+    };
+    assert_eq!(
+        *retry_after_steps,
+        Some(ServiceConfig::default().steps_per_slice as u64),
+        "the service fills the hint with its slice length"
+    );
+    // And the same hint lands in the Prometheus exposition.
+    let prom = service.metrics().snapshot().to_prometheus();
+    assert!(
+        prom.contains("mak_serve_retry_after_steps"),
+        "retry hint gauge missing from exposition:\n{prom}"
+    );
     let done = service.run_to_drain();
     assert_eq!(done.len(), 3, "the rejection touched nothing in flight");
     for c in &done {

@@ -192,6 +192,63 @@ pub fn check_parallel_sequential(
     violations
 }
 
+/// Checks that interrupting a session mid-crawl, round-tripping its
+/// checkpoint through JSON, and resuming in a *fresh* session (new app
+/// instance built from the spec, new crawler seeded from scratch) yields
+/// a byte-identical report to the uninterrupted run — the durability
+/// contract the serving layer's crash recovery stands on, exercised on
+/// applications nobody hand-wrote.
+///
+/// The session is interrupted near the midpoint of the first run's
+/// interaction count, so both halves of the crawl — and the mid-flight
+/// crawler, frontier, and RNG state between them — cross the
+/// serialization boundary.
+pub fn check_snapshot_roundtrip(
+    spec: &BlueprintSpec,
+    crawler_name: &str,
+    seed: u64,
+    config: &EngineConfig,
+    first: &CrawlReport,
+) -> Result<(), Violation> {
+    use mak::framework::checkpoint::SessionCheckpoint;
+    use mak::framework::session::Session;
+    use serde::{Deserialize as _, Serialize as _};
+
+    let fail = |details: String| diff_violation("snapshot-roundtrip", details);
+    let context = format!("{crawler_name} seed {seed}");
+
+    let crawler = build_crawler(crawler_name, seed)
+        .unwrap_or_else(|| panic!("unknown crawler {crawler_name}"));
+    let mut session = Session::new(Box::new(spec.build()), crawler, config, seed);
+    let halfway = (first.interactions / 2).max(1);
+    while session.steps_taken() < halfway && session.step().is_running() {}
+
+    let checkpoint =
+        session.snapshot().map_err(|e| fail(format!("{context}: snapshot failed: {e}")))?;
+    let json = serde_json::to_string(&checkpoint.to_value())
+        .map_err(|e| fail(format!("{context}: checkpoint does not serialize: {e}")))?;
+    let value = serde_json::from_str(&json)
+        .map_err(|e| fail(format!("{context}: checkpoint JSON unreadable: {e}")))?;
+    let decoded = SessionCheckpoint::from_value(&value)
+        .map_err(|e| fail(format!("{context}: checkpoint did not round-trip: {e}")))?;
+
+    let fresh_crawler = build_crawler(crawler_name, seed).expect("crawler name checked above");
+    let mut resumed = Session::restore_owned(
+        Box::new(spec.build()),
+        fresh_crawler,
+        &decoded,
+        mak_obs::sink::SinkHandle::none(),
+    )
+    .map_err(|e| fail(format!("{context}: restore failed: {e}")))?;
+    while resumed.step().is_running() {}
+    let report = resumed.finish();
+    if report_json(first) == report_json(&report) {
+        Ok(())
+    } else {
+        Err(fail(summarize_mismatch(&format!("{context} resumed"), first, &report)))
+    }
+}
+
 /// Checks that saving a fresh report through the run cache and loading it
 /// back yields a field-for-field identical report. Uses a private store
 /// rooted in a per-call temp directory; the directory is removed before
@@ -285,6 +342,32 @@ mod tests {
         // divergence.
         let msg = pinpoint_rerun_divergence(&spec, "mak", 1, &config);
         assert!(msg.contains("instrumented replays agree"), "{msg}");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_matches_uninterrupted_for_every_crawler() {
+        let spec = BlueprintSpec::generate(21);
+        let config = small_config();
+        for name in ["mak", "bfs", "dfs", "random", "webexplor", "qexplore"] {
+            let mut c = build_crawler(name, 8).unwrap();
+            let report = run_crawl(&mut *c, Box::new(spec.build()), &config, 8);
+            check_snapshot_roundtrip(&spec, name, 8, &config, &report)
+                .unwrap_or_else(|v| panic!("{v}"));
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_holds_under_faults_on_generated_apps() {
+        use mak_browser::fault::FaultPlan;
+        let spec = BlueprintSpec::generate(33);
+        let mut config = small_config();
+        config.faults = FaultPlan::profile("heavy").unwrap();
+        for name in ["mak", "qexplore"] {
+            let mut c = build_crawler(name, 15).unwrap();
+            let report = run_crawl(&mut *c, Box::new(spec.build()), &config, 15);
+            check_snapshot_roundtrip(&spec, name, 15, &config, &report)
+                .unwrap_or_else(|v| panic!("{v}"));
+        }
     }
 
     #[test]

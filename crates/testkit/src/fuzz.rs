@@ -14,7 +14,7 @@
 
 use crate::differential::{
     check_cache_roundtrip, check_parallel_sequential, check_rerun_identical,
-    check_session_equivalence, oracle_crawl,
+    check_session_equivalence, check_snapshot_roundtrip, oracle_crawl,
 };
 use crate::generate::BlueprintSpec;
 use crate::oracle::Violation;
@@ -109,13 +109,15 @@ fn engine_config(budget_minutes: f64, faults: &FaultPlan) -> EngineConfig {
     config
 }
 
-/// Step-level + rerun + session detection for one `(spec, crawler, seed,
-/// budget)` cell: first oracle violation, else first rerun mismatch, else
-/// a session-vs-one-shot divergence, else `None`. This is both the fuzz
-/// check and the shrink predicate for such failures. Every generated
-/// blueprint therefore exercises the cell through *both* execution paths
-/// — the legacy one-shot engine and the resumable `Session` the serving
-/// layer schedules.
+/// Step-level + rerun + session + snapshot detection for one `(spec,
+/// crawler, seed, budget)` cell: first oracle violation, else first rerun
+/// mismatch, else a session-vs-one-shot divergence, else a checkpoint
+/// round-trip divergence, else `None`. This is both the fuzz check and
+/// the shrink predicate for such failures. Every generated blueprint
+/// therefore exercises the cell through *three* execution paths — the
+/// legacy one-shot engine, the resumable `Session` the serving layer
+/// schedules, and an interrupt-serialize-restore-resume cycle through
+/// the checkpoint codec (the crash-recovery contract).
 pub fn detect_step_failure(
     spec: &BlueprintSpec,
     budget_minutes: f64,
@@ -132,7 +134,10 @@ pub fn detect_step_failure(
     if let Err(v) = check_rerun_identical(spec, crawler, seed, &config, &report) {
         return Some(v);
     }
-    check_session_equivalence(spec, crawler, seed, &config, &report).err()
+    if let Err(v) = check_session_equivalence(spec, crawler, seed, &config, &report) {
+        return Some(v);
+    }
+    check_snapshot_roundtrip(spec, crawler, seed, &config, &report).err()
 }
 
 fn detect_parallel_failure(

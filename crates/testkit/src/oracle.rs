@@ -6,7 +6,10 @@
 //!
 //! - **Monotonicity** — virtual clock, server-side covered lines,
 //!   browser interaction count, and the crawler's distinct-URL count never
-//!   decrease (from `StepStarted`/`StepFinished`).
+//!   decrease (from `StepStarted`/`StepFinished`). A `SessionResumed`
+//!   marker re-baselines these checks: a crash-recovery splice
+//!   legitimately rewinds to the last durable checkpoint before
+//!   re-executing, and monotonicity is enforced afresh from there.
 //! - **URL-normalization idempotence** — every fetched or redirected URL
 //!   (emitted in canonical form) re-parses to itself, the link-coverage
 //!   accounting identity (from `PageFetched`/`RedirectFollowed`).
@@ -147,6 +150,22 @@ impl EventSink for InvariantOracle {
             Event::StepStarted { step, t_ms, .. } => {
                 self.step = *step;
                 self.check_clock(*t_ms);
+            }
+            Event::SessionResumed { step, t_ms, .. } => {
+                // A crash-recovery splice: the session restarts from its
+                // last durable checkpoint, so any steps the pre-crash
+                // portion of the stream ran *past* that checkpoint were
+                // executed but never persisted — the clock and coverage
+                // counters legitimately rewind here, and the post-resume
+                // events re-execute them identically. Re-baseline the
+                // continuity checks at the checkpoint instead of flagging
+                // the rewind; monotonicity is enforced again from the
+                // resume point on.
+                self.step = *step;
+                self.last_t_ms = *t_ms;
+                self.last_lines = 0;
+                self.last_interactions = 0;
+                self.last_urls = 0;
             }
             Event::ActionChosen { probs, .. } => {
                 self.bandit_run = true;
@@ -309,6 +328,52 @@ mod tests {
         let oracle = cell.lock().unwrap();
         assert!(!oracle.violations().is_empty());
         assert!(oracle.violations().len() <= MAX_VIOLATIONS);
+    }
+
+    #[test]
+    fn resume_marker_rebaselines_the_continuity_checks() {
+        fn finished(t_ms: f64, lines: u64) -> Event {
+            Event::StepFinished {
+                step: 0,
+                t_ms,
+                action: "Head".into(),
+                reward: None,
+                interactions: lines,
+                lines,
+                distinct_urls: lines,
+            }
+        }
+        let resumed = Event::SessionResumed {
+            app: "phpbb2".into(),
+            crawler: "mak".into(),
+            seed: 1,
+            step: 2,
+            t_ms: 40.0,
+        };
+
+        // A crash-recovery splice: the pre-crash stream ran to t=90/120
+        // lines, past the checkpoint at t=40; the resumed stream rewinds
+        // there and re-runs. Legal — no violations.
+        let mut oracle = InvariantOracle::new();
+        oracle.on_event(&finished(90.0, 120));
+        oracle.on_event(&resumed);
+        oracle.on_event(&finished(60.0, 80));
+        oracle.on_event(&finished(95.0, 130));
+        assert!(oracle.violations().is_empty(), "{:?}", oracle.violations());
+
+        // The same rewind WITHOUT the marker is a violation.
+        let mut oracle = InvariantOracle::new();
+        oracle.on_event(&finished(90.0, 120));
+        oracle.on_event(&finished(60.0, 80));
+        let kinds: Vec<&str> = oracle.violations().iter().map(|v| v.invariant.as_str()).collect();
+        assert!(kinds.contains(&"clock-monotone") && kinds.contains(&"coverage-monotone"));
+
+        // And monotonicity is enforced again after the resume point.
+        let mut oracle = InvariantOracle::new();
+        oracle.on_event(&resumed);
+        oracle.on_event(&finished(60.0, 80));
+        oracle.on_event(&finished(50.0, 70));
+        assert!(!oracle.violations().is_empty(), "post-resume rewinds still flagged");
     }
 
     #[test]

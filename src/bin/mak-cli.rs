@@ -49,6 +49,16 @@
 //!   --perfetto <file>   record phase spans during `profile` and write them as
 //!                       Chrome/Perfetto trace_events JSON (virtual-clock
 //!                       timestamps, so the file is byte-deterministic)
+//!   --checkpoint-dir <dir>  `serve` only: persist session checkpoints to
+//!                       <dir> on a cadence, so a crashed or killed process
+//!                       can be resumed; sessions also park here when the
+//!                       service drains gracefully
+//!   --checkpoint-every <n>  steps between cadence checkpoints (default 256)
+//!   --resume            `serve` only: instead of submitting fresh sessions,
+//!                       recover every parked/crashed session found under
+//!                       --checkpoint-dir and run it to completion; each
+//!                       recovered session finishes bit-identical to an
+//!                       uninterrupted run
 //!
 //! `crawl` and `compare` consult the run cache under `results/cache/`
 //! (`MAK_CACHE=off|rw|ro` to control, `MAK_CACHE_DIR` to relocate).
@@ -89,6 +99,15 @@ struct Options {
     /// `profile --perfetto`: record the span tree and write it here as
     /// Chrome/Perfetto `trace_events` JSON.
     perfetto: Option<String>,
+    /// `serve --checkpoint-dir`: durable session checkpoints live here;
+    /// enables cadence checkpointing and graceful drain on this dir.
+    checkpoint_dir: Option<String>,
+    /// `serve --checkpoint-every`: steps between cadence checkpoints
+    /// (default: the service default, 256).
+    checkpoint_every: Option<u64>,
+    /// `serve --resume`: recover parked/crashed sessions from
+    /// `--checkpoint-dir` instead of submitting fresh ones.
+    resume: bool,
 }
 
 impl Default for Options {
@@ -105,6 +124,9 @@ impl Default for Options {
             chaos: false,
             metrics: None,
             perfetto: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            resume: false,
         }
     }
 }
@@ -167,6 +189,21 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--perfetto" => {
                 opts.perfetto = Some(it.next().ok_or("--perfetto needs a file path")?.clone());
             }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir =
+                    Some(it.next().ok_or("--checkpoint-dir needs a directory path")?.clone());
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = Some(
+                    it.next()
+                        .ok_or("--checkpoint-every needs a step count")?
+                        .parse()
+                        .map_err(|e| format!("bad --checkpoint-every: {e}"))?,
+                );
+            }
+            "--resume" => {
+                opts.resume = true;
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -179,6 +216,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     if opts.apps == 0 {
         return Err("--apps must be at least 1".to_owned());
     }
+    if opts.resume && opts.checkpoint_dir.is_none() {
+        return Err("--resume needs --checkpoint-dir".to_owned());
+    }
+    if opts.checkpoint_every == Some(0) {
+        return Err("--checkpoint-every must be at least 1".to_owned());
+    }
     Ok(opts)
 }
 
@@ -189,7 +232,8 @@ fn usage() -> ExitCode {
          trace <summarize FILE|diff A B|check FILE>> \
          [--crawler NAME] [--minutes F] [--seed N] \
          [--seeds N] [--apps N] [--replay FILE] [--trace FILE] \
-         [--faults PROFILE] [--chaos] [--metrics FILE] [--perfetto FILE]"
+         [--faults PROFILE] [--chaos] [--metrics FILE] [--perfetto FILE] \
+         [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]"
     );
     ExitCode::FAILURE
 }
@@ -732,24 +776,59 @@ fn cmd_serve(app: &str, opts: &Options) -> ExitCode {
     }
     // Metrics output should include the wall-clock latency histogram,
     // so sampling rides along with --metrics.
-    let service_config =
+    let mut service_config =
         ServiceConfig { sample_latency: opts.metrics.is_some(), ..ServiceConfig::default() };
+    if let Some(dir) = &opts.checkpoint_dir {
+        service_config.checkpoint_dir = Some(dir.into());
+    }
+    if let Some(every) = opts.checkpoint_every {
+        service_config.checkpoint_every_steps = every;
+    }
     let threads = service_config.threads;
     let mut service = CrawlService::new(service_config);
-    for s in 0..opts.seeds {
-        if let Err(e) = service.submit(
-            SessionSpec::new("cli", app, &opts.crawler, opts.seed + s).config(config.clone()),
-        ) {
-            eprintln!("submit failed: {e}");
-            return ExitCode::FAILURE;
+    if opts.resume {
+        let report = match service.recover() {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("recover failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (file, reason) in &report.quarantined {
+            eprintln!("quarantined {file}: {reason}");
         }
+        for (id, err) in &report.rejected {
+            eprintln!("session {id} not re-admitted: {err}");
+        }
+        if report.restored == 0 {
+            println!("no sessions to resume under {}", opts.checkpoint_dir.as_deref().unwrap());
+            return if report.corrupt_quarantined > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            };
+        }
+        mak_obs::progress!(
+            "resuming {} checkpointed sessions on {} threads…",
+            report.restored,
+            threads
+        );
+    } else {
+        for s in 0..opts.seeds {
+            if let Err(e) = service.submit(
+                SessionSpec::new("cli", app, &opts.crawler, opts.seed + s).config(config.clone()),
+            ) {
+                eprintln!("submit failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        mak_obs::progress!(
+            "serving {} concurrent sessions of {} on {app} ({} threads)…",
+            service.in_flight(),
+            opts.crawler,
+            threads
+        );
     }
-    mak_obs::progress!(
-        "serving {} concurrent sessions of {} on {app} ({} threads)…",
-        service.in_flight(),
-        opts.crawler,
-        threads
-    );
     let started = std::time::Instant::now();
     let done = service.run_to_drain();
     let wall = started.elapsed().as_secs_f64();

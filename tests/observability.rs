@@ -233,6 +233,41 @@ fn pre_span_traces_still_summarize() {
 }
 
 #[test]
+fn resumed_traces_check_clean_across_the_splice() {
+    // A crash-recovery splice, recorded from a real interrupted run:
+    // phpbb2/mak checkpointed at step 10, crashed at step 13, resumed
+    // from the checkpoint — so the stream contains a `SessionResumed`
+    // marker at which the clock and coverage counters legitimately
+    // rewind (the three post-checkpoint steps died with the process and
+    // are re-executed after the marker).
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/resumed_trace.jsonl");
+
+    // The flight recorder counts the resume and keeps folding.
+    let mut rec = FlightRecorder::new();
+    for ev in mak_obs::trace::read(fixture).expect("fixture opens") {
+        rec.on_event(&ev.expect("fixture parses"));
+    }
+    let report = rec.into_report();
+    assert_eq!(report.resumes, 1, "exactly one resume marker in the fixture");
+    assert!(report.events > 0);
+
+    // The invariant oracle re-baselines at the marker instead of
+    // flagging the rewind — and the CLI front door agrees.
+    let mut oracle = mak_testkit::oracle::InvariantOracle::new();
+    for ev in mak_obs::trace::read(fixture).expect("fixture opens") {
+        oracle.on_event(&ev.expect("fixture parses"));
+    }
+    assert!(oracle.violations().is_empty(), "{:?}", oracle.violations());
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_mak-cli"))
+        .args(["trace", "check", fixture])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("mak-cli runs");
+    assert!(status.success(), "`trace check` must accept a resumed stream");
+}
+
+#[test]
 fn stream_carries_only_virtual_time() {
     // Every event's times are derived from the virtual clock, so the
     // stream's final timestamp matches the report's virtual elapsed time

@@ -28,6 +28,26 @@ impl RngCore for StdRng {
     }
 }
 
+impl StdRng {
+    /// The raw xoshiro256++ state words, for checkpointing the stream
+    /// position. Feed the result back through [`StdRng::from_state`] to
+    /// resume the exact same sequence.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from state captured by [`StdRng::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is all zero — that state is unreachable from any seed
+    /// and would make xoshiro emit zeros forever.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s != [0; 4], "xoshiro state must not be all zero");
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     type Seed = [u8; 32];
 

@@ -193,6 +193,15 @@ impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     }
 }
 
+/// A [`Value`] serializes as itself — lets containers hold pre-serialized
+/// subtrees (e.g. checkpoint payloads whose shape only the producing type
+/// knows how to validate).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 // -------------------------------------------------------------- Deserialize
 
 impl Deserialize for bool {
@@ -305,5 +314,12 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
             )),
             other => Err(Error::custom(format!("expected 3-element array, got {other:?}"))),
         }
+    }
+}
+
+/// A [`Value`] deserializes as itself (see the matching [`Serialize`] impl).
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
     }
 }
